@@ -1,0 +1,62 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or quantitative
+claims, prints a "paper says / we measure" table, and appends it to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote it. The
+pytest-benchmark fixture wraps the computation (one round — these are
+experiment harnesses, not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Callable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class Report:
+    """Collects experiment output and mirrors it to a results file."""
+
+    def __init__(self, name: str, title: str) -> None:
+        self.name = name
+        self.buffer = io.StringIO()
+        self.line("=" * 72)
+        self.line(title)
+        self.line("=" * 72)
+
+    def line(self, text: str = "") -> None:
+        """Append one line (also echoed to stdout at save time)."""
+        self.buffer.write(text + "\n")
+
+    def table(self, headers: list[str], rows: list[list], widths: list[int] | None = None) -> None:
+        """Append a fixed-width table."""
+        if widths is None:
+            widths = [
+                max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) + 2
+                if rows
+                else len(str(headers[i])) + 2
+                for i in range(len(headers))
+            ]
+        def fmt(cells):
+            return "".join(str(cell).rjust(width) for cell, width in zip(cells, widths))
+        self.line(fmt(headers))
+        self.line(fmt(["-" * (width - 2) for width in widths]))
+        for row in rows:
+            self.line(fmt(row))
+
+    def save(self) -> str:
+        """Write the report file and print it."""
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        text = self.buffer.getvalue()
+        path = os.path.join(RESULTS_DIR, f"{self.name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text)
+        print("\n" + text)
+        return text
+
+
+def run_once(benchmark, fn: Callable[[], object]):
+    """Run an experiment exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""E18 — Section 3(b): the clustering effect on fetch costs.
+
+    "Some indexes or index portions can have their sequence coincided to a
+    various degree with physical record locations. This clustering effect
+    may not be known or may be hard to detect, so it adds a significant
+    uncertainty to the cost estimation."
+
+Measured: the same logical retrieval (same RID count) over tables whose
+physical placement ranges from fully clustered to fully scattered. The
+Yao-based projection — which assumes scattered placement — stays constant,
+while the real sorted-fetch cost varies by multiples. The dynamic engine
+still returns exact rows at every clustering level; the residual cost
+spread is precisely the uncertainty the paper says static estimation
+cannot remove.
+"""
+
+import numpy as np
+
+from _util import Report, run_once
+
+from repro.db.session import Database
+from repro.expr.ast import col
+from repro.storage.rid import yao_pages_touched
+from repro.workloads.generators import clustered_permutation, uniform_ints
+
+ROWS = 6000
+
+
+def build(clustering: float):
+    db = Database(buffer_capacity=48)
+    table = db.create_table(
+        "EVENTS", [("KEY", "int"), ("PAD", "int")], rows_per_page=8, index_order=16
+    )
+    rng = np.random.default_rng(55)
+    keys = clustered_permutation(rng, uniform_ints(rng, ROWS, 0, 9999), clustering)
+    for i, key in enumerate(keys):
+        table.insert((key, i))
+    table.create_index("IX_KEY", ["KEY"])
+    return db, table
+
+
+def experiment() -> dict:
+    report = Report("clustering", "Section 3(b) — clustering effect on fetch cost")
+    expr = col("KEY").between(1000, 1400)  # ~240 rows at every clustering level
+    report.line(f"\n{ROWS} rows / 750 pages; retrieval KEY BETWEEN 1000 AND 1400")
+    report.line("identical logical work at every clustering level:\n")
+
+    rows = []
+    costs = {}
+    for clustering in (1.0, 0.7, 0.3, 0.0):
+        db, table = build(clustering)
+        expected = sum(1 for _, row in table.heap.scan() if 1000 <= row[0] <= 1400)
+        yao = yao_pages_touched(table.heap.page_count, table.heap.rows_per_page, expected)
+        db.cold_cache()
+        run = table.select(where=expr)
+        assert len(run.rows) == expected
+        costs[clustering] = run.total_cost
+        rows.append([
+            f"{clustering:.1f}", expected, f"{yao:.0f}", f"{run.total_cost:.0f}",
+            run.description.split(" -> ")[-1][:24],
+        ])
+    report.table(
+        ["clustering", "rows", "Yao projection", "actual cost", "ending"],
+        rows,
+    )
+    spread = costs[0.0] / max(costs[1.0], 1.0)
+    report.line(f"\nthe projection is placement-blind (one number for all rows);")
+    report.line(f"the actual cost varies {spread:.1f}x between fully clustered and")
+    report.line("fully scattered placement. This is exactly the uncertainty the")
+    report.line("paper assigns to 'engineering around the L-shape': the projection")
+    report.line("guides the competition, the actual run settles the bill.")
+    assert spread > 2.0
+    report.save()
+    return {"spread": spread}
+
+
+def test_clustering_uncertainty(benchmark):
+    results = run_once(benchmark, experiment)
+    assert results["spread"] > 2.0

@@ -1,0 +1,118 @@
+"""E14 — Section 5: the OLTP shortcut techniques.
+
+    "If a very short range is discovered (which typically happens right away
+    because of preordering), the initial stage estimation terminates
+    immediately to save on estimation cost. In addition, an empty range
+    detection cancels all retrieval stages and delivers the 'end of data'
+    condition at once. These techniques are instrumental in achieving high
+    performance of short OLTP transactions."
+
+Measured: per-query cost of unique-key point lookups and provably-empty
+lookups with the shortcuts on vs off (ablation), and the effect of
+iteration-context preordering on a parameterized query that repeats with a
+skewed parameter.
+"""
+
+import numpy as np
+
+from _util import Report, run_once
+
+from repro.db.session import Database
+from repro.expr.ast import col, var
+
+ROWS = 8000
+LOOKUPS = 200
+
+
+def build(config=None):
+    db = Database(buffer_capacity=96)
+    if config is not None:
+        db.config = config
+    table = db.create_table(
+        "ACCOUNTS",
+        [("ACCT", "int"), ("BRANCH", "int"), ("BALANCE", "int")],
+        rows_per_page=8, index_order=32,
+    )
+    if config is not None:
+        table.config = config
+    rng = np.random.default_rng(31)
+    for i in range(ROWS):
+        table.insert((i, int(rng.integers(0, 100)), int(rng.integers(0, 10_000))))
+    table.create_index("IX_ACCT", ["ACCT"], unique=True)
+    table.create_index("IX_BRANCH", ["BRANCH"])
+    table.create_index("IX_BALANCE", ["BALANCE"])
+    return db, table
+
+
+def _run_lookups(db, table, present: bool) -> tuple[float, float]:
+    """Average (total, estimation) cost per cold-cache point lookup."""
+    rng = np.random.default_rng(7)
+    total = estimation = 0.0
+    query = (col("ACCT").eq(var("id"))) & (col("BRANCH") >= 0)
+    for _ in range(LOOKUPS):
+        account = int(rng.integers(0, ROWS)) if present else ROWS + int(rng.integers(0, ROWS))
+        db.cold_cache()
+        result = table.select(where=query, host_vars={"id": account})
+        assert len(result.rows) == (1 if present else 0)
+        total += result.total_cost
+        estimation += result.estimation_cost
+    return total / LOOKUPS, estimation / LOOKUPS
+
+
+def experiment() -> dict:
+    report = Report("oltp_shortcut", "Section 5 — OLTP shortcut techniques")
+    report.line(f"\nACCOUNTS: {ROWS} rows, unique IX_ACCT + two secondary indexes")
+    report.line(f"workload: {LOOKUPS} point lookups (ACCT = :id AND BRANCH >= 0)\n")
+
+    rows = []
+    stats = {}
+    for label, config_change in (
+        ("shortcuts on (default)", {}),
+        ("small-range shortcut off", {"shortcut_rid_count": -1}),
+    ):
+        db, table = build()
+        if config_change:
+            table.config = table.config.with_(**config_change)
+        hit_total, hit_est = _run_lookups(db, table, present=True)
+        miss_total, miss_est = _run_lookups(db, table, present=False)
+        stats[label] = (hit_total, hit_est, miss_total, miss_est)
+        rows.append([
+            label, f"{hit_total:.2f}", f"{hit_est:.2f}",
+            f"{miss_total:.2f}", f"{miss_est:.2f}",
+        ])
+    report.table(
+        ["configuration", "hit total", "hit estimation", "miss total", "miss est."],
+        rows,
+    )
+    on_hit, on_est, on_miss, on_miss_est = stats["shortcuts on (default)"]
+    _, off_est, _, _ = stats["small-range shortcut off"]
+    report.line(f"\nthe shortcut stops estimation at the unique index: "
+                f"{on_est:.2f} I/O vs {off_est:.2f} when every index is estimated")
+    report.line(f"misses cost {on_miss:.2f} total — the empty-range detection cancels")
+    report.line("all stages; 'end of data' is delivered without touching the heap.")
+    assert on_est < off_est
+    assert on_miss < on_hit
+
+    # iteration-context preordering under a repeated parameterized query
+    db, table = build()
+    query = (col("BRANCH").eq(var("b"))) & (col("BALANCE") < var("lim"))
+    rng = np.random.default_rng(13)
+    costs_fresh, costs_context = [], []
+    for i in range(30):
+        bindings = {"b": int(rng.integers(0, 100)), "lim": 500}
+        fresh = table.select(where=query, host_vars=bindings)
+        costs_fresh.append(fresh.estimation_cost)
+        repeated = table.select(where=query, host_vars=bindings, context_key="oltp")
+        costs_context.append(repeated.estimation_cost)
+    report.line(f"\nestimation cost per run: no context {np.mean(costs_fresh):.3f}, "
+                f"with iteration context {np.mean(costs_context):.3f}")
+    report.line("(the context seeds the prearrangement so the most selective index")
+    report.line(" is estimated first and the shortcut fires sooner)")
+    report.save()
+    return {"hit": on_hit, "miss": on_miss, "est_on": on_est, "est_off": off_est}
+
+
+def test_oltp_shortcuts(benchmark):
+    results = run_once(benchmark, experiment)
+    assert results["miss"] < results["hit"]
+    assert results["est_on"] < results["est_off"]

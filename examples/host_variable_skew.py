@@ -1,0 +1,65 @@
+"""Section 4's motivating scenario: host variables defeat static plans.
+
+``select * from FAMILIES where AGE >= :A1`` with :A1 taking values 0 and
+200 delivers all or no records in two different runs — "a correct choice
+between the sequential and index retrieval strategies can only be done
+dynamically on a per-run basis".
+
+This example freezes a System R-style static plan once, then runs both it
+and the dynamic engine across a sweep of :A1 bindings, printing the
+physical I/O each pays.
+
+Run:  python examples/host_variable_skew.py
+"""
+
+from repro import Database, col, var
+from repro.engine.static_optimizer import StaticOptimizer
+from repro.workloads.scenarios import build_families_table
+
+
+def main() -> None:
+    db = Database(buffer_capacity=48)
+    families = build_families_table(db, rows=4000)
+    query = col("AGE") >= var("A1")
+
+    optimizer = StaticOptimizer(families)
+    # plan A: compiled blind (host variable unknown -> magic-number guess)
+    blind_plan = optimizer.compile(query)
+    # plan B: compiled for a "representative" selective binding, as programs
+    # that embed typical constants effectively do
+    tuned_plan = optimizer.compile(col("AGE") >= 118)
+
+    print(f"table: {families.row_count} rows over {families.heap.page_count} pages")
+    print(f"static plan, compiled blind : {blind_plan.describe()}")
+    print(f"static plan, tuned for >=118: {tuned_plan.describe()}")
+    print()
+    print(
+        f"{'A1':>5} {'rows':>6} {'blind I/O':>10} {'tuned I/O':>10} "
+        f"{'dynamic I/O':>12}  dynamic strategy"
+    )
+
+    for binding in (0, 30, 60, 90, 110, 118, 200):
+        db.cold_cache()
+        blind_run = optimizer.execute(blind_plan, query, {"A1": binding})
+        db.cold_cache()
+        tuned_run = optimizer.execute(tuned_plan, query, {"A1": binding})
+        db.cold_cache()
+        dynamic_run = families.select(where=query, host_vars={"A1": binding})
+        assert sorted(blind_run.rows) == sorted(dynamic_run.rows)
+        assert sorted(tuned_run.rows) == sorted(dynamic_run.rows)
+        print(
+            f"{binding:>5} {len(dynamic_run.rows):>6} {blind_run.io:>10} "
+            f"{tuned_run.io:>10} {dynamic_run.execution_io:>12}  {dynamic_run.description}"
+        )
+
+    print(
+        "\nEach frozen plan is tolerable near the binding it was costed for and"
+        "\ncatastrophic elsewhere (the tuned Fscan pays one random fetch per row"
+        "\nat A1=0; the blind Tscan pays a full scan even when nothing matches)."
+        "\nThe dynamic engine re-decides per run, so its column never explodes —"
+        "\nthe paper's 'few decimal orders' improvement."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""The OR/IN extension: union joint scans (Section 8's named direction).
+
+Disjunctive restrictions defeat the paper's AND-scoped Jscan; Section 8
+points at "covering ORs" as the next step. This example shows the union
+joint scan resolving ORs and IN lists: every disjunct gets a covering
+index range, the ranges are scanned in ascending estimated size, RIDs are
+unioned with deduplication, and a two-stage competition abandons the whole
+arrangement for Tscan when the union projects too large.
+
+Run:  python examples/or_in_retrieval.py
+"""
+
+from repro import Database, col, var
+from repro.workloads.scenarios import build_parts_table
+
+
+def main() -> None:
+    db = Database(buffer_capacity=64)
+    parts = build_parts_table(db, rows=6000)
+    tscan_cost = parts.heap.page_count
+    print(f"PARTS: {parts.row_count} rows / {tscan_cost} pages\n")
+
+    # -- a selective OR across two indexes ---------------------------------
+    db.cold_cache()
+    result = parts.select(
+        where=(col("COLOR").eq(9)) | (col("WEIGHT") >= var("W")),
+        host_vars={"W": 990},
+    )
+    print(f"COLOR = 9 OR WEIGHT >= 990 : {len(result.rows):4d} rows, "
+          f"{result.execution_io:4d} reads   ({result.description})")
+
+    # -- the same OR with an unselective arm: competition switches ----------
+    db.cold_cache()
+    result = parts.select(
+        where=(col("COLOR").eq(9)) | (col("WEIGHT") >= var("W")),
+        host_vars={"W": 50},
+    )
+    print(f"COLOR = 9 OR WEIGHT >= 50  : {len(result.rows):4d} rows, "
+          f"{result.execution_io:4d} reads   ({result.description})")
+
+    # -- IN lists expand to equality disjuncts -------------------------------
+    db.cold_cache()
+    result = parts.select(where=col("COLOR").in_([2, 9, 17]))
+    print(f"COLOR IN (2, 9, 17)        : {len(result.rows):4d} rows, "
+          f"{result.execution_io:4d} reads   ({result.description})")
+
+    # -- IN distributed over a conjunction with an unindexed term ------------
+    # (rare colors: the union stays small enough to beat the table scan)
+    db.cold_cache()
+    result = parts.select(
+        where=(col("COLOR").in_([17, 19])) & (col("PRICE") > 5000)
+    )
+    print(f"COLOR IN (17,19), PRICE>5k : {len(result.rows):4d} rows, "
+          f"{result.execution_io:4d} reads   ({result.description})")
+
+    # -- trace of a union run -------------------------------------------------
+    db.cold_cache()
+    result = parts.select(where=(col("COLOR").eq(9)) | (col("SIZE") > 995))
+    print("\ntrace of COLOR = 9 OR SIZE > 995:")
+    print(result.trace.format())
+    print()
+    print(result.summary())
+
+
+if __name__ == "__main__":
+    main()

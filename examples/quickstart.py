@@ -1,0 +1,51 @@
+"""Quickstart: build a table, index it, and watch the dynamic optimizer work.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database, OptimizationGoal, col, var
+
+
+def main() -> None:
+    db = Database(buffer_capacity=64)
+
+    # -- create and fill a table -----------------------------------------
+    families = db.create_table(
+        "FAMILIES", [("ID", "int"), ("AGE", "int"), ("INCOME", "int")]
+    )
+    for i in range(2000):
+        families.insert((i, (i * 37) % 120, 20_000 + (i * 997) % 80_000))
+    families.create_index("IX_AGE", ["AGE"])
+
+    # -- the paper's motivating query -------------------------------------
+    # select * from FAMILIES where AGE >= :A1
+    query = col("AGE") >= var("A1")
+
+    for binding in (0, 95, 200):
+        db.cold_cache()
+        result = families.select(where=query, host_vars={"A1": binding})
+        print(
+            f"A1={binding:>3}: {len(result.rows):4d} rows, "
+            f"{result.execution_io:4d} physical reads, strategy: {result.description}"
+        )
+
+    # -- the same query through SQL, with the Rdb/VMS extensions ----------
+    db.cold_cache()
+    result = db.execute(
+        "select ID, AGE from FAMILIES where AGE >= :A1 "
+        "order by AGE limit to 5 rows optimize for fast first",
+        {"A1": 100},
+    )
+    print("\nSQL fast-first top-5:", result.rows)
+
+    # -- dynamic execution metrics -----------------------------------------
+    db.cold_cache()
+    result = families.select(
+        where=query, host_vars={"A1": 110}, optimize_for=OptimizationGoal.TOTAL_TIME
+    )
+    print("\nExecution trace for A1=110:")
+    print(result.trace.format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandboxed environment has no ``wheel`` package, so PEP 517 editable
+installs fail; ``pip install -e . --no-use-pep517`` (or plain
+``pip install -e .``, which pip falls back onto) uses this file instead.
+Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

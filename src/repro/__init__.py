@@ -1,0 +1,55 @@
+"""repro — a reproduction of "Dynamic Query Optimization in Rdb/VMS"
+(Gennady Antoshenkov, ICDE 1993).
+
+The package implements the paper's dynamic single-table optimizer —
+competition-based strategy selection over Tscan / Sscan / Fscan / Jscan —
+together with every substrate it needs: a simulated storage engine with
+physical-I/O accounting, B+-tree indexes with descent-to-split estimation
+and sampling, the Section 2 selectivity-distribution toolkit, the Section 3
+competition framework, an SQL front end with the Rdb/VMS extensions, and
+the static-optimizer / static-Jscan baselines the paper argues against.
+
+Quick start::
+
+    from repro import Database, col, var
+
+    db = Database()
+    families = db.create_table("FAMILIES", [("ID", "int"), ("AGE", "int")])
+    families.insert_many((i, age) for i, age in enumerate([5, 30, 70, 95]))
+    families.create_index("IX_AGE", ["AGE"])
+
+    result = families.select(where=col("AGE") >= var("A1"),
+                             host_vars={"A1": 60})
+    print(result.rows, result.description)
+
+    print(db.execute("select * from FAMILIES where AGE >= :A1 "
+                     "optimize for fast first", {"A1": 60}).rows)
+"""
+
+from repro.config import DEFAULT_CONFIG, EngineConfig
+from repro.db.catalog import Column
+from repro.db.session import Database
+from repro.db.table import Table
+from repro.engine.goals import OptimizationGoal, infer_goals
+from repro.engine.retrieval import RetrievalRequest, RetrievalResult
+from repro.errors import ReproError
+from repro.expr.ast import col, lit, var
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Column",
+    "Database",
+    "DEFAULT_CONFIG",
+    "EngineConfig",
+    "OptimizationGoal",
+    "RetrievalRequest",
+    "RetrievalResult",
+    "ReproError",
+    "Table",
+    "col",
+    "infer_goals",
+    "lit",
+    "var",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — launch the interactive SQL shell."""
+
+import sys
+
+from repro.shell import main
+
+sys.exit(main())

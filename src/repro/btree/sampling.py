@@ -1,0 +1,155 @@
+"""Random sampling from B+-trees.
+
+Section 5 points past descent-to-split estimation toward sampling: "Random
+sampling can estimate RIDs with any restrictions, including pattern matching,
+complex arithmetic, comparing attributes of the same index." Two methods are
+implemented:
+
+* **Acceptance/rejection** [OlRo89]: walk root-to-leaf choosing children
+  uniformly; accept the walk with probability ``prod(fanout_i) / fmax**depth``
+  so accepted leaf entries are uniform. Simple but wasteful — most walks are
+  rejected when fanouts vary.
+* **Pseudo-ranked** [Ant92]: never reject. Each walk picks children uniformly
+  and records its inclusion probability; estimates are importance-weighted
+  (Horvitz-Thompson). Every walk contributes, which is what makes sampling
+  cheap enough for "heavy usage within the dynamic optimization framework".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.btree.node import Key
+from repro.btree.tree import BTree
+from repro.storage.buffer_pool import CostMeter, NULL_METER
+from repro.storage.rid import RID
+
+
+@dataclass
+class SampleResult:
+    """Outcome of a sampling run."""
+
+    #: sampled (key, rid) entries (accepted walks only for Olken)
+    entries: list[tuple[Key, RID]]
+    #: per-entry importance weights (1.0 for accepted Olken samples)
+    weights: list[float]
+    #: root-to-leaf walks performed
+    walks: int
+    #: walks rejected (always 0 for pseudo-ranked)
+    rejections: int
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of walks that yielded a sample."""
+        return len(self.entries) / self.walks if self.walks else 0.0
+
+
+def _random_walk(
+    tree: BTree, rng: random.Random, meter: CostMeter
+) -> tuple[tuple[Key, RID] | None, float]:
+    """One uniform root-to-leaf walk.
+
+    Returns the chosen entry (None for an empty leaf) and the probability of
+    having reached it, i.e. ``prod(1/branching at each step)``.
+    """
+    page_id = tree._root_id
+    probability = 1.0
+    while True:
+        node = tree._node(page_id, meter)
+        if node.is_leaf:
+            if not node.entries:
+                return None, probability
+            index = rng.randrange(len(node.entries))
+            probability /= len(node.entries)
+            return node.entries[index], probability
+        index = rng.randrange(len(node.children))
+        probability /= len(node.children)
+        page_id = node.children[index]
+
+
+def acceptance_rejection_sample(
+    tree: BTree,
+    sample_size: int,
+    rng: random.Random,
+    meter: CostMeter = NULL_METER,
+    max_walks: int | None = None,
+) -> SampleResult:
+    """Olken/Rotem uniform sampling via acceptance/rejection.
+
+    A walk reaching an entry with probability ``p`` is accepted with
+    probability ``p_min / p`` where ``p_min = (1/order)**height`` lower-bounds
+    every walk probability; accepted entries are then uniform over entries.
+    """
+    if tree.entry_count == 0:
+        return SampleResult(entries=[], weights=[], walks=0, rejections=0)
+    p_min = (1.0 / tree.order) ** tree.height
+    entries: list[tuple[Key, RID]] = []
+    weights: list[float] = []
+    walks = rejections = 0
+    budget = max_walks if max_walks is not None else sample_size * tree.order * 4
+    while len(entries) < sample_size and walks < budget:
+        walks += 1
+        entry, probability = _random_walk(tree, rng, meter)
+        if entry is None:
+            rejections += 1
+            continue
+        accept_probability = p_min / probability
+        if rng.random() <= accept_probability:
+            entries.append(entry)
+            weights.append(1.0)
+        else:
+            rejections += 1
+    return SampleResult(entries=entries, weights=weights, walks=walks, rejections=rejections)
+
+
+def pseudo_ranked_sample(
+    tree: BTree,
+    sample_size: int,
+    rng: random.Random,
+    meter: CostMeter = NULL_METER,
+) -> SampleResult:
+    """Pseudo-ranked sampling: every walk yields a weighted sample.
+
+    The Horvitz-Thompson weight of an entry reached with probability ``p``
+    is ``1 / (p * N)`` where ``N`` is the entry count; weighted means over
+    the sample are unbiased for population means.
+    """
+    if tree.entry_count == 0:
+        return SampleResult(entries=[], weights=[], walks=0, rejections=0)
+    entries: list[tuple[Key, RID]] = []
+    weights: list[float] = []
+    walks = 0
+    n = tree.entry_count
+    while len(entries) < sample_size:
+        walks += 1
+        entry, probability = _random_walk(tree, rng, meter)
+        if entry is None:
+            continue
+        entries.append(entry)
+        weights.append(1.0 / (probability * n))
+        if walks > sample_size * 64:
+            break
+    return SampleResult(entries=entries, weights=weights, walks=walks, rejections=0)
+
+
+def selectivity_from_sample(
+    result: SampleResult, predicate: Callable[[Key], bool]
+) -> float:
+    """Estimate the fraction of index entries whose key satisfies ``predicate``.
+
+    Uses the self-normalized (Hajek) estimator so both uniform (Olken) and
+    weighted (pseudo-ranked) samples are handled by the same formula.
+    """
+    if not result.entries:
+        return 0.0
+    total_weight = sum(result.weights)
+    if total_weight == 0:
+        return 0.0
+    hit_weight = sum(
+        weight
+        for (key, _), weight in zip(result.entries, result.weights)
+        if predicate(key)
+    )
+    return hit_weight / total_weight

@@ -1,0 +1,43 @@
+"""Competition framework (Section 3 of the paper).
+
+Cost distributions of alternative plans are L-shaped; competition exploits
+that by exhausting the high-probability low-cost regions of several plans
+before committing to any single one. This package provides:
+
+* :mod:`repro.competition.model` — analytic L-shaped cost distributions and
+  the paper's expected-cost arithmetic for traditional choice, sequential
+  try-then-switch, and simultaneous proportional runs;
+* :mod:`repro.competition.process` — the step-wise ``Process`` protocol all
+  competing strategies implement, plus synthetic processes for experiments;
+* :mod:`repro.competition.scheduler` — proportional-speed fair scheduling of
+  simultaneous processes;
+* :mod:`repro.competition.direct` — direct competition (first finisher wins);
+* :mod:`repro.competition.two_stage` — two-stage competition: a cheap stage
+  continuously re-estimates an expensive stage and is abandoned when the
+  projection approaches the guaranteed best.
+"""
+
+from repro.competition.direct import DirectCompetition, TrialThenSwitch
+from repro.competition.model import (
+    LShapedCost,
+    sequential_switch_expected_cost,
+    simultaneous_expected_cost,
+    traditional_expected_cost,
+)
+from repro.competition.process import Process, SyntheticProcess
+from repro.competition.scheduler import ProportionalScheduler
+from repro.competition.two_stage import SwitchCriterion, TwoStageCompetition
+
+__all__ = [
+    "DirectCompetition",
+    "TrialThenSwitch",
+    "LShapedCost",
+    "sequential_switch_expected_cost",
+    "simultaneous_expected_cost",
+    "traditional_expected_cost",
+    "Process",
+    "SyntheticProcess",
+    "ProportionalScheduler",
+    "SwitchCriterion",
+    "TwoStageCompetition",
+]

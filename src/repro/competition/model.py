@@ -1,0 +1,184 @@
+"""Analytic L-shaped cost distributions and competition arithmetic.
+
+Section 3 works with plans whose costs have "L-shaped distributions with 50%
+probability concentrated in small cost regions [0, c] and 50% probability
+widely spread to the right of them, with mean costs M". The class
+:class:`LShapedCost` realizes such a distribution as a truncated hyperbola
+on ``[0, H]`` whose parameters are solved from the paper's ``(c, M)`` pair,
+so the paper's claims can be checked both analytically and by Monte Carlo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import CompetitionError
+
+
+def _mean01(b: float) -> float:
+    """Mean of the normalized hyperbola ``~1/(s+b)`` on [0, 1]."""
+    log_term = np.log((1.0 + b) / b)
+    return (1.0 - b * log_term) / log_term
+
+
+def _half_mass01(b: float) -> float:
+    """Median of the normalized hyperbola on [0, 1]."""
+    return float(np.sqrt(b * (1.0 + b)) - b)
+
+
+@dataclass(frozen=True)
+class LShapedCost:
+    """A truncated-hyperbola cost distribution on ``[0, H]``.
+
+    Density is proportional to ``1/(x/H + b)``; ``b`` controls skewness and
+    ``H`` the cost scale.
+    """
+
+    b: float
+    H: float
+
+    @classmethod
+    def from_c_and_mean(cls, c: float, mean: float) -> "LShapedCost":
+        """Solve (b, H) so the half-mass point is ``c`` and the mean ``mean``.
+
+        Requires ``c < mean`` (an actual L-shape); raises otherwise.
+        """
+        if not 0 < c < mean:
+            raise CompetitionError(f"need 0 < c < mean, got c={c}, mean={mean}")
+
+        def gap(log_b: float) -> float:
+            b = float(np.exp(log_b))
+            return mean * _half_mass01(b) / _mean01(b) - c
+
+        # hyperbola medians range from ~0 (b->0) to 0.5*mean ratio (b->inf):
+        lo, hi = np.log(1e-12), np.log(1e6)
+        if gap(lo) > 0 or gap(hi) < 0:
+            raise CompetitionError(
+                f"(c={c}, mean={mean}) outside the truncated-hyperbola family"
+            )
+        log_b = optimize.brentq(gap, lo, hi, xtol=1e-12)
+        b = float(np.exp(log_b))
+        return cls(b=b, H=mean / _mean01(b))
+
+    # -- distribution functions ------------------------------------------------
+
+    def cdf(self, x: float | np.ndarray) -> np.ndarray:
+        """P(cost <= x)."""
+        x = np.clip(np.asarray(x, dtype=float) / self.H, 0.0, 1.0)
+        return np.log((x + self.b) / self.b) / np.log((1.0 + self.b) / self.b)
+
+    def quantile(self, q: float | np.ndarray) -> np.ndarray:
+        """Inverse CDF."""
+        q = np.asarray(q, dtype=float)
+        ratio = (1.0 + self.b) / self.b
+        return self.H * (self.b * ratio**q - self.b)
+
+    def mean(self) -> float:
+        """Expected cost (the paper's M)."""
+        return self.H * _mean01(self.b)
+
+    def median(self) -> float:
+        """Half-mass point (the paper's c)."""
+        return self.H * _half_mass01(self.b)
+
+    def conditional_mean_below(self, x: float) -> float:
+        """E[cost | cost <= x] — the paper's m (e.g. m2 on [0, c2])."""
+        if x <= 0:
+            return 0.0
+        x01 = min(x / self.H, 1.0)
+        log_term = np.log((x01 + self.b) / self.b)
+        if log_term <= 0:
+            return 0.0
+        mean01 = (x01 - self.b * log_term) / log_term
+        return float(self.H * mean01)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Inverse-CDF sampling of plan costs."""
+        return self.quantile(rng.random(size))
+
+
+# -- the paper's expected-cost arithmetic -------------------------------------
+
+
+def traditional_expected_cost(mean_1: float) -> float:
+    """Static optimizer: run the lower-mean plan A1 to the end: cost M1."""
+    return mean_1
+
+
+def sequential_switch_expected_cost(m2: float, c2: float, mean_1: float) -> float:
+    """Run A2 until its cost reaches c2, then switch to A1 if unfinished.
+
+    "With 50% chances, A2 completes first, incurring an average cost m2.
+    Otherwise, the combined cost of both plan runs has an average cost
+    c2 + M1. ... an average cost (m2 + c2 + M1)/2, about twice smaller than
+    the traditional M1."
+    """
+    return (m2 + c2 + mean_1) / 2.0
+
+
+def simultaneous_expected_cost(
+    plan_a: LShapedCost,
+    plan_b: LShapedCost,
+    speed_a: float = 1.0,
+    speed_b: float = 1.0,
+    switch_point: float | None = None,
+    grid: int = 4096,
+) -> float:
+    """Expected cost of running both plans simultaneously at proportional
+    speeds, abandoning plan B at combined progress ``switch_point`` (measured
+    in plan-B work units) and finishing with plan A alone.
+
+    Work alternates at ``speed_a : speed_b``; total incurred cost when plan
+    A finishes at work ``t_a`` is ``t_a * (1 + speed_b/speed_a)`` while B is
+    still running, etc. With ``switch_point = None`` the optimum over a grid
+    of switch points is returned (numeric minimization, the paper's "switch
+    to plan A1 at some optimal point").
+    """
+    if switch_point is not None:
+        return _simultaneous_cost_at(plan_a, plan_b, speed_a, speed_b, switch_point, grid)
+    candidates = np.linspace(0.0, plan_b.H, 64)
+    costs = [
+        _simultaneous_cost_at(plan_a, plan_b, speed_a, speed_b, float(w), grid)
+        for w in candidates
+    ]
+    return float(min(costs))
+
+
+def _simultaneous_cost_at(
+    plan_a: LShapedCost,
+    plan_b: LShapedCost,
+    speed_a: float,
+    speed_b: float,
+    switch_b_work: float,
+    grid: int,
+) -> float:
+    """Numeric expectation over independent quantile-grid samples.
+
+    At time t, plan A has executed ``speed_a * t`` work and plan B
+    ``speed_b * t``. The first finisher ends the race; if B reaches
+    ``switch_b_work`` without finishing it is abandoned (sunk cost) and A
+    runs on alone. Total cost is all work executed by both plans.
+    """
+    q = (np.arange(grid) + 0.5) / grid
+    costs_a = plan_a.quantile(q)
+    costs_b = plan_b.quantile(q)
+    rng = np.random.default_rng(1234)
+    rng.shuffle(costs_b)  # independent pairing of the two quantile grids
+    t_a = costs_a / speed_a  # A's finish time
+    t_b = costs_b / speed_b  # B's finish time
+    t_s = switch_b_work / speed_b if speed_b > 0 else np.inf  # switch time
+    a_first = (t_a <= t_b) & (t_a <= t_s)
+    b_first = (t_b < t_a) & (t_b <= t_s)
+    total = np.where(
+        a_first,
+        costs_a + speed_b * t_a,
+        np.where(
+            b_first,
+            costs_b + speed_a * t_b,
+            costs_a + switch_b_work,
+        ),
+    )
+    return float(total.mean())

@@ -1,0 +1,103 @@
+"""A probabilistic switch criterion for two-stage competition.
+
+Section 3: "At each point of A' we compare A1 and fresh A'' cost
+distributions, and switch to A1 or continue based on some probabilistic
+cost model" (the model itself lives in [Ant91B], which only the report
+readers saw). This module supplies a concrete such model, decision-theoretic
+rather than threshold-based:
+
+The scan has examined ``scanned`` entries of an estimated ``total`` and
+kept ``kept`` of them (survivors of the running filter). The keep rate
+``p`` is uncertain; with a uniform prior it has a Beta(kept+1,
+scanned-kept+1) posterior. The final RID-list size is ``p * total``, so the
+final fetch cost ``F`` inherits a posterior through Yao's formula. Let
+``G`` be the guaranteed best cost and ``R`` the expected remaining scan
+investment. Abandoning now costs ``G``; continuing costs
+``R + E[min(F, G)]`` (after completing the list we still get to pick the
+cheaper of the list retrieval and the guaranteed best). Therefore:
+
+    continue  iff  E[max(0, G - F)] > R
+
+— keep scanning exactly while the expected savings of finishing exceed the
+expected cost of finishing. Early in the scan the posterior is wide, the
+savings expectation is large, and the scan survives noise; as evidence
+accumulates the rule converges to the deterministic comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.competition.two_stage import SwitchDecision
+from repro.storage.rid import yao_pages_touched
+
+#: grid resolution for posterior integration
+_GRID = 64
+
+
+@dataclass(frozen=True)
+class ScanEvidence:
+    """What has been observed about one index scan so far."""
+
+    scanned: int
+    kept: int
+    #: estimated total entries in the scanned range
+    estimated_total: float
+    #: scan cost paid so far (I/O units)
+    scan_cost: float
+
+
+@dataclass(frozen=True)
+class BayesianSwitchCriterion:
+    """Decision-theoretic scan-abandonment rule."""
+
+    #: heap geometry for Yao's formula
+    heap_pages: int
+    rows_per_page: int
+    #: direct criterion: never let the scan itself exceed this fraction of
+    #: the guaranteed best (the paper keeps this guard in all variants)
+    scan_cost_limit_fraction: float = 0.5
+    #: evaluate only after this fraction of the range has been scanned
+    min_fraction: float = 0.02
+
+    def expected_savings(self, evidence: ScanEvidence, guaranteed: float) -> float:
+        """E[max(0, G - F)] under the Beta posterior on the keep rate."""
+        posterior = stats.beta(evidence.kept + 1, evidence.scanned - evidence.kept + 1)
+        grid = (np.arange(_GRID) + 0.5) / _GRID
+        keep_rates = posterior.ppf(grid)
+        total = max(evidence.estimated_total, float(evidence.scanned))
+        savings = 0.0
+        for rate in keep_rates:
+            final_size = rate * total
+            fetch_cost = yao_pages_touched(
+                self.heap_pages, self.rows_per_page, int(final_size)
+            )
+            savings += max(0.0, guaranteed - fetch_cost)
+        return savings / _GRID
+
+    def remaining_investment(self, evidence: ScanEvidence) -> float:
+        """Expected cost of scanning the rest of the range."""
+        if evidence.scanned == 0:
+            return 0.0
+        per_entry = evidence.scan_cost / evidence.scanned
+        remaining_entries = max(0.0, evidence.estimated_total - evidence.scanned)
+        return per_entry * remaining_entries
+
+    def evaluate(self, evidence: ScanEvidence, guaranteed: float) -> SwitchDecision:
+        """Continue, or abandon for the guaranteed best."""
+        if guaranteed <= 0:
+            return SwitchDecision.ABANDON_PROJECTED
+        if evidence.scan_cost >= self.scan_cost_limit_fraction * guaranteed:
+            return SwitchDecision.ABANDON_SCAN_COST
+        if evidence.scanned == 0 or evidence.estimated_total <= 0:
+            return SwitchDecision.CONTINUE
+        fraction = evidence.scanned / max(evidence.estimated_total, evidence.scanned)
+        if fraction < self.min_fraction:
+            return SwitchDecision.CONTINUE
+        savings = self.expected_savings(evidence, guaranteed)
+        if savings > self.remaining_investment(evidence):
+            return SwitchDecision.CONTINUE
+        return SwitchDecision.ABANDON_PROJECTED

@@ -1,0 +1,81 @@
+"""The step-wise process protocol.
+
+Every retrieval strategy (Tscan, Sscan, Fscan, Jscan's per-index scans, the
+final stage) is a :class:`Process`: a resumable unit of work advanced one
+small step at a time. Stepping is what makes "running several local plans
+simultaneously with proportional speed" (Section 2) executable: a scheduler
+interleaves ``step()`` calls in the requested proportions, and controllers
+can abandon a process between any two steps.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.storage.buffer_pool import CostMeter
+
+
+class Process(abc.ABC):
+    """A resumable, abandonable unit of work with attributed costs."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.meter = CostMeter(name=name)
+        self.finished = False
+        self.abandoned = False
+
+    @property
+    def active(self) -> bool:
+        """Still runnable: neither finished nor abandoned."""
+        return not (self.finished or self.abandoned)
+
+    def step(self) -> bool:
+        """Perform one unit of work; returns True when the process completed
+        *on this step*. Calling ``step`` on an inactive process is an error
+        in the caller."""
+        if not self.active:
+            raise RuntimeError(f"step() on inactive process {self.name!r}")
+        done = self._do_step()
+        if done:
+            self.finished = True
+        return done
+
+    @abc.abstractmethod
+    def _do_step(self) -> bool:
+        """Advance one unit; return True when complete."""
+
+    def abandon(self) -> None:
+        """Terminate the process, keeping its meter as sunk cost."""
+        if self.finished:
+            return
+        self.abandoned = True
+        self._on_abandon()
+
+    def _on_abandon(self) -> None:
+        """Hook for subclasses to release resources (buffers, temp tables)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "abandoned" if self.abandoned else "active"
+        return f"<{type(self).__name__} {self.name!r} {state} cost={self.meter.total:.2f}>"
+
+
+class SyntheticProcess(Process):
+    """A process that completes after a predetermined amount of work.
+
+    Each step executes ``step_cost`` units. Used by the Section 3 benchmarks
+    to race plans whose total costs are drawn from L-shaped distributions,
+    without involving the storage engine.
+    """
+
+    def __init__(self, name: str, total_cost: float, step_cost: float = 1.0) -> None:
+        super().__init__(name)
+        if total_cost < 0:
+            raise ValueError("total_cost must be >= 0")
+        self.total_cost = total_cost
+        self.step_cost = step_cost
+
+    def _do_step(self) -> bool:
+        remaining = self.total_cost - self.meter.cpu
+        work = min(self.step_cost, remaining)
+        self.meter.charge_cpu(work)
+        return self.meter.cpu >= self.total_cost - 1e-12

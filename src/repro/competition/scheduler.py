@@ -1,0 +1,80 @@
+"""Proportional-speed scheduling of simultaneous processes.
+
+[Ant91B] (cited in Section 7): "the speed of Fscan/Jscan advancement should
+be proportional or equal for optimal competition performance". The scheduler
+implements weighted fair queuing over process cost: at every turn it steps
+the active process with the smallest virtual time ``cost / weight``, so in
+the long run charged costs stay in the requested proportions regardless of
+how much real work a single step performs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.competition.process import Process
+from repro.errors import CompetitionError
+
+
+class ProportionalScheduler:
+    """Interleaves ``step()`` calls across processes at given speed weights."""
+
+    def __init__(self, processes: Sequence[Process], weights: Sequence[float] | None = None):
+        if not processes:
+            raise CompetitionError("scheduler needs at least one process")
+        if weights is None:
+            weights = [1.0] * len(processes)
+        if len(weights) != len(processes):
+            raise CompetitionError("weights must match processes")
+        if any(w <= 0 for w in weights):
+            raise CompetitionError("weights must be positive")
+        self.processes = list(processes)
+        self.weights = list(weights)
+        #: deterministic tiebreak counter
+        self._turns = 0
+
+    def _virtual_time(self, index: int) -> float:
+        return self.processes[index].meter.total / self.weights[index]
+
+    def next_process(self) -> Process | None:
+        """The active process that should step next (None when none left)."""
+        best_index: int | None = None
+        best_vt = 0.0
+        for index, process in enumerate(self.processes):
+            if not process.active:
+                continue
+            vt = self._virtual_time(index)
+            if best_index is None or vt < best_vt:
+                best_index, best_vt = index, vt
+        if best_index is None:
+            return None
+        return self.processes[best_index]
+
+    def run(
+        self,
+        until: Callable[[], bool] | None = None,
+        stop_on_first_finish: bool = True,
+        max_steps: int = 10_000_000,
+    ) -> Process | None:
+        """Step processes in proportion until a stop condition.
+
+        Stops when: a process finishes (if ``stop_on_first_finish``), the
+        ``until`` predicate turns true (checked between steps), or no active
+        processes remain. Returns the finished process if one finished,
+        else None.
+        """
+        for _ in range(max_steps):
+            if until is not None and until():
+                return None
+            process = self.next_process()
+            if process is None:
+                return None
+            finished = process.step()
+            self._turns += 1
+            if finished and stop_on_first_finish:
+                return process
+        raise CompetitionError("scheduler exceeded max_steps — runaway process?")
+
+    def total_cost(self) -> float:
+        """Sum of all processes' charged costs (the competition's total bill)."""
+        return sum(process.meter.total for process in self.processes)

@@ -1,0 +1,81 @@
+"""Engine tuning constants.
+
+The paper describes several knobs that control the dynamic optimizer; they are
+collected here in a single dataclass so benchmarks can sweep them (e.g. the
+95% switch threshold of Section 6) and tests can pin them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs for the dynamic single-table retrieval engine.
+
+    Defaults follow the paper where it states a number, and otherwise use
+    values that reproduce the qualitative behaviour the paper describes.
+    """
+
+    # --- Section 6: Jscan two-stage competition -------------------------
+    #: Terminate an index scan when the projected final-retrieval cost
+    #: reaches this fraction of the guaranteed best cost ("e.g. becomes 95%").
+    switch_threshold: float = 0.95
+    #: Direct-competition limit: an index scan is abandoned when its own scan
+    #: cost exceeds this proportion of the guaranteed best cost.
+    scan_cost_limit_fraction: float = 0.5
+    #: Scan at least this fraction of an index range before trusting the
+    #: projection enough to abandon the scan (avoids noise at scan start).
+    min_projection_fraction: float = 0.05
+    #: Run limited simultaneous scans of adjacent index pairs to dynamically
+    #: reorder them (Section 6, "partially change the order of index scans").
+    simultaneous_adjacent_scans: bool = True
+    #: Replace the deterministic 95% projection threshold with the
+    #: decision-theoretic posterior rule of
+    #: :mod:`repro.competition.probabilistic` ([Ant91B]'s "probabilistic
+    #: cost model" direction).
+    probabilistic_switch: bool = False
+    #: With the probabilistic rule, re-evaluate every N scanned entries
+    #: (posterior integration is pricier than the threshold check).
+    probabilistic_check_interval: int = 16
+
+    # --- Section 6: hybrid RID list storage regions ---------------------
+    #: "Lists up to 20 RIDs are stored in a small statically-allocated buffer."
+    static_rid_buffer_size: int = 20
+    #: Allocated in-memory buffer capacity (RIDs) before spilling to a
+    #: temporary table + bitmap.
+    allocated_rid_buffer_size: int = 4096
+    #: Bitmap filter size in bits ("as small as necessary").
+    bitmap_bits: int = 1 << 16
+
+    # --- Section 5: initial stage ----------------------------------------
+    #: A range estimate at or below this RID count is a "very short range":
+    #: the initial stage stops estimating the remaining indexes immediately.
+    shortcut_rid_count: int = 20
+    #: Use descent-to-split-node estimation (True) or compile-time histogram
+    #: estimates only (False) at start-retrieval time.
+    dynamic_estimation: bool = True
+
+    # --- Section 7: tactics ----------------------------------------------
+    #: Foreground RID buffer capacity for fast-first / index-only tactics.
+    foreground_buffer_size: int = 4096
+    #: Foreground/background speed proportion (foreground steps per
+    #: background step) for direct competition, per [Ant91B] "proportional
+    #: or equal speeds".
+    foreground_speed: float = 1.0
+    background_speed: float = 1.0
+
+    # --- cost model --------------------------------------------------------
+    #: CPU cost charged per record examined, in units of one page I/O.
+    cpu_cost_per_record: float = 0.001
+    #: CPU cost charged per index entry examined.
+    cpu_cost_per_entry: float = 0.0002
+
+    def with_(self, **changes) -> "EngineConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        return replace(self, **changes)
+
+
+#: Shared default configuration.
+DEFAULT_CONFIG = EngineConfig()

@@ -1,0 +1,16 @@
+"""User-facing database objects: catalog, tables, sessions."""
+
+from repro.db.catalog import Column, ColumnStats, Histogram, IndexInfo, TableSchema, TableStats
+from repro.db.session import Database
+from repro.db.table import Table
+
+__all__ = [
+    "Column",
+    "ColumnStats",
+    "Histogram",
+    "IndexInfo",
+    "TableSchema",
+    "TableStats",
+    "Database",
+    "Table",
+]

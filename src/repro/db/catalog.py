@@ -1,0 +1,208 @@
+"""Catalog: schemas, index metadata, and compile-time statistics.
+
+The compile-time statistics (:class:`TableStats`) exist for the *baseline*:
+the System R-style static optimizer estimates selectivities from equi-width
+histograms collected at ``analyze()`` time — exactly the "widely known
+estimation method based on storing the column distribution histograms" whose
+drawbacks Section 5 lists (stale, rescan-dependent, range-only, blind to
+small ranges). The dynamic engine instead estimates from the live B-trees.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.btree.tree import BTree
+from repro.errors import CatalogError
+
+#: supported column types
+COLUMN_TYPES = ("int", "float", "str")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition."""
+
+    name: str
+    type: str = "int"
+
+    def __post_init__(self) -> None:
+        if self.type not in COLUMN_TYPES:
+            raise CatalogError(f"unsupported column type {self.type!r}")
+
+
+class TableSchema:
+    """Ordered column list with name resolution and row validation."""
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise CatalogError("a table needs at least one column")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in {names}")
+        self.columns = tuple(columns)
+        self.position: dict[str, int] = {name: i for i, name in enumerate(names)}
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.position
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names in order."""
+        return tuple(column.name for column in self.columns)
+
+    def index_of(self, name: str) -> int:
+        """Position of a column; raises :class:`CatalogError` when unknown."""
+        try:
+            return self.position[name]
+        except KeyError:
+            raise CatalogError(f"unknown column {name!r}") from None
+
+    def row_from_mapping(self, values: Mapping[str, Any]) -> tuple:
+        """Build a row tuple from a name->value mapping (missing -> None)."""
+        unknown = set(values) - set(self.position)
+        if unknown:
+            raise CatalogError(f"unknown columns {sorted(unknown)}")
+        return tuple(values.get(column.name) for column in self.columns)
+
+    def validate_row(self, row: Sequence[Any]) -> tuple:
+        """Check arity and primitive types; returns the row as a tuple."""
+        if len(row) != len(self.columns):
+            raise CatalogError(
+                f"row arity {len(row)} != schema arity {len(self.columns)}"
+            )
+        for value, column in zip(row, self.columns):
+            if value is None:
+                continue
+            if column.type == "int" and not isinstance(value, int):
+                raise CatalogError(f"column {column.name!r} expects int, got {value!r}")
+            if column.type == "float" and not isinstance(value, (int, float)):
+                raise CatalogError(f"column {column.name!r} expects float, got {value!r}")
+            if column.type == "str" and not isinstance(value, str):
+                raise CatalogError(f"column {column.name!r} expects str, got {value!r}")
+        return tuple(row)
+
+
+@dataclass
+class IndexInfo:
+    """Metadata for one B-tree index."""
+
+    name: str
+    #: indexed column names, in key order
+    columns: tuple[str, ...]
+    btree: BTree
+    unique: bool = False
+    #: positions of the indexed columns in the table schema
+    positions: tuple[int, ...] = ()
+
+    def key_for(self, row: Sequence[Any]) -> tuple:
+        """Extract this index's key from a row."""
+        return tuple(row[position] for position in self.positions)
+
+    def covers(self, needed_columns: frozenset[str] | set[str]) -> bool:
+        """True when the index contains every needed column (self-sufficiency)."""
+        return set(needed_columns) <= set(self.columns)
+
+    def provides_order(self, order_by: Sequence[str]) -> bool:
+        """True when a forward scan of this index delivers the requested order."""
+        if not order_by:
+            return False
+        return tuple(order_by) == self.columns[: len(order_by)]
+
+
+class Histogram:
+    """Equi-width histogram over one column (compile-time statistic)."""
+
+    def __init__(self, values: Sequence[Any], buckets: int = 10) -> None:
+        cleaned = sorted(v for v in values if v is not None)
+        self.total = len(cleaned)
+        self.buckets = buckets
+        if not cleaned:
+            self.lo = self.hi = None
+            self.counts: list[int] = [0] * buckets
+            self.edges: list[float] = []
+            return
+        self.lo, self.hi = cleaned[0], cleaned[-1]
+        if isinstance(self.lo, str):
+            # string histograms: bucket by rank, keep edges as sample keys
+            step = max(1, len(cleaned) // buckets)
+            self.edges = [cleaned[min(i * step, len(cleaned) - 1)] for i in range(buckets + 1)]
+            self.counts = [0] * buckets
+            for value in cleaned:
+                index = min(bisect.bisect_right(self.edges, value) - 1, buckets - 1)
+                self.counts[max(index, 0)] += 1
+            return
+        width = (self.hi - self.lo) / buckets if self.hi > self.lo else 1.0
+        self.edges = [self.lo + i * width for i in range(buckets + 1)]
+        self.counts = [0] * buckets
+        for value in cleaned:
+            index = min(int((value - self.lo) / width), buckets - 1) if width else 0
+            self.counts[index] += 1
+
+    def selectivity_range(
+        self, lo: Any | None, hi: Any | None
+    ) -> float:
+        """Estimated fraction of rows in [lo, hi] (inclusive, Nones open).
+
+        This is the coarse compile-time estimate: linear interpolation
+        within buckets, which is exactly what makes it blind to ranges
+        narrower than a bucket (Section 5's critique).
+        """
+        if self.total == 0 or self.lo is None:
+            return 0.0
+        if isinstance(self.lo, str):
+            # rank-based approximation for strings
+            lo_rank = 0 if lo is None else bisect.bisect_left(self.edges, lo) / max(len(self.edges), 1)
+            hi_rank = 1.0 if hi is None else bisect.bisect_right(self.edges, hi) / max(len(self.edges), 1)
+            return max(0.0, min(1.0, hi_rank - lo_rank))
+        span_lo = self.lo if lo is None else lo
+        span_hi = self.hi if hi is None else hi
+        if span_hi < span_lo:
+            return 0.0
+        if span_lo == span_hi:
+            # a point query cannot be resolved below bucket granularity;
+            # report the containing bucket's share (the histogram's
+            # fundamental limitation that Section 5 criticizes)
+            for index, count in enumerate(self.counts):
+                if self.edges[index] <= span_lo <= self.edges[index + 1]:
+                    return count / self.total
+            return 0.0
+        covered = 0.0
+        for index, count in enumerate(self.counts):
+            bucket_lo, bucket_hi = self.edges[index], self.edges[index + 1]
+            width = bucket_hi - bucket_lo
+            if width <= 0:
+                if span_lo <= bucket_lo <= span_hi:
+                    covered += count
+                continue
+            overlap = min(span_hi, bucket_hi) - max(span_lo, bucket_lo)
+            if overlap > 0:
+                covered += count * min(1.0, overlap / width)
+        return min(1.0, covered / self.total)
+
+
+@dataclass
+class ColumnStats:
+    """Compile-time statistics of one column."""
+
+    histogram: Histogram
+    distinct: int
+
+    @property
+    def eq_selectivity(self) -> float:
+        """1/NDV estimate for equality predicates."""
+        return 1.0 / self.distinct if self.distinct else 0.0
+
+
+@dataclass
+class TableStats:
+    """Compile-time statistics of a table, built by ``Table.analyze()``."""
+
+    row_count: int
+    page_count: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)

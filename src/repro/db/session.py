@@ -1,0 +1,114 @@
+"""Database sessions: tables, buffer pool, SQL entry point.
+
+A :class:`Database` owns the simulated disk and buffer pool shared by all
+of its tables — sharing is deliberate: the paper's Section 3(c) uncertainty
+("the pattern of caching the disk pages is influenced by many asynchronous
+processes") only exists because retrievals compete for one cache.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Mapping, Sequence
+
+from repro.config import DEFAULT_CONFIG, EngineConfig
+from repro.db.catalog import Column
+from repro.db.table import Table
+from repro.engine.goals import OptimizationGoal
+from repro.errors import CatalogError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+
+
+class Database:
+    """A collection of tables over one simulated disk and buffer pool."""
+
+    def __init__(
+        self,
+        buffer_capacity: int = 256,
+        config: EngineConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.pager = Pager()
+        self.buffer_pool = BufferPool(self.pager, buffer_capacity)
+        self.config = config
+        self.tables: dict[str, Table] = {}
+        #: cache-interference knob: fraction of cache randomly evicted per
+        #: interference tick (0 = a quiet system)
+        self.interference_rate = 0.0
+        self._interference_rng = random.Random(0xD1CE)
+
+    # -- DDL -------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column | tuple[str, str]] | Sequence[str],
+        rows_per_page: int = 32,
+        index_order: int = 32,
+    ) -> Table:
+        """Create a table. Columns may be Column objects, (name, type)
+        tuples, or bare names (typed int)."""
+        if name in self.tables:
+            raise CatalogError(f"table {name!r} already exists")
+        normalized: list[Column] = []
+        for column in columns:
+            if isinstance(column, Column):
+                normalized.append(column)
+            elif isinstance(column, tuple):
+                normalized.append(Column(*column))
+            else:
+                normalized.append(Column(column))
+        table = Table(
+            name, normalized, self.buffer_pool,
+            rows_per_page=rows_per_page, index_order=index_order, config=self.config,
+        )
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self.tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self.tables[name]
+
+    # -- cache control ------------------------------------------------------------
+
+    def interference_tick(self) -> int:
+        """Simulate unrelated queries disturbing the cache (Section 3(c))."""
+        if self.interference_rate <= 0:
+            return 0
+        return self.buffer_pool.evict_random(self.interference_rate, self._interference_rng)
+
+    def cold_cache(self) -> None:
+        """Drop the whole cache (benchmark cold starts)."""
+        self.buffer_pool.clear()
+
+    # -- SQL ------------------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        host_vars: Mapping[str, Any] | None = None,
+        goal: OptimizationGoal = OptimizationGoal.DEFAULT,
+    ):
+        """Parse, bind, and execute an SQL statement.
+
+        Returns a :class:`repro.sql.executor.QueryResult`. Imported lazily
+        to keep the db layer usable without the SQL front end.
+        """
+        from repro.sql.executor import execute_sql
+
+        return execute_sql(self, sql, dict(host_vars or {}), goal)
+
+    def explain(self, sql: str) -> str:
+        """Describe the logical plan and inferred per-retrieval goals."""
+        from repro.sql.executor import explain_sql
+
+        return explain_sql(self, sql)

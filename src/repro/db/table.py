@@ -1,0 +1,191 @@
+"""The user-facing table API.
+
+A :class:`Table` bundles a heap file, its schema, its B-tree indexes, and
+the dynamic retrieval engine. ``select`` is the public retrieval call; the
+static-optimizer baseline and SQL layer build on the same objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.btree.tree import BTree
+from repro.config import DEFAULT_CONFIG, EngineConfig
+from repro.db.catalog import (
+    Column,
+    ColumnStats,
+    Histogram,
+    IndexInfo,
+    TableSchema,
+    TableStats,
+)
+from repro.engine.goals import OptimizationGoal
+from repro.engine.initial import IterationContext
+from repro.engine.retrieval import (
+    RetrievalRequest,
+    RetrievalResult,
+    SingleTableRetrieval,
+)
+from repro.errors import CatalogError
+from repro.expr.ast import ALWAYS_TRUE, Expr
+from repro.storage.buffer_pool import BufferPool, CostMeter, NULL_METER
+from repro.storage.heap import HeapFile
+from repro.storage.rid import RID
+
+
+class Table:
+    """A named table with rows, indexes, and a dynamic retrieval engine."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        buffer_pool: BufferPool,
+        rows_per_page: int = 32,
+        index_order: int = 32,
+        config: EngineConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.name = name
+        self.schema = TableSchema(columns)
+        self.buffer_pool = buffer_pool
+        self.heap = HeapFile(buffer_pool, name, rows_per_page)
+        self.indexes: dict[str, IndexInfo] = {}
+        self.index_order = index_order
+        self.config = config
+        #: compile-time statistics (for the static-optimizer baseline)
+        self.stats: TableStats | None = None
+        #: per-query-shape iteration contexts (Section 5 order reuse)
+        self._contexts: dict[Any, IterationContext] = {}
+
+    # -- data definition ------------------------------------------------------
+
+    def create_index(
+        self,
+        name: str,
+        columns: Sequence[str],
+        unique: bool = False,
+        order: int | None = None,
+    ) -> IndexInfo:
+        """Create a B-tree index over ``columns`` and backfill it."""
+        if name in self.indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        positions = tuple(self.schema.index_of(column) for column in columns)
+        btree = BTree(
+            self.buffer_pool,
+            f"{self.name}.{name}",
+            order or self.index_order,
+        )
+        info = IndexInfo(
+            name=name,
+            columns=tuple(columns),
+            btree=btree,
+            unique=unique,
+            positions=positions,
+        )
+        for rid, row in self.heap.scan():
+            btree.insert(info.key_for(row), rid)
+        self.indexes[name] = info
+        return info
+
+    def drop_index(self, name: str) -> None:
+        """Remove an index from the catalog (pages are left to the pager)."""
+        if name not in self.indexes:
+            raise CatalogError(f"unknown index {name!r}")
+        del self.indexes[name]
+
+    # -- data manipulation -------------------------------------------------------
+
+    def insert(self, values: Mapping[str, Any] | Sequence[Any], meter: CostMeter = NULL_METER) -> RID:
+        """Insert one row (mapping or positional) and maintain all indexes."""
+        if isinstance(values, Mapping):
+            row = self.schema.row_from_mapping(values)
+        else:
+            row = self.schema.validate_row(tuple(values))
+        rid = self.heap.insert(row, meter)
+        for index in self.indexes.values():
+            index.btree.insert(index.key_for(row), rid, meter)
+        return rid
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any] | Sequence[Any]]) -> int:
+        """Bulk insert; returns the number of rows inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def delete_rid(self, rid: RID, meter: CostMeter = NULL_METER) -> None:
+        """Delete one row by RID, maintaining indexes."""
+        row = self.heap.fetch(rid, meter)
+        for index in self.indexes.values():
+            index.btree.delete(index.key_for(row), rid, meter)
+        self.heap.delete(rid, meter)
+
+    @property
+    def row_count(self) -> int:
+        """Live rows."""
+        return self.heap.row_count
+
+    # -- statistics ------------------------------------------------------------------
+
+    def analyze(self, histogram_buckets: int = 10) -> TableStats:
+        """Collect compile-time statistics (rescans the table).
+
+        This is the maintenance cost Section 5 criticizes: the statistics
+        are a snapshot and go stale, unlike the live B-tree descents the
+        dynamic engine uses.
+        """
+        column_values: dict[str, list[Any]] = {name: [] for name in self.schema.names}
+        for _, row in self.heap.scan():
+            for name, value in zip(self.schema.names, row):
+                column_values[name].append(value)
+        stats = TableStats(row_count=self.heap.row_count, page_count=self.heap.page_count)
+        for name, values in column_values.items():
+            non_null = [value for value in values if value is not None]
+            stats.columns[name] = ColumnStats(
+                histogram=Histogram(non_null, histogram_buckets),
+                distinct=len(set(non_null)),
+            )
+        self.stats = stats
+        return stats
+
+    # -- retrieval ---------------------------------------------------------------------
+
+    def retrieval_engine(self) -> SingleTableRetrieval:
+        """The dynamic retrieval subsystem bound to this table."""
+        return SingleTableRetrieval(
+            self.heap, self.schema, list(self.indexes.values()), self.buffer_pool, self.config
+        )
+
+    def context_for(self, key: Any) -> IterationContext:
+        """The iteration context for one query shape (created on demand)."""
+        if key not in self._contexts:
+            self._contexts[key] = IterationContext()
+        return self._contexts[key]
+
+    def select(
+        self,
+        where: Expr = ALWAYS_TRUE,
+        host_vars: Mapping[str, Any] | None = None,
+        columns: Sequence[str] | None = None,
+        order_by: Sequence[str] = (),
+        limit: int | None = None,
+        optimize_for: OptimizationGoal = OptimizationGoal.DEFAULT,
+        context_key: Any = None,
+    ) -> RetrievalResult:
+        """Run one dynamic retrieval.
+
+        ``context_key`` opts into Section 5 iteration-context reuse: repeated
+        selects with the same key start estimation from the previous run's
+        index order.
+        """
+        request = RetrievalRequest(
+            restriction=where,
+            host_vars=dict(host_vars or {}),
+            output_columns=tuple(columns) if columns is not None else None,
+            order_by=tuple(order_by),
+            limit=limit,
+            goal=optimize_for,
+        )
+        context = self.context_for(context_key) if context_key is not None else None
+        return self.retrieval_engine().run(request, context)

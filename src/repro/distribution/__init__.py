@@ -1,0 +1,41 @@
+"""Selectivity-distribution toolkit (Section 2 of the paper).
+
+Knowledge about a predicate's selectivity is a probability density on
+``[0, 1]``. This package models such densities on a discrete grid
+(:mod:`repro.distribution.density`), transforms them through AND / OR / NOT
+/ JOIN under arbitrary correlation assumptions including the "unknown
+correlation" mixture (:mod:`repro.distribution.operators`), fits truncated
+hyperbolas (:mod:`repro.distribution.hyperbola`), and measures/classifies
+shapes — L-shape, bell, uniform (:mod:`repro.distribution.shapes`).
+"""
+
+from repro.distribution.density import SelectivityDistribution
+from repro.distribution.hyperbola import HyperbolaFit, fit_truncated_hyperbola
+from repro.distribution.operators import (
+    and_c,
+    and_unknown,
+    apply_chain,
+    join_c,
+    join_unknown,
+    negate,
+    or_c,
+    or_unknown,
+)
+from repro.distribution.shapes import ShapeMetrics, classify_shape, shape_metrics
+
+__all__ = [
+    "SelectivityDistribution",
+    "HyperbolaFit",
+    "fit_truncated_hyperbola",
+    "and_c",
+    "and_unknown",
+    "apply_chain",
+    "join_c",
+    "join_unknown",
+    "negate",
+    "or_c",
+    "or_unknown",
+    "ShapeMetrics",
+    "classify_shape",
+    "shape_metrics",
+]

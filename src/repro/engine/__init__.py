@@ -1,0 +1,25 @@
+"""The dynamic single-table retrieval engine (Sections 4-7).
+
+This is the paper's primary contribution: a retrieval component that picks,
+races, and switches between Tscan / Sscan / Fscan / Jscan strategies at run
+time, driven by dynamic estimation and competition.
+
+Public entry point: :class:`repro.engine.retrieval.SingleTableRetrieval`,
+normally reached through :meth:`repro.db.table.Table.select` or the SQL
+layer.
+"""
+
+from repro.engine.goals import OptimizationGoal, infer_goals
+from repro.engine.metrics import EventKind, RetrievalTrace, TraceEvent
+from repro.engine.retrieval import RetrievalRequest, RetrievalResult, SingleTableRetrieval
+
+__all__ = [
+    "OptimizationGoal",
+    "infer_goals",
+    "EventKind",
+    "RetrievalTrace",
+    "TraceEvent",
+    "RetrievalRequest",
+    "RetrievalResult",
+    "SingleTableRetrieval",
+]

@@ -1,0 +1,84 @@
+"""Fin — the final retrieval stage (Figure 4).
+
+Executed only upon background (Jscan) completion, as the alternative to
+foreground delivery: fetch the data records of the complete RID list in
+sorted (page-clustered) order, evaluate the full restriction, and deliver.
+RIDs already delivered by a foreground process are filtered out through the
+foreground buffer — "the buffer is passed to the final stage where it helps
+to filter out the already delivered records".
+
+When Jscan recommended Tscan instead, the tactics run a
+:class:`~repro.engine.scans.TscanProcess` with the same skip-filter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.competition.process import Process
+from repro.config import DEFAULT_CONFIG, EngineConfig
+from repro.db.catalog import TableSchema
+from repro.engine.metrics import RetrievalTrace
+from repro.engine.scans import Sink
+from repro.expr.ast import Expr
+from repro.expr.eval import evaluate
+from repro.storage.heap import HeapFile
+from repro.storage.rid import RID
+
+
+class FinalStageProcess(Process):
+    """Sorted RID-list fetch with restriction evaluation and delivery."""
+
+    def __init__(
+        self,
+        rids: Sequence[RID],
+        heap: HeapFile,
+        schema: TableSchema,
+        restriction: Expr,
+        host_vars: Mapping[str, Any],
+        sink: Sink,
+        trace: RetrievalTrace | None = None,
+        config: EngineConfig = DEFAULT_CONFIG,
+        skip_rids: Callable[[RID], bool] | None = None,
+        name: str = "final-stage",
+    ) -> None:
+        super().__init__(name)
+        self.rids = sorted(rids)
+        self.heap = heap
+        self.schema = schema
+        self.restriction = restriction
+        self.host_vars = dict(host_vars)
+        self.sink = sink
+        self.trace = trace
+        self.config = config
+        self.skip_rids = skip_rids
+        self.stopped_by_consumer = False
+        self._next = 0
+        self.delivered = 0
+        self.rejected = 0
+        self.skipped = 0
+
+    def _do_step(self) -> bool:
+        if self._next >= len(self.rids):
+            return True
+        rid = self.rids[self._next]
+        self._next += 1
+        if self.skip_rids is not None and self.skip_rids(rid):
+            self.skipped += 1
+            return self._next >= len(self.rids)
+        row = self.heap.fetch(rid, self.meter)
+        self.meter.charge_cpu(self.config.cpu_cost_per_record)
+        if self.trace is not None:
+            self.trace.counters.records_fetched += 1
+        if evaluate(self.restriction, row, self.schema.position, self.host_vars):
+            self.delivered += 1
+            if self.trace is not None:
+                self.trace.counters.records_delivered += 1
+            if not self.sink(rid, row):
+                self.stopped_by_consumer = True
+                return True
+        else:
+            self.rejected += 1
+            if self.trace is not None:
+                self.trace.counters.fetches_rejected += 1
+        return self._next >= len(self.rids)

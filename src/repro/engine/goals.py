@@ -1,0 +1,87 @@
+"""Optimization goals and their inference from plan trees (Section 4).
+
+    "Suppose that a query execution plan contains any of EXISTS, LIMIT TO n
+    ROWS, SORT, COUNT or other aggregate nodes. For a given retrieval node,
+    the static optimizer searches the plan to see what node from the above
+    list immediately controls the retrieval node. If EXISTS or LIMIT TO node
+    controls the retrieval node, the fast-first retrieval optimization is
+    requested. A detection of the SORT or aggregate control sets the
+    total-time optimization request. Otherwise, the user-defined or default
+    optimization goal is used."
+
+Inference is duck-typed over any tree whose nodes expose ``node_type``
+(strings: ``retrieve``, ``exists``, ``limit``, ``sort``, ``aggregate``, or
+anything else, treated as transparent) and ``children``. The SQL layer's
+logical plan satisfies this protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterator, Protocol, runtime_checkable
+
+
+class OptimizationGoal(enum.Enum):
+    """The two retrieval performance goals of Section 4."""
+
+    FAST_FIRST = "fast-first"
+    TOTAL_TIME = "total-time"
+    #: defer to plan inference / system default
+    DEFAULT = "default"
+
+
+#: node types that request fast-first when controlling a retrieval
+_FAST_FIRST_CONTROLLERS = frozenset({"exists", "limit"})
+#: node types that request total-time when controlling a retrieval
+_TOTAL_TIME_CONTROLLERS = frozenset({"sort", "aggregate", "distinct"})
+#: all controller node types
+_CONTROLLERS = _FAST_FIRST_CONTROLLERS | _TOTAL_TIME_CONTROLLERS
+
+
+@runtime_checkable
+class PlanNodeLike(Protocol):
+    """Structural protocol for plan trees the inference can walk."""
+
+    node_type: str
+    children: tuple[Any, ...]
+
+
+def _walk(node: PlanNodeLike, controller: str | None) -> Iterator[tuple[PlanNodeLike, str | None]]:
+    """Yield (retrieval node, nearest controlling node type) pairs.
+
+    The "immediately controlling" node is the nearest ancestor whose type is
+    a controller; passing through another controller resets it.
+    """
+    if node.node_type == "retrieve":
+        yield node, controller
+    next_controller = node.node_type if node.node_type in _CONTROLLERS else controller
+    for child in node.children:
+        yield from _walk(child, next_controller)
+
+
+def goal_for_controller(controller: str | None, requested: OptimizationGoal) -> OptimizationGoal:
+    """Resolve the effective goal of one retrieval node."""
+    if controller in _FAST_FIRST_CONTROLLERS:
+        return OptimizationGoal.FAST_FIRST
+    if controller in _TOTAL_TIME_CONTROLLERS:
+        return OptimizationGoal.TOTAL_TIME
+    if requested is not OptimizationGoal.DEFAULT:
+        return requested
+    return OptimizationGoal.TOTAL_TIME
+
+
+def infer_goals(
+    root: PlanNodeLike, requested: OptimizationGoal = OptimizationGoal.DEFAULT
+) -> dict[int, OptimizationGoal]:
+    """Infer the optimization goal of every retrieval node in a plan tree.
+
+    Returns ``{id(retrieval_node): goal}``; ``requested`` is the explicit
+    user request (``OPTIMIZE FOR ...``) or DEFAULT. The user request applies
+    only to retrievals not controlled by any listed node, exactly as in the
+    paper's three-table example where the explicit ``total time`` request
+    affects only table A.
+    """
+    goals: dict[int, OptimizationGoal] = {}
+    for node, controller in _walk(root, None):
+        goals[id(node)] = goal_for_controller(controller, requested)
+    return goals

@@ -1,0 +1,236 @@
+"""The initial retrieval stage (Section 5).
+
+Runs at start-retrieval time, with host variables bound: classify the
+available indexes (order-needed / self-sufficient / fetch-needed), derive
+their key ranges, estimate range sizes by descent to split node, and arrange
+the fetch-needed indexes in ascending estimated-RID order for Jscan.
+
+Cost-containment techniques from the paper, all implemented here:
+
+* indexes are prearranged in "the most probable ascending RID quantity
+  order" — the previous execution's optimal order when the query is
+  iterated (:class:`IterationContext`), a static heuristic otherwise;
+* a very short range discovered early terminates estimation immediately
+  (the OLTP shortcut);
+* an empty range cancels all retrieval stages and delivers end-of-data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.btree.estimate import RangeEstimate, estimate_range
+from repro.btree.tree import KeyRange
+from repro.config import DEFAULT_CONFIG, EngineConfig
+from repro.db.catalog import IndexInfo
+from repro.engine.metrics import EventKind, RetrievalTrace
+from repro.expr.ast import Expr
+from repro.expr.normalize import conjunction_terms
+from repro.expr.ranges import extract_index_restriction
+from repro.storage.buffer_pool import CostMeter
+
+
+@dataclass
+class IterationContext:
+    """Cross-execution memory for one (table, query-shape) pair.
+
+    "The freshly (and optimally) reordered indexes are used for the next
+    retrieval estimates as a starting point."
+    """
+
+    last_order: list[str] = field(default_factory=list)
+    last_estimates: dict[str, float] = field(default_factory=dict)
+    executions: int = 0
+
+    def record(self, order: Sequence[str], estimates: Mapping[str, float]) -> None:
+        """Store the order/estimates that this execution settled on."""
+        self.last_order = list(order)
+        self.last_estimates = dict(estimates)
+        self.executions += 1
+
+
+@dataclass
+class JscanCandidate:
+    """One fetch-needed index arranged for Jscan."""
+
+    index: IndexInfo
+    key_range: KeyRange
+    #: descent-to-split estimate; None when estimation was shortcut
+    estimate: RangeEstimate | None = None
+
+    @property
+    def estimated_rids(self) -> float | None:
+        """Estimated RID count (None when not estimated)."""
+        return self.estimate.rids if self.estimate is not None else None
+
+
+@dataclass
+class SscanCandidate:
+    """One self-sufficient index with its scannable range."""
+
+    index: IndexInfo
+    key_range: KeyRange
+    estimate: RangeEstimate | None = None
+
+
+@dataclass
+class InitialArrangement:
+    """Everything the tactics need, decided at start-retrieval time."""
+
+    #: True when an empty range proved the result empty (end of data)
+    empty: bool = False
+    #: fetch-needed indexes in scan order (ascending estimated RIDs)
+    jscan_candidates: list[JscanCandidate] = field(default_factory=list)
+    #: the cheapest self-sufficient index, if any
+    best_sscan: SscanCandidate | None = None
+    #: all self-sufficient candidates (cheapest first)
+    sscan_candidates: list[SscanCandidate] = field(default_factory=list)
+    #: index delivering the requested order, if one exists
+    order_index: JscanCandidate | None = None
+    #: cost charged for estimation descents
+    estimation_cost: float = 0.0
+    #: whether the small-range shortcut fired
+    shortcut: bool = False
+
+
+def _static_preorder(candidates: list[JscanCandidate]) -> list[JscanCandidate]:
+    """Heuristic prearrangement before any estimation has run.
+
+    More equality-pinned leading columns and more closed bounds usually mean
+    fewer RIDs; unique indexes with full equality come first.
+    """
+
+    def rank(candidate: JscanCandidate) -> tuple:
+        key_range = candidate.key_range
+        exact_unique = (
+            key_range.lo is not None
+            and key_range.lo == key_range.hi
+            and candidate.index.unique
+            and len(key_range.lo) == len(candidate.index.columns)
+        )
+        closed_bounds = (key_range.lo is not None) + (key_range.hi is not None)
+        equality = key_range.lo == key_range.hi and key_range.lo is not None
+        prefix_length = len(key_range.lo or key_range.hi or ())
+        return (
+            0 if exact_unique else 1,
+            0 if equality else 1,
+            -closed_bounds,
+            -prefix_length,
+            candidate.index.name,
+        )
+
+    return sorted(candidates, key=rank)
+
+
+def _context_preorder(
+    candidates: list[JscanCandidate], context: IterationContext
+) -> list[JscanCandidate]:
+    """Start from the order the previous execution settled on."""
+    position = {name: i for i, name in enumerate(context.last_order)}
+    return sorted(
+        candidates,
+        key=lambda candidate: position.get(candidate.index.name, len(position)),
+    )
+
+
+def run_initial_stage(
+    indexes: Sequence[IndexInfo],
+    restriction: Expr,
+    host_vars: Mapping[str, Any],
+    needed_columns: frozenset[str],
+    order_by: Sequence[str],
+    meter: CostMeter,
+    trace: RetrievalTrace,
+    config: EngineConfig = DEFAULT_CONFIG,
+    context: IterationContext | None = None,
+) -> InitialArrangement:
+    """Classify, estimate, and arrange the available indexes."""
+    terms = conjunction_terms(restriction)
+    arrangement = InitialArrangement()
+    fetch_needed: list[JscanCandidate] = []
+    before = meter.total
+
+    for index in indexes:
+        index_restriction = extract_index_restriction(terms, index.columns, host_vars)
+        key_range = index_restriction.key_range
+        if index.provides_order(order_by) and arrangement.order_index is None:
+            arrangement.order_index = JscanCandidate(index=index, key_range=key_range)
+        if index.covers(needed_columns):
+            arrangement.sscan_candidates.append(
+                SscanCandidate(index=index, key_range=key_range)
+            )
+        elif index_restriction.matched:
+            fetch_needed.append(JscanCandidate(index=index, key_range=key_range))
+
+    # prearrange: iteration context first, static heuristic otherwise
+    if context is not None and context.last_order:
+        fetch_needed = _context_preorder(fetch_needed, context)
+    else:
+        fetch_needed = _static_preorder(fetch_needed)
+
+    # estimate in prearranged order, with shortcut and empty detection
+    if config.dynamic_estimation:
+        for position, candidate in enumerate(fetch_needed):
+            candidate.estimate = estimate_range(
+                candidate.index.btree, candidate.key_range, meter
+            )
+            trace.emit(
+                EventKind.INITIAL_ESTIMATE,
+                index=candidate.index.name,
+                range=candidate.key_range.describe(),
+                rids=round(candidate.estimate.rids, 1),
+                exact=candidate.estimate.exact,
+            )
+            if candidate.estimate.is_empty:
+                trace.emit(EventKind.SHORTCUT_EMPTY, index=candidate.index.name)
+                arrangement.empty = True
+                arrangement.estimation_cost = meter.total - before
+                return arrangement
+            if candidate.estimate.rids <= config.shortcut_rid_count:
+                trace.emit(
+                    EventKind.SHORTCUT_SMALL_RANGE,
+                    index=candidate.index.name,
+                    rids=round(candidate.estimate.rids, 1),
+                    skipped_estimates=len(fetch_needed) - position - 1,
+                )
+                arrangement.shortcut = True
+                break
+
+    # final order: estimated candidates ascending, unestimated after in
+    # prearranged order
+    estimated = [c for c in fetch_needed if c.estimate is not None]
+    unestimated = [c for c in fetch_needed if c.estimate is None]
+    estimated.sort(key=lambda candidate: candidate.estimate.rids)
+    arrangement.jscan_candidates = estimated + unestimated
+    trace.emit(
+        EventKind.INDEXES_ORDERED,
+        order=[candidate.index.name for candidate in arrangement.jscan_candidates],
+    )
+
+    # estimate self-sufficient candidates (scan cost ~ range size)
+    for candidate in arrangement.sscan_candidates:
+        if config.dynamic_estimation:
+            candidate.estimate = estimate_range(
+                candidate.index.btree, candidate.key_range, meter
+            )
+    arrangement.sscan_candidates.sort(
+        key=lambda candidate: (
+            candidate.estimate.rids if candidate.estimate is not None else float("inf")
+        )
+    )
+    if arrangement.sscan_candidates:
+        arrangement.best_sscan = arrangement.sscan_candidates[0]
+        best = arrangement.best_sscan
+        if (
+            config.dynamic_estimation
+            and best.estimate is not None
+            and best.estimate.is_empty
+        ):
+            # a provably empty range proves the whole conjunction empty
+            # (an empty *full* range just means the table itself is empty)
+            trace.emit(EventKind.SHORTCUT_EMPTY, index=best.index.name)
+            arrangement.empty = True
+
+    arrangement.estimation_cost = meter.total - before
+    return arrangement

@@ -1,0 +1,324 @@
+"""The single-table retrieval executor (Figure 4).
+
+Entry point of the dynamic optimizer: classify and estimate the available
+indexes (initial stage), resolve the clear cases statically, and dispatch
+the uncertain ones to a competition tactic. Foreground processes deliver
+records immediately; background processes work toward the shortest RID list
+or a Tscan recommendation; the final stage runs only on background
+completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.config import DEFAULT_CONFIG, EngineConfig
+from repro.db.catalog import IndexInfo, TableSchema
+from repro.engine.goals import OptimizationGoal
+from repro.engine.initial import (
+    InitialArrangement,
+    IterationContext,
+    run_initial_stage,
+)
+from repro.engine.metrics import EventKind, RetrievalTrace
+from repro.engine.scans import SscanProcess, TscanProcess
+from repro.engine.tactics import (
+    TacticContext,
+    TacticOutcome,
+    background_only,
+    fast_first,
+    index_only,
+    sorted_tactic,
+    union_or,
+)
+from repro.expr.disjunction import cover_disjuncts
+from repro.errors import RetrievalError
+from repro.expr.ast import ALWAYS_TRUE, Expr
+from repro.expr.eval import referenced_columns
+from repro.storage.buffer_pool import BufferPool, CostMeter
+from repro.storage.heap import HeapFile
+from repro.storage.rid import RID
+
+
+@dataclass
+class RetrievalRequest:
+    """One retrieval to execute against a single table."""
+
+    restriction: Expr = ALWAYS_TRUE
+    host_vars: Mapping[str, Any] = field(default_factory=dict)
+    #: columns the caller will read (None = all table columns)
+    output_columns: tuple[str, ...] | None = None
+    #: requested delivery order (column names, ascending)
+    order_by: tuple[str, ...] = ()
+    #: stop after this many delivered records (None = all)
+    limit: int | None = None
+    goal: OptimizationGoal = OptimizationGoal.DEFAULT
+
+
+@dataclass
+class RetrievalResult:
+    """Rows plus the dynamic execution metrics of how they were obtained."""
+
+    rows: list[tuple]
+    rids: list[RID]
+    trace: RetrievalTrace
+    description: str
+    goal: OptimizationGoal
+    stopped_early: bool = False
+    estimation_cost: float = 0.0
+    execution_cost: float = 0.0
+    execution_io: int = 0
+
+    @property
+    def total_cost(self) -> float:
+        """Estimation plus execution cost, in page-I/O units."""
+        return self.estimation_cost + self.execution_cost
+
+    def summary(self) -> str:
+        """One-paragraph account of what the optimizer did — the
+        user-facing face of the paper's "dynamic execution metrics"."""
+        counters = self.trace.counters
+        lines = [
+            f"strategy : {self.description}",
+            f"goal     : {self.goal.value}"
+            + ("  (stopped early by consumer)" if self.stopped_early else ""),
+            f"rows     : {len(self.rows)} delivered, "
+            f"{counters.records_fetched} records fetched, "
+            f"{counters.fetches_rejected} fetches rejected",
+            f"index    : {counters.index_entries_scanned} entries scanned, "
+            f"{counters.rids_filtered_out} RIDs filtered out",
+            f"scans    : {counters.scans_started} started, "
+            f"{counters.scans_abandoned} abandoned, "
+            f"{counters.strategy_switches} strategy switches",
+            f"cost     : {self.total_cost:.1f} "
+            f"({self.estimation_cost:.1f} estimation + "
+            f"{self.execution_cost:.1f} execution; {self.execution_io} physical I/O)",
+        ]
+        return "\n".join(lines)
+
+
+class SingleTableRetrieval:
+    """The retrieval subsystem for one table."""
+
+    def __init__(
+        self,
+        heap: HeapFile,
+        schema: TableSchema,
+        indexes: Sequence[IndexInfo],
+        buffer_pool: BufferPool,
+        config: EngineConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.heap = heap
+        self.schema = schema
+        self.indexes = list(indexes)
+        self.buffer_pool = buffer_pool
+        self.config = config
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        request: RetrievalRequest,
+        context: IterationContext | None = None,
+    ) -> RetrievalResult:
+        """Execute one retrieval, dynamically choosing/racing strategies."""
+        trace = RetrievalTrace()
+        estimation_meter = CostMeter(name="initial-stage")
+        goal = request.goal
+        if goal is OptimizationGoal.DEFAULT:
+            goal = OptimizationGoal.TOTAL_TIME
+
+        needs_post_sort = bool(request.order_by)
+        rows: list[tuple] = []
+        rids: list[RID] = []
+        limit = request.limit
+
+        output = request.output_columns or self.schema.names
+        needed = frozenset(referenced_columns(request.restriction)) | set(output) | set(
+            request.order_by
+        )
+        unknown = [name for name in needed if name not in self.schema]
+        if unknown:
+            raise RetrievalError(f"unknown columns {sorted(unknown)}")
+
+        arrangement = run_initial_stage(
+            self.indexes,
+            request.restriction,
+            request.host_vars,
+            needed,
+            request.order_by,
+            estimation_meter,
+            trace,
+            self.config,
+            context,
+        )
+        if arrangement.order_index is not None and request.order_by:
+            needs_post_sort = False
+
+        # a SORT node controls the retrieval when we must post-sort: the
+        # paper's rule forces total-time in that case
+        if needs_post_sort:
+            goal = OptimizationGoal.TOTAL_TIME
+
+        collect_limit = None if needs_post_sort else limit
+
+        def sink(rid: RID, row: tuple) -> bool:
+            rows.append(row)
+            rids.append(rid)
+            return collect_limit is None or len(rows) < collect_limit
+
+        result = RetrievalResult(
+            rows=rows, rids=rids, trace=trace, description="", goal=goal,
+            estimation_cost=estimation_meter.total,
+        )
+
+        if arrangement.empty:
+            result.description = "shortcut: provably empty result"
+            trace.emit(EventKind.RETRIEVAL_COMPLETE, rows=0)
+            self._record_context(context, arrangement)
+            return result
+
+        ctx = TacticContext(
+            heap=self.heap,
+            schema=self.schema,
+            restriction=request.restriction,
+            host_vars=request.host_vars,
+            buffer_pool=self.buffer_pool,
+            arrangement=arrangement,
+            sink=sink,
+            trace=trace,
+            config=self.config,
+        )
+        outcome = self._dispatch(ctx, arrangement, goal, bool(request.order_by))
+
+        result.description = outcome.description
+        result.stopped_early = outcome.stopped_by_consumer
+        result.execution_cost = outcome.total_cost
+        result.execution_io = outcome.total_io
+
+        if needs_post_sort:
+            self._post_sort(rows, rids, request.order_by)
+            if limit is not None and len(rows) > limit:
+                del rows[limit:]
+                del rids[limit:]
+            result.description += " -> sort"
+        trace.emit(EventKind.RETRIEVAL_COMPLETE, rows=len(rows))
+        self._record_context(context, arrangement)
+        return result
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        ctx: TacticContext,
+        arrangement: InitialArrangement,
+        goal: OptimizationGoal,
+        order_requested: bool,
+    ) -> TacticOutcome:
+        if order_requested and arrangement.order_index is not None:
+            order_index = arrangement.order_index.index
+            covering = next(
+                (
+                    candidate
+                    for candidate in arrangement.sscan_candidates
+                    if candidate.index is order_index
+                ),
+                None,
+            )
+            if covering is not None:
+                # the order index is also self-sufficient: an ordered Sscan
+                # delivers sorted results with zero record fetches — a clear
+                # case, no competition needed
+                return self._run_sscan_on(ctx, covering, ordered=True)
+            return sorted_tactic(ctx)
+        has_jscan = bool(arrangement.jscan_candidates)
+        has_sscan = arrangement.best_sscan is not None
+        if has_sscan and has_jscan:
+            return index_only(ctx)
+        if has_sscan:
+            # clear case: "the only optimization task to be resolved is to
+            # pick the one whose scan is the cheapest"
+            return self._run_sscan(ctx, arrangement)
+        if has_jscan:
+            if goal is OptimizationGoal.FAST_FIRST:
+                return fast_first(ctx)
+            return background_only(ctx)
+        # OR extension (Section 8): a disjunctive restriction whose every
+        # top-level disjunct is covered by some index range can be resolved
+        # by a union joint scan
+        covered = cover_disjuncts(ctx.restriction, self.indexes, ctx.host_vars)
+        if covered:
+            return union_or(ctx, covered)
+        # clear case: no useful index at all
+        return self._run_tscan(ctx)
+
+    def _run_sscan(self, ctx: TacticContext, arrangement: InitialArrangement) -> TacticOutcome:
+        best = arrangement.best_sscan
+        assert best is not None
+        return self._run_sscan_on(ctx, best)
+
+    def _run_sscan_on(
+        self, ctx: TacticContext, candidate, ordered: bool = False
+    ) -> TacticOutcome:
+        ctx.trace.emit(
+            EventKind.TACTIC_SELECTED,
+            tactic="sorted-sscan" if ordered else "sscan",
+            index=candidate.index.name,
+        )
+        ctx.trace.emit(EventKind.SCAN_START, strategy="sscan", index=candidate.index.name)
+        sscan = SscanProcess(
+            candidate.index, candidate.key_range, ctx.schema, ctx.restriction,
+            ctx.host_vars, ctx.sink, ctx.trace, ctx.config,
+        )
+        while sscan.active:
+            if sscan.step():
+                break
+        label = "sorted-sscan" if ordered else "sscan"
+        return TacticOutcome(
+            processes=[sscan],
+            description=f"{label}({candidate.index.name})",
+            stopped_by_consumer=sscan.stopped_by_consumer,
+        )
+
+    def _run_tscan(self, ctx: TacticContext) -> TacticOutcome:
+        ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="tscan")
+        ctx.trace.emit(EventKind.SCAN_START, strategy="tscan")
+        tscan = TscanProcess(
+            ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
+            ctx.trace, ctx.config,
+        )
+        while tscan.active:
+            if tscan.step():
+                break
+        return TacticOutcome(
+            processes=[tscan],
+            description="tscan",
+            stopped_by_consumer=tscan.stopped_by_consumer,
+        )
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _post_sort(
+        self, rows: list[tuple], rids: list[RID], order_by: tuple[str, ...]
+    ) -> None:
+        positions = [self.schema.index_of(name) for name in order_by]
+        paired = sorted(
+            zip(rows, rids),
+            key=lambda pair: tuple(pair[0][position] for position in positions),
+        )
+        rows[:] = [row for row, _ in paired]
+        rids[:] = [rid for _, rid in paired]
+
+    def _record_context(
+        self, context: IterationContext | None, arrangement: InitialArrangement
+    ) -> None:
+        if context is None:
+            return
+        order = [candidate.index.name for candidate in arrangement.jscan_candidates]
+        estimates = {
+            candidate.index.name: candidate.estimate.rids
+            for candidate in arrangement.jscan_candidates
+            if candidate.estimate is not None
+        }
+        context.record(order, estimates)

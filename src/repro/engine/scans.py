@@ -1,0 +1,219 @@
+"""The basic retrieval strategies: Tscan, Sscan, Fscan (Section 4).
+
+    "Tscan: Full table scan (no indexes involved) - a classical sequential
+     retrieval.
+     Sscan: Self-sufficient index scan.
+     Fscan: Fetch-needed index scan with immediate data record fetches - a
+     classical indexed retrieval."
+
+(Jscan lives in :mod:`repro.engine.jscan`.) Each scan is a
+:class:`~repro.competition.process.Process`: Tscan steps one heap page at a
+time, index scans one entry at a time, so tactics can interleave them at
+proportional speeds and abandon them mid-run.
+
+Scans push results into a *sink* ``(rid, row) -> bool``; a False return is
+the consumer saying "enough" (EXISTS satisfied, LIMIT reached, cursor
+closed) — the paper's forceful early termination.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.competition.process import Process
+from repro.config import DEFAULT_CONFIG, EngineConfig
+from repro.db.catalog import IndexInfo, TableSchema
+from repro.engine.metrics import RetrievalTrace
+from repro.errors import RetrievalError
+from repro.expr.ast import Expr
+from repro.expr.eval import evaluate
+from repro.btree.tree import KeyRange, RangeCursor
+from repro.storage.heap import HeapFile
+from repro.storage.rid import RID
+
+#: a delivery sink; False return requests retrieval stop
+Sink = Callable[[RID, tuple], bool]
+
+
+class TscanProcess(Process):
+    """Sequential full-table scan. One step == one heap page."""
+
+    def __init__(
+        self,
+        heap: HeapFile,
+        schema: TableSchema,
+        restriction: Expr,
+        host_vars: Mapping[str, Any],
+        sink: Sink,
+        trace: RetrievalTrace | None = None,
+        config: EngineConfig = DEFAULT_CONFIG,
+        skip_rids: Callable[[RID], bool] | None = None,
+        name: str = "tscan",
+    ) -> None:
+        super().__init__(name)
+        self.heap = heap
+        self.schema = schema
+        self.restriction = restriction
+        self.host_vars = dict(host_vars)
+        self.sink = sink
+        self.trace = trace
+        self.config = config
+        #: RIDs to suppress (already delivered by a foreground process)
+        self.skip_rids = skip_rids
+        self.stopped_by_consumer = False
+        self._next_page = 0
+
+    def _do_step(self) -> bool:
+        if self._next_page >= self.heap.page_count:
+            return True
+        for rid, row in self.heap.scan_page(self._next_page, self.meter):
+            self.meter.charge_cpu(self.config.cpu_cost_per_record)
+            if self.trace is not None:
+                self.trace.counters.records_fetched += 1
+            if self.skip_rids is not None and self.skip_rids(rid):
+                continue
+            if evaluate(self.restriction, row, self.schema.position, self.host_vars):
+                if self.trace is not None:
+                    self.trace.counters.records_delivered += 1
+                if not self.sink(rid, row):
+                    self.stopped_by_consumer = True
+                    return True
+        self._next_page += 1
+        return self._next_page >= self.heap.page_count
+
+
+class SscanProcess(Process):
+    """Self-sufficient index scan: delivers straight from index entries.
+
+    Requires every column the restriction and the output need to be present
+    in the index. Delivered rows are full-width tuples with non-indexed
+    positions left as None (the engine only routes here when nothing else
+    reads them).
+    """
+
+    def __init__(
+        self,
+        index: IndexInfo,
+        key_range: KeyRange,
+        schema: TableSchema,
+        restriction: Expr,
+        host_vars: Mapping[str, Any],
+        sink: Sink,
+        trace: RetrievalTrace | None = None,
+        config: EngineConfig = DEFAULT_CONFIG,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name or f"sscan:{index.name}")
+        self.index = index
+        self.schema = schema
+        self.restriction = restriction
+        self.host_vars = dict(host_vars)
+        self.sink = sink
+        self.trace = trace
+        self.config = config
+        self.stopped_by_consumer = False
+        self.cursor: RangeCursor = index.btree.range_cursor(key_range, self.meter)
+        self.delivered = 0
+
+    def _row_from_key(self, key: tuple) -> tuple:
+        row: list[Any] = [None] * len(self.schema)
+        for value, position in zip(key, self.index.positions):
+            row[position] = value
+        return tuple(row)
+
+    def _do_step(self) -> bool:
+        entry = self.cursor.next_entry()
+        if entry is None:
+            return True
+        key, rid = entry
+        if self.trace is not None:
+            self.trace.counters.index_entries_scanned += 1
+        row = self._row_from_key(key)
+        if evaluate(self.restriction, row, self.schema.position, self.host_vars):
+            self.delivered += 1
+            if self.trace is not None:
+                self.trace.counters.records_delivered += 1
+            if not self.sink(rid, row):
+                self.stopped_by_consumer = True
+                return True
+        return False
+
+
+class FscanProcess(Process):
+    """Fetch-needed index scan with immediate record fetches.
+
+    One step == one index entry (plus its record fetch). An optional
+    *filter* (anything with ``may_contain``) can be installed at any time —
+    the Sorted tactic plugs Jscan's completed filter in mid-flight to
+    suppress useless fetches.
+    """
+
+    def __init__(
+        self,
+        index: IndexInfo,
+        key_range: KeyRange,
+        heap: HeapFile,
+        schema: TableSchema,
+        restriction: Expr,
+        host_vars: Mapping[str, Any],
+        sink: Sink,
+        trace: RetrievalTrace | None = None,
+        config: EngineConfig = DEFAULT_CONFIG,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(name or f"fscan:{index.name}")
+        self.index = index
+        self.heap = heap
+        self.schema = schema
+        self.restriction = restriction
+        self.host_vars = dict(host_vars)
+        self.sink = sink
+        self.trace = trace
+        self.config = config
+        self.stopped_by_consumer = False
+        self.cursor: RangeCursor = index.btree.range_cursor(key_range, self.meter)
+        #: installable RID filter (e.g. a completed Jscan bitmap)
+        self.filter: Any | None = None
+        self.fetched = 0
+        self.rejected = 0
+        self.filtered_out = 0
+        self.delivered = 0
+
+    def _do_step(self) -> bool:
+        entry = self.cursor.next_entry()
+        if entry is None:
+            return True
+        _, rid = entry
+        if self.trace is not None:
+            self.trace.counters.index_entries_scanned += 1
+        if self.filter is not None and not self.filter.may_contain(rid):
+            self.filtered_out += 1
+            if self.trace is not None:
+                self.trace.counters.rids_filtered_out += 1
+            return False
+        row = self.heap.fetch(rid, self.meter)
+        self.fetched += 1
+        self.meter.charge_cpu(self.config.cpu_cost_per_record)
+        if self.trace is not None:
+            self.trace.counters.records_fetched += 1
+        if evaluate(self.restriction, row, self.schema.position, self.host_vars):
+            self.delivered += 1
+            if self.trace is not None:
+                self.trace.counters.records_delivered += 1
+            if not self.sink(rid, row):
+                self.stopped_by_consumer = True
+                return True
+        else:
+            self.rejected += 1
+            if self.trace is not None:
+                self.trace.counters.fetches_rejected += 1
+        return False
+
+
+def check_self_sufficient(index: IndexInfo, needed_columns: frozenset[str]) -> None:
+    """Raise unless ``index`` can serve all needed columns by itself."""
+    if not index.covers(needed_columns):
+        missing = set(needed_columns) - set(index.columns)
+        raise RetrievalError(
+            f"index {index.name!r} is not self-sufficient: missing {sorted(missing)}"
+        )

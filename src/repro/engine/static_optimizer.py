@@ -1,0 +1,271 @@
+"""The System R-style static optimizer baseline [SACL79].
+
+The paper's antagonist: selectivities are estimated *at compile time* from
+analyze-time histograms, host variables fall back to fixed "magic number"
+guesses (1/10 for equality, 1/3 for open ranges, 1/4 for BETWEEN — the
+System R defaults), a single cheapest plan is chosen, and the plan is
+frozen: every later execution runs the same strategy no matter what the
+host variables turn out to be. This is exactly the behaviour the Section 4
+motivating query defeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.db.catalog import IndexInfo, TableStats
+from repro.db.table import Table
+from repro.engine.metrics import RetrievalTrace
+from repro.engine.scans import FscanProcess, SscanProcess, TscanProcess
+from repro.errors import RetrievalError
+from repro.expr.ast import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FalseExpr,
+    HostVar,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    TrueExpr,
+)
+from repro.expr.eval import referenced_columns
+from repro.expr.normalize import conjunction_terms, normalize
+from repro.expr.ranges import extract_index_restriction
+from repro.storage.rid import RID
+
+#: System R magic numbers for predicates on values unknown at compile time
+MAGIC_EQ = 0.10
+MAGIC_RANGE = 1.0 / 3.0
+MAGIC_BETWEEN = 0.25
+
+
+@dataclass(frozen=True)
+class StaticPlan:
+    """A frozen compile-time plan."""
+
+    strategy: str  # "tscan" | "fscan" | "sscan"
+    index_name: str | None
+    estimated_selectivity: float
+    estimated_cost: float
+
+    def describe(self) -> str:
+        """Readable plan line."""
+        target = f"({self.index_name})" if self.index_name else ""
+        return (
+            f"{self.strategy}{target} est_sel={self.estimated_selectivity:.4f} "
+            f"est_cost={self.estimated_cost:.1f}"
+        )
+
+
+class StaticOptimizer:
+    """Compile once, run forever — the baseline to beat."""
+
+    def __init__(self, table: Table) -> None:
+        if table.stats is None:
+            table.analyze()
+        self.table = table
+        self.stats: TableStats = table.stats  # type: ignore[assignment]
+
+    # -- compile-time selectivity estimation -------------------------------------
+
+    def _term_selectivity(self, term: Expr) -> float:
+        if isinstance(term, TrueExpr):
+            return 1.0
+        if isinstance(term, FalseExpr):
+            return 0.0
+        if isinstance(term, Comparison):
+            return self._comparison_selectivity(term)
+        if isinstance(term, Between):
+            if isinstance(term.lo, Literal) and isinstance(term.hi, Literal):
+                return self._range_selectivity(term.column.name, term.lo.value, term.hi.value)
+            return MAGIC_BETWEEN
+        if isinstance(term, InList):
+            per_value = []
+            for value in term.values:
+                if isinstance(value, Literal):
+                    per_value.append(self._eq_selectivity(term.column.name))
+                else:
+                    per_value.append(MAGIC_EQ)
+            return min(1.0, sum(per_value))
+        if isinstance(term, Like):
+            return MAGIC_RANGE
+        if isinstance(term, And):
+            result = 1.0
+            for child in term.children:
+                result *= self._term_selectivity(child)
+            return result
+        if isinstance(term, Or):
+            result = 0.0
+            for child in term.children:
+                child_sel = self._term_selectivity(child)
+                result = result + child_sel - result * child_sel
+            return result
+        if isinstance(term, Not):
+            return 1.0 - self._term_selectivity(term.child)
+        return MAGIC_RANGE
+
+    def _comparison_selectivity(self, term: Comparison) -> float:
+        column: str | None = None
+        constant: Any = None
+        bound = False
+        if isinstance(term.left, ColumnRef):
+            column = term.left.name
+            if isinstance(term.right, Literal):
+                constant, bound = term.right.value, True
+            elif isinstance(term.right, HostVar):
+                bound = False
+            else:
+                return MAGIC_RANGE  # column-to-column
+        elif isinstance(term.right, ColumnRef):
+            column = term.right.name
+            if isinstance(term.left, Literal):
+                constant, bound = term.left.value, True
+        if column is None or column not in self.stats.columns:
+            return MAGIC_RANGE
+        if term.op == "=":
+            return self._eq_selectivity(column) if bound else MAGIC_EQ
+        if term.op == "<>":
+            return 1.0 - (self._eq_selectivity(column) if bound else MAGIC_EQ)
+        if not bound:
+            # host variable: the compile-time optimizer cannot see the value
+            return MAGIC_RANGE
+        column_stats = self.stats.columns[column]
+        if term.op in ("<", "<="):
+            if isinstance(term.left, ColumnRef):
+                return column_stats.histogram.selectivity_range(None, constant)
+            return column_stats.histogram.selectivity_range(constant, None)
+        if isinstance(term.left, ColumnRef):
+            return column_stats.histogram.selectivity_range(constant, None)
+        return column_stats.histogram.selectivity_range(None, constant)
+
+    def _eq_selectivity(self, column: str) -> float:
+        stats = self.stats.columns.get(column)
+        return stats.eq_selectivity if stats is not None else MAGIC_EQ
+
+    def _range_selectivity(self, column: str, lo: Any, hi: Any) -> float:
+        stats = self.stats.columns.get(column)
+        if stats is None:
+            return MAGIC_BETWEEN
+        return stats.histogram.selectivity_range(lo, hi)
+
+    def estimate_selectivity(self, restriction: Expr) -> float:
+        """Compile-time selectivity of the whole restriction."""
+        return max(0.0, min(1.0, self._term_selectivity(normalize(restriction))))
+
+    def _index_selectivity(self, index: IndexInfo, restriction: Expr) -> float:
+        """Selectivity of the conjuncts this index can scan by range."""
+        terms = conjunction_terms(restriction)
+        usable = [
+            term
+            for term in terms
+            if referenced_columns(term) == {index.columns[0]}
+        ]
+        if not usable:
+            return 1.0
+        result = 1.0
+        for term in usable:
+            result *= self._term_selectivity(term)
+        return result
+
+    # -- plan choice -------------------------------------------------------------------
+
+    def compile(
+        self,
+        restriction: Expr,
+        needed_columns: frozenset[str] | None = None,
+    ) -> StaticPlan:
+        """Pick the single cheapest plan from compile-time estimates."""
+        if needed_columns is None:
+            needed_columns = frozenset(self.table.schema.names) | referenced_columns(
+                restriction
+            )
+        rows = max(1, self.stats.row_count)
+        pages = max(1, self.stats.page_count)
+        best = StaticPlan(
+            strategy="tscan",
+            index_name=None,
+            estimated_selectivity=self.estimate_selectivity(restriction),
+            estimated_cost=float(pages),
+        )
+        for index in self.table.indexes.values():
+            selectivity = self._index_selectivity(index, restriction)
+            tree = index.btree
+            leaf_pages = max(1, tree.leaf_count)
+            if index.covers(needed_columns):
+                cost = tree.height + selectivity * leaf_pages
+                if cost < best.estimated_cost:
+                    best = StaticPlan("sscan", index.name, selectivity, cost)
+            else:
+                # classic Fscan: traverse + leaf fraction + one fetch per RID
+                cost = tree.height + selectivity * leaf_pages + selectivity * rows
+                if cost < best.estimated_cost:
+                    best = StaticPlan("fscan", index.name, selectivity, cost)
+        return best
+
+    # -- frozen-plan execution ------------------------------------------------------------
+
+    def execute(
+        self,
+        plan: StaticPlan,
+        restriction: Expr,
+        host_vars: Mapping[str, Any] | None = None,
+        limit: int | None = None,
+    ) -> "StaticExecution":
+        """Run a frozen plan. Only key-range *values* bind at run time; the
+        strategy never changes — that is the point of this baseline."""
+        host_vars = dict(host_vars or {})
+        rows: list[tuple] = []
+        rids: list[RID] = []
+
+        def sink(rid: RID, row: tuple) -> bool:
+            rows.append(row)
+            rids.append(rid)
+            return limit is None or len(rows) < limit
+
+        trace = RetrievalTrace()
+        table = self.table
+        if plan.strategy == "tscan":
+            process = TscanProcess(
+                table.heap, table.schema, restriction, host_vars, sink, trace, table.config
+            )
+        else:
+            index = table.indexes.get(plan.index_name or "")
+            if index is None:
+                raise RetrievalError(f"plan references unknown index {plan.index_name!r}")
+            terms = conjunction_terms(restriction)
+            key_range = extract_index_restriction(terms, index.columns, host_vars).key_range
+            if plan.strategy == "sscan":
+                process = SscanProcess(
+                    index, key_range, table.schema, restriction, host_vars, sink,
+                    trace, table.config,
+                )
+            else:
+                process = FscanProcess(
+                    index, key_range, table.heap, table.schema, restriction, host_vars,
+                    sink, trace, table.config,
+                )
+        while process.active:
+            if process.step():
+                break
+        return StaticExecution(
+            plan=plan, rows=rows, rids=rids,
+            cost=process.meter.total, io=process.meter.io_total, trace=trace,
+        )
+
+
+@dataclass
+class StaticExecution:
+    """Outcome of running a frozen static plan once."""
+
+    plan: StaticPlan
+    rows: list[tuple]
+    rids: list[RID]
+    cost: float
+    io: int
+    trace: RetrievalTrace

@@ -1,0 +1,517 @@
+"""The four competition tactics of Section 7.
+
+* **Background-only** — total-time, fetch-needed indexes only: Jscan, then
+  the final stage (or Tscan when Jscan recommends it).
+* **Fast-first** — fast-first, fetch-needed indexes only: Jscan in the
+  background while a foreground process "borrows" RIDs from Jscan's first
+  index scan, fetches and delivers immediately; a direct
+  foreground/background competition decides when the foreground stops.
+* **Sorted** — fast-first with an order-needed index: foreground Fscan in
+  the requested order, background Jscan over the remaining indexes builds a
+  filter that, once complete, suppresses useless foreground fetches.
+* **Index-only** — a self-sufficient index exists: foreground Sscan races
+  background Jscan; buffer overflow kills Jscan (Sscan is safer), a small
+  complete RID list kills Sscan.
+
+Each tactic is a function taking a :class:`TacticContext` and returning a
+:class:`TacticOutcome`; the dispatcher lives in
+:mod:`repro.engine.retrieval`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.competition.process import Process
+from repro.config import DEFAULT_CONFIG, EngineConfig
+from repro.db.catalog import TableSchema
+from repro.engine.final_stage import FinalStageProcess
+from repro.engine.initial import InitialArrangement
+from repro.engine.jscan import JscanProcess
+from repro.engine.metrics import EventKind, RetrievalTrace
+from repro.engine.scans import FscanProcess, Sink, SscanProcess, TscanProcess
+from repro.expr.ast import Expr
+from repro.expr.eval import evaluate
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.rid import RID
+
+
+@dataclass
+class TacticContext:
+    """Everything a tactic needs to run one retrieval."""
+
+    heap: HeapFile
+    schema: TableSchema
+    restriction: Expr
+    host_vars: Mapping[str, Any]
+    buffer_pool: BufferPool
+    arrangement: InitialArrangement
+    sink: Sink
+    trace: RetrievalTrace
+    config: EngineConfig = DEFAULT_CONFIG
+
+
+@dataclass
+class TacticOutcome:
+    """What a tactic did: the processes it ran (for cost accounting) and a
+    human-readable account of the strategy that delivered the result."""
+
+    processes: list[Process] = field(default_factory=list)
+    description: str = ""
+    stopped_by_consumer: bool = False
+
+    @property
+    def total_cost(self) -> float:
+        """Cost summed over every process the tactic ran (sunk costs included)."""
+        return sum(process.meter.total for process in self.processes)
+
+    @property
+    def total_io(self) -> int:
+        """Physical I/O summed over every process."""
+        return sum(process.meter.io_total for process in self.processes)
+
+
+class ForegroundBuffer:
+    """Bounded buffer of RIDs delivered by a foreground process.
+
+    Used by the final stage to filter out already-delivered records. The
+    bound matters: overflowing it forces the foreground to terminate
+    (fast-first) or the background to be abandoned (index-only).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._rids: set[RID] = set()
+
+    def __len__(self) -> int:
+        return len(self._rids)
+
+    def add(self, rid: RID) -> bool:
+        """Record a delivered RID; returns False on overflow."""
+        if len(self._rids) >= self.capacity:
+            return False
+        self._rids.add(rid)
+        return True
+
+    def __contains__(self, rid: RID) -> bool:
+        return rid in self._rids
+
+
+class BorrowingFetchProcess(Process):
+    """The fast-first foreground: fetches RIDs borrowed from Jscan.
+
+    "Fgr may borrow RIDs from Bgr in order to satisfy a fast-first request."
+    One step == one borrowed RID: fetch, evaluate the full restriction,
+    deliver, and remember the RID in the foreground buffer.
+    """
+
+    def __init__(
+        self,
+        queue: deque[RID],
+        heap: HeapFile,
+        schema: TableSchema,
+        restriction: Expr,
+        host_vars: Mapping[str, Any],
+        sink: Sink,
+        fgr_buffer: ForegroundBuffer,
+        trace: RetrievalTrace,
+        config: EngineConfig = DEFAULT_CONFIG,
+        name: str = "foreground-borrow",
+    ) -> None:
+        super().__init__(name)
+        self.queue = queue
+        self.heap = heap
+        self.schema = schema
+        self.restriction = restriction
+        self.host_vars = dict(host_vars)
+        self.sink = sink
+        self.fgr_buffer = fgr_buffer
+        self.trace = trace
+        self.config = config
+        self.stopped_by_consumer = False
+        self.buffer_overflow = False
+        self.delivered = 0
+        self.rejected = 0
+
+    @property
+    def has_work(self) -> bool:
+        """True when a borrowed RID is waiting."""
+        return bool(self.queue)
+
+    def _do_step(self) -> bool:
+        if not self.queue:
+            return False  # idle step; the tactic loop avoids calling these
+        rid = self.queue.popleft()
+        row = self.heap.fetch(rid, self.meter)
+        self.meter.charge_cpu(self.config.cpu_cost_per_record)
+        self.trace.counters.records_fetched += 1
+        if evaluate(self.restriction, row, self.schema.position, self.host_vars):
+            if not self.fgr_buffer.add(rid):
+                self.buffer_overflow = True
+                return True  # overflow terminates the foreground run
+            self.delivered += 1
+            self.trace.counters.records_delivered += 1
+            if not self.sink(rid, row):
+                self.stopped_by_consumer = True
+                return True
+        else:
+            self.rejected += 1
+            self.trace.counters.fetches_rejected += 1
+        return False
+
+
+def _run_to_completion(process: Process) -> None:
+    while process.active:
+        if process.step():
+            return
+
+
+def _finish_background(
+    ctx: TacticContext,
+    jscan: JscanProcess,
+    outcome: TacticOutcome,
+    skip: Callable[[RID], bool] | None,
+) -> None:
+    """Run the final stage appropriate to how Jscan ended."""
+    if jscan.empty:
+        outcome.description += " -> empty-intersection shortcut"
+        return
+    if jscan.tscan_recommended:
+        ctx.trace.emit(EventKind.STRATEGY_SWITCH, to="tscan", reason="jscan-recommended")
+        ctx.trace.counters.strategy_switches += 1
+        tscan = TscanProcess(
+            ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
+            ctx.trace, ctx.config, skip_rids=skip,
+        )
+        ctx.trace.emit(EventKind.SCAN_START, strategy="tscan")
+        _run_to_completion(tscan)
+        outcome.processes.append(tscan)
+        outcome.stopped_by_consumer |= tscan.stopped_by_consumer
+        outcome.description += " -> tscan"
+        return
+    rids = jscan.sorted_result()
+    ctx.trace.emit(EventKind.FINAL_STAGE_START, rids=len(rids))
+    final = FinalStageProcess(
+        rids, ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
+        ctx.trace, ctx.config, skip_rids=skip,
+    )
+    _run_to_completion(final)
+    outcome.processes.append(final)
+    outcome.stopped_by_consumer |= final.stopped_by_consumer
+    outcome.description += f" -> final-stage({len(rids)} rids)"
+
+
+# ---------------------------------------------------------------------------
+# Union (OR) tactic — the Section 8 extension
+# ---------------------------------------------------------------------------
+
+
+def union_or(ctx: TacticContext, covered) -> TacticOutcome:
+    """Union joint scan over covered disjuncts, then the final stage.
+
+    ``covered`` is the list of
+    :class:`repro.expr.disjunction.DisjunctRange` proving every top-level
+    OR term is covered by some index range.
+    """
+    from repro.engine.union_scan import UnionScanProcess
+
+    ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="union-or", disjuncts=len(covered))
+    outcome = TacticOutcome(description=f"union-or: {len(covered)} disjunct scans")
+    union = UnionScanProcess(covered, ctx.heap, ctx.buffer_pool, ctx.trace, ctx.config)
+    _run_to_completion(union)
+    outcome.processes.append(union)
+    if union.tscan_recommended:
+        ctx.trace.emit(EventKind.STRATEGY_SWITCH, to="tscan", reason="union-too-big")
+        ctx.trace.counters.strategy_switches += 1
+        tscan = TscanProcess(
+            ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
+            ctx.trace, ctx.config,
+        )
+        ctx.trace.emit(EventKind.SCAN_START, strategy="tscan")
+        _run_to_completion(tscan)
+        outcome.processes.append(tscan)
+        outcome.stopped_by_consumer |= tscan.stopped_by_consumer
+        outcome.description += " -> tscan"
+        return outcome
+    rids = union.sorted_result()
+    if not rids:
+        outcome.description += " -> empty union"
+        return outcome
+    ctx.trace.emit(EventKind.FINAL_STAGE_START, rids=len(rids))
+    final = FinalStageProcess(
+        rids, ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
+        ctx.trace, ctx.config,
+    )
+    _run_to_completion(final)
+    outcome.processes.append(final)
+    outcome.stopped_by_consumer |= final.stopped_by_consumer
+    outcome.description += f" -> final-stage({len(rids)} rids)"
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Background-only tactic
+# ---------------------------------------------------------------------------
+
+
+def background_only(ctx: TacticContext) -> TacticOutcome:
+    """Jscan to completion, then the final stage (Section 7)."""
+    ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="background-only")
+    outcome = TacticOutcome(description="background-only: jscan")
+    jscan = JscanProcess(
+        ctx.arrangement.jscan_candidates, ctx.heap, ctx.buffer_pool, ctx.trace, ctx.config
+    )
+    _run_to_completion(jscan)
+    outcome.processes.append(jscan)
+    _finish_background(ctx, jscan, outcome, skip=None)
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Fast-first tactic
+# ---------------------------------------------------------------------------
+
+
+def fast_first(ctx: TacticContext) -> TacticOutcome:
+    """Jscan in background; foreground borrows, fetches, delivers (Section 7)."""
+    ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="fast-first")
+    outcome = TacticOutcome(description="fast-first: fgr-borrow || jscan")
+    borrow_queue: deque[RID] = deque()
+
+    def tap(rid: RID, position: int) -> None:
+        if position == 0:
+            borrow_queue.append(rid)
+
+    jscan = JscanProcess(
+        ctx.arrangement.jscan_candidates, ctx.heap, ctx.buffer_pool, ctx.trace,
+        ctx.config, on_keep=tap,
+    )
+    fgr_buffer = ForegroundBuffer(ctx.config.foreground_buffer_size)
+    fgr = BorrowingFetchProcess(
+        borrow_queue, ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars,
+        ctx.sink, fgr_buffer, ctx.trace, ctx.config,
+    )
+    outcome.processes = [jscan, fgr]
+    fgr_weight = ctx.config.foreground_speed
+    bgr_weight = ctx.config.background_speed
+
+    while True:
+        # consumer satisfied: the fast-first goal is met, stop everything
+        if fgr.stopped_by_consumer:
+            jscan.abandon()
+            if fgr.active:
+                fgr.abandon()
+            outcome.stopped_by_consumer = True
+            outcome.description += " -> consumer-stop (fast success)"
+            ctx.trace.emit(EventKind.CONSUMER_STOPPED, by="foreground")
+            return outcome
+        if fgr.finished and fgr.buffer_overflow:
+            ctx.trace.emit(EventKind.FOREGROUND_BUFFER_OVERFLOW)
+            ctx.trace.emit(EventKind.FOREGROUND_TERMINATED, reason="buffer-overflow")
+            break
+        # direct fgr/bgr competition: foreground cost must stay a fraction
+        # of the guaranteed best or fast-first "becomes less realistic"
+        if (
+            fgr.active
+            and fgr.meter.total
+            >= ctx.config.scan_cost_limit_fraction * jscan.guaranteed_best_cost()
+        ):
+            fgr.abandon()
+            ctx.trace.emit(EventKind.FOREGROUND_TERMINATED, reason="competition")
+            ctx.trace.counters.strategy_switches += 1
+        if not jscan.active:
+            # the background resolved the retrieval; remaining borrowed RIDs
+            # are cheaper to deliver through Fin/Tscan than by random fetch
+            if fgr.active:
+                ctx.trace.emit(EventKind.FOREGROUND_TERMINATED, reason="background-complete")
+            break
+        # proportional interleave via virtual time
+        fgr_ready = fgr.active and fgr.has_work
+        if fgr_ready and (
+            not jscan.active
+            or fgr.meter.total / fgr_weight <= jscan.meter.total / bgr_weight
+        ):
+            fgr.step()
+        elif jscan.active:
+            jscan.step()
+        elif fgr_ready:
+            fgr.step()
+        else:
+            break
+
+    if fgr.active:
+        fgr.abandon()
+    if not jscan.active and not jscan.finished:
+        # jscan was abandoned — nothing more to do
+        return outcome
+    if jscan.active:
+        _run_to_completion(jscan)
+    skip = lambda rid: rid in fgr_buffer  # noqa: E731 - tiny closure
+    _finish_background(ctx, jscan, outcome, skip=skip)
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Sorted tactic
+# ---------------------------------------------------------------------------
+
+
+def sorted_tactic(ctx: TacticContext) -> TacticOutcome:
+    """Order-delivering Fscan cooperating with a filter-building Jscan."""
+    ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="sorted")
+    order = ctx.arrangement.order_index
+    if order is None:
+        raise ValueError("sorted tactic requires an order-needed index")
+    outcome = TacticOutcome(description=f"sorted: fscan({order.index.name}) || jscan-filter")
+    fscan = FscanProcess(
+        order.index, order.key_range, ctx.heap, ctx.schema, ctx.restriction,
+        ctx.host_vars, ctx.sink, ctx.trace, ctx.config,
+    )
+    ctx.trace.emit(EventKind.SCAN_START, strategy="fscan", index=order.index.name)
+    others = [
+        candidate
+        for candidate in ctx.arrangement.jscan_candidates
+        if candidate.index.name != order.index.name
+    ]
+    jscan: JscanProcess | None = None
+    if others:
+        jscan = JscanProcess(others, ctx.heap, ctx.buffer_pool, ctx.trace, ctx.config)
+        outcome.processes = [fscan, jscan]
+    else:
+        outcome.processes = [fscan]
+
+    fgr_weight = ctx.config.foreground_speed
+    bgr_weight = ctx.config.background_speed
+    filter_installed = False
+    while fscan.active:
+        if jscan is not None and jscan.finished and not filter_installed:
+            if jscan.empty:
+                # no record can satisfy the other indexes' conjuncts
+                fscan.abandon()
+                outcome.description += " -> empty-intersection shortcut"
+                ctx.trace.emit(EventKind.STRATEGY_SWITCH, to="empty", reason="jscan-empty")
+                return outcome
+            if jscan.result_list is not None:
+                fscan.filter = jscan.result_list
+                filter_installed = True
+                ctx.trace.emit(
+                    EventKind.STRATEGY_SWITCH,
+                    to="filtered-fscan",
+                    filter_rids=len(jscan.result_list),
+                )
+                ctx.trace.counters.strategy_switches += 1
+            # tscan_recommended: the filter would not help; fscan continues
+        if jscan is not None and jscan.active and (
+            jscan.meter.total / bgr_weight < fscan.meter.total / fgr_weight
+        ):
+            jscan.step()
+        else:
+            fscan.step()
+        if fscan.stopped_by_consumer:
+            outcome.stopped_by_consumer = True
+            ctx.trace.emit(EventKind.CONSUMER_STOPPED, by="foreground")
+            break
+    if jscan is not None and jscan.active:
+        jscan.abandon()  # "a quick Fscan completion eliminates a potentially
+        # big Jscan overhead"
+    outcome.description += " -> fscan-delivered-all" if not outcome.stopped_by_consumer else ""
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Index-only tactic
+# ---------------------------------------------------------------------------
+
+
+def index_only(ctx: TacticContext) -> TacticOutcome:
+    """Sscan (foreground) racing Jscan (background)."""
+    ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="index-only")
+    best = ctx.arrangement.best_sscan
+    if best is None:
+        raise ValueError("index-only tactic requires a self-sufficient index")
+    outcome = TacticOutcome(description=f"index-only: sscan({best.index.name}) || jscan")
+    fgr_buffer = ForegroundBuffer(ctx.config.foreground_buffer_size)
+    delivered_rids: list[RID] = []
+
+    def recording_sink(rid: RID, row: tuple) -> bool:
+        # on buffer overflow the row is still delivered — the buffer only
+        # exists to dedupe against a final stage, and overflow kills Jscan
+        # (so no final stage will run)
+        fgr_buffer.add(rid)
+        delivered_rids.append(rid)
+        return ctx.sink(rid, row)
+
+    sscan = SscanProcess(
+        best.index, best.key_range, ctx.schema, ctx.restriction, ctx.host_vars,
+        recording_sink, ctx.trace, ctx.config,
+    )
+    ctx.trace.emit(EventKind.SCAN_START, strategy="sscan", index=best.index.name)
+    jscan: JscanProcess | None = None
+    if ctx.arrangement.jscan_candidates:
+        jscan = JscanProcess(
+            ctx.arrangement.jscan_candidates, ctx.heap, ctx.buffer_pool,
+            ctx.trace, ctx.config,
+        )
+        outcome.processes = [sscan, jscan]
+    else:
+        outcome.processes = [sscan]
+
+    fgr_weight = ctx.config.foreground_speed
+    bgr_weight = ctx.config.background_speed
+    while sscan.active:
+        if jscan is not None and len(fgr_buffer) >= fgr_buffer.capacity:
+            # overflow: "Jscan terminates and Sscan continues because it is
+            # a safer strategy"
+            if jscan.active:
+                jscan.abandon()
+                ctx.trace.emit(EventKind.FOREGROUND_BUFFER_OVERFLOW)
+                ctx.trace.emit(EventKind.SCAN_ABANDONED, index="jscan", reason="fgr-overflow")
+            jscan = None
+        if jscan is not None and jscan.finished:
+            if jscan.empty:
+                sscan.abandon()
+                outcome.description += " -> empty-intersection shortcut"
+                return outcome
+            if jscan.result_list is not None:
+                fin_cost = jscan.rid_fetch_cost(len(jscan.result_list), jscan.result_list)
+                remaining = _estimated_remaining_cost(sscan, best)
+                if fin_cost < remaining:
+                    # "Sscan is abandoned in favor of a 'sure' final stage"
+                    sscan.abandon()
+                    ctx.trace.emit(
+                        EventKind.STRATEGY_SWITCH, to="final-stage",
+                        reason="jscan-won", fin_cost=round(fin_cost, 1),
+                        sscan_remaining=round(remaining, 1),
+                    )
+                    ctx.trace.counters.strategy_switches += 1
+                    skip = lambda rid: rid in fgr_buffer  # noqa: E731
+                    _finish_background(ctx, jscan, outcome, skip=skip)
+                    return outcome
+            jscan = None  # tscan recommended or not competitive: sscan continues
+        if jscan is not None and jscan.active and (
+            jscan.meter.total / bgr_weight < sscan.meter.total / fgr_weight
+        ):
+            jscan.step()
+        else:
+            sscan.step()
+        if sscan.stopped_by_consumer:
+            outcome.stopped_by_consumer = True
+            ctx.trace.emit(EventKind.CONSUMER_STOPPED, by="foreground")
+            break
+    if jscan is not None and jscan.active:
+        jscan.abandon()
+    outcome.description += " -> sscan-delivered-all" if not outcome.stopped_by_consumer else ""
+    return outcome
+
+
+def _estimated_remaining_cost(sscan: SscanProcess, candidate) -> float:
+    """Extrapolate the remaining Sscan cost from its progress so far."""
+    consumed = sscan.cursor.consumed
+    estimate = candidate.estimate.rids if candidate.estimate is not None else None
+    if not consumed or estimate is None:
+        return float("inf")
+    per_entry = sscan.meter.total / consumed
+    return max(0.0, (estimate - consumed)) * per_entry

@@ -1,0 +1,56 @@
+"""Predicate expressions.
+
+Boolean restrictions over a single table: AST (:mod:`repro.expr.ast`),
+row evaluation (:mod:`repro.expr.eval`), normalization
+(:mod:`repro.expr.normalize`), and extraction of sargable key ranges per
+index (:mod:`repro.expr.ranges`) — the bridge between a table-wide Boolean
+and the per-index restrictions Jscan scans.
+"""
+
+from repro.expr.ast import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FalseExpr,
+    HostVar,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    TrueExpr,
+    col,
+    lit,
+    var,
+)
+from repro.expr.eval import evaluate, referenced_columns, referenced_host_vars
+from repro.expr.normalize import conjunction_terms, normalize
+from repro.expr.ranges import IndexRestriction, extract_index_restriction
+
+__all__ = [
+    "And",
+    "Between",
+    "ColumnRef",
+    "Comparison",
+    "Expr",
+    "FalseExpr",
+    "HostVar",
+    "InList",
+    "Like",
+    "Literal",
+    "Not",
+    "Or",
+    "TrueExpr",
+    "col",
+    "lit",
+    "var",
+    "evaluate",
+    "referenced_columns",
+    "referenced_host_vars",
+    "conjunction_terms",
+    "normalize",
+    "IndexRestriction",
+    "extract_index_restriction",
+]

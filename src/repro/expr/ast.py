@@ -1,0 +1,194 @@
+"""Predicate AST.
+
+Expressions are immutable dataclasses. Comparison operands are value terms:
+column references, literals, or host variables (the ``:A1`` of the paper's
+motivating query). Convenience builders :func:`col`, :func:`lit`,
+:func:`var` and operator overloads on :class:`ColumnRef` keep test and
+example code close to SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import ExpressionError
+
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+class Expr:
+    """Base class for boolean expressions."""
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return And((self, other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or((self, other))
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+class ValueTerm:
+    """Base class for comparison operands."""
+
+
+@dataclass(frozen=True)
+class ColumnRef(ValueTerm):
+    """Reference to a column of the (single) table being restricted."""
+
+    name: str
+
+    def _compare(self, op: str, other: Any) -> "Comparison":
+        return Comparison(op, self, _as_term(other))
+
+    def __lt__(self, other: Any) -> "Comparison":
+        return self._compare("<", other)
+
+    def __le__(self, other: Any) -> "Comparison":
+        return self._compare("<=", other)
+
+    def __gt__(self, other: Any) -> "Comparison":
+        return self._compare(">", other)
+
+    def __ge__(self, other: Any) -> "Comparison":
+        return self._compare(">=", other)
+
+    def eq(self, other: Any) -> "Comparison":
+        """Equality predicate (named method: ``==`` is kept for identity)."""
+        return self._compare("=", other)
+
+    def ne(self, other: Any) -> "Comparison":
+        """Inequality predicate."""
+        return self._compare("<>", other)
+
+    def between(self, lo: Any, hi: Any) -> "Between":
+        """SQL BETWEEN (inclusive both ends)."""
+        return Between(self, _as_term(lo), _as_term(hi))
+
+    def in_(self, values: Sequence[Any]) -> "InList":
+        """SQL IN over a literal/host-var list."""
+        return InList(self, tuple(_as_term(v) for v in values))
+
+    def like(self, pattern: str) -> "Like":
+        """SQL LIKE with ``%`` and ``_`` wildcards."""
+        return Like(self, pattern)
+
+
+@dataclass(frozen=True)
+class Literal(ValueTerm):
+    """A constant value."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class HostVar(ValueTerm):
+    """A host-language variable, bound per execution (``:A1``)."""
+
+    name: str
+
+
+def _as_term(value: Any) -> ValueTerm:
+    if isinstance(value, ValueTerm):
+        return value
+    return Literal(value)
+
+
+def col(name: str) -> ColumnRef:
+    """Build a column reference."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Build a literal."""
+    return Literal(value)
+
+
+def var(name: str) -> HostVar:
+    """Build a host-variable reference."""
+    return HostVar(name)
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """``left op right`` for op in ``=, <>, <, <=, >, >=``."""
+
+    op: str
+    left: ValueTerm
+    right: ValueTerm
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``column BETWEEN lo AND hi`` (inclusive)."""
+
+    column: ColumnRef
+    lo: ValueTerm
+    hi: ValueTerm
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``column IN (v1, v2, ...)``."""
+
+    column: ColumnRef
+    values: tuple[ValueTerm, ...]
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """``column LIKE pattern`` with ``%`` (any run) and ``_`` (any char)."""
+
+    column: ColumnRef
+    pattern: str
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Conjunction of two or more children."""
+
+    children: tuple[Expr, ...]
+
+    def __init__(self, children: Sequence[Expr]) -> None:
+        object.__setattr__(self, "children", tuple(children))
+        if len(self.children) < 2:
+            raise ExpressionError("And requires at least two children")
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Disjunction of two or more children."""
+
+    children: tuple[Expr, ...]
+
+    def __init__(self, children: Sequence[Expr]) -> None:
+        object.__setattr__(self, "children", tuple(children))
+        if len(self.children) < 2:
+            raise ExpressionError("Or requires at least two children")
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Negation."""
+
+    child: Expr
+
+
+@dataclass(frozen=True)
+class TrueExpr(Expr):
+    """Constant TRUE (no restriction)."""
+
+
+@dataclass(frozen=True)
+class FalseExpr(Expr):
+    """Constant FALSE (empty restriction)."""
+
+
+ALWAYS_TRUE = TrueExpr()
+ALWAYS_FALSE = FalseExpr()

@@ -1,0 +1,125 @@
+"""Disjunctive (OR) restriction analysis.
+
+Section 8 names "covering ORs and between-index subexpressions of
+table-wide Boolean expressions" as the next extension of the tactics; this
+module implements the analysis half: split a restriction into top-level
+disjuncts and derive, for each disjunct, the best single-index key range
+that *covers* it (every row satisfying the disjunct has its key in the
+range). If every disjunct is covered somewhere, the union of the range
+scans covers the whole restriction — the precondition for the union joint
+scan in :mod:`repro.engine.union_scan`.
+
+``IN`` lists are expanded into per-value equality disjuncts, so
+``COLOR IN (3, 5, 9)`` becomes three exact ranges on a COLOR index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.btree.tree import KeyRange
+from repro.db.catalog import IndexInfo
+from repro.expr.ast import Expr, InList, Literal, Or
+from repro.expr.normalize import conjunction_terms, normalize
+from repro.expr.ranges import extract_index_restriction
+
+
+def _literal_in_list(term: Expr) -> InList | None:
+    """The term itself, if it is an IN list over constants only."""
+    if (
+        isinstance(term, InList)
+        and term.values
+        and all(isinstance(value, Literal) for value in term.values)
+    ):
+        return term
+    return None
+
+
+def disjunction_terms(expr: Expr) -> tuple[Expr, ...]:
+    """Top-level OR terms of the normalized expression.
+
+    A non-OR expression is a single disjunct. Literal ``IN`` lists are
+    expanded into one equality disjunct per value — both at the top level
+    (``A IN (1,2)`` becomes two disjuncts) and inside a conjunction
+    (``A IN (1,2) AND C > 5`` distributes into ``(A=1 AND C>5) OR
+    (A=2 AND C>5)``), so an index on A can drive a union scan even when the
+    remaining conjuncts are unindexable.
+    """
+    from repro.expr.ast import And, Comparison
+
+    expr = normalize(expr)
+    terms = expr.children if isinstance(expr, Or) else (expr,)
+    expanded: list[Expr] = []
+    for term in terms:
+        in_list = _literal_in_list(term)
+        if in_list is not None:
+            expanded.extend(
+                Comparison("=", in_list.column, value) for value in in_list.values
+            )
+            continue
+        if isinstance(term, And):
+            # distribute the first literal IN list over the conjunction
+            inner = next(
+                (child for child in term.children if _literal_in_list(child)), None
+            )
+            if inner is not None:
+                others = tuple(child for child in term.children if child is not inner)
+                for value in inner.values:  # type: ignore[union-attr]
+                    replaced = (Comparison("=", inner.column, value),) + others
+                    expanded.append(replaced[0] if len(replaced) == 1 else And(replaced))
+                continue
+        expanded.append(term)
+    return tuple(expanded)
+
+
+@dataclass
+class DisjunctRange:
+    """One disjunct with the index range that covers it."""
+
+    disjunct: Expr
+    index: IndexInfo
+    key_range: KeyRange
+
+
+def cover_disjuncts(
+    expr: Expr,
+    indexes: Sequence[IndexInfo],
+    host_vars: Mapping[str, Any] = {},
+) -> list[DisjunctRange] | None:
+    """Find a covering index range for every top-level disjunct.
+
+    Returns one :class:`DisjunctRange` per disjunct, or None when any
+    disjunct has no matched range on any index (the union scan would not be
+    sound — the caller must fall back to Tscan).
+
+    Each disjunct is treated as a conjunction (its own AND terms); the
+    index whose range is most constrained (equality > two bounds > one)
+    is chosen. Soundness follows from
+    :func:`repro.expr.ranges.extract_index_restriction` producing
+    over-approximating ranges.
+    """
+    covered: list[DisjunctRange] = []
+    for disjunct in disjunction_terms(expr):
+        terms = conjunction_terms(disjunct)
+        if not terms:
+            return None  # a TRUE disjunct makes the whole OR unrestrictable
+        best: DisjunctRange | None = None
+        best_rank: tuple | None = None
+        for index in indexes:
+            restriction = extract_index_restriction(terms, index.columns, host_vars)
+            if not restriction.matched:
+                continue
+            key_range = restriction.key_range
+            rank = (
+                0 if (key_range.lo is not None and key_range.lo == key_range.hi) else 1,
+                -((key_range.lo is not None) + (key_range.hi is not None)),
+                -restriction.equality_prefix,
+            )
+            if best_rank is None or rank < best_rank:
+                best = DisjunctRange(disjunct=disjunct, index=index, key_range=key_range)
+                best_rank = rank
+        if best is None:
+            return None
+        covered.append(best)
+    return covered

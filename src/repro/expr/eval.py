@@ -1,0 +1,179 @@
+"""Row evaluation of predicate expressions."""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Any, Mapping, Sequence
+
+from repro.errors import BindingError, ExpressionError
+from repro.expr.ast import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FalseExpr,
+    HostVar,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    TrueExpr,
+    ValueTerm,
+)
+
+#: maps a column name to its position in the row tuple
+SchemaMap = Mapping[str, int]
+#: host variable bindings for one execution
+HostVars = Mapping[str, Any]
+
+
+def resolve_term(
+    term: ValueTerm, row: Sequence | None, schema: SchemaMap, host_vars: HostVars
+) -> Any:
+    """Resolve a value term against a row and host-variable bindings."""
+    if isinstance(term, Literal):
+        return term.value
+    if isinstance(term, HostVar):
+        try:
+            return host_vars[term.name]
+        except KeyError:
+            raise BindingError(term.name, "host variable") from None
+    if isinstance(term, ColumnRef):
+        if row is None:
+            raise ExpressionError(f"column {term.name!r} needs a row to evaluate")
+        try:
+            return row[schema[term.name]]
+        except KeyError:
+            raise BindingError(term.name, "column") from None
+    raise ExpressionError(f"unknown value term {term!r}")
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if left is None or right is None:
+        return False  # SQL-ish: comparisons with NULL are not TRUE
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ExpressionError(f"unknown comparison operator {op!r}")
+
+
+@lru_cache(maxsize=512)
+def _like_regex(pattern: str) -> "re.Pattern[str]":
+    regex = []
+    for char in pattern:
+        if char == "%":
+            regex.append(".*")
+        elif char == "_":
+            regex.append(".")
+        else:
+            regex.append(re.escape(char))
+    return re.compile("^" + "".join(regex) + "$", re.DOTALL)
+
+
+def evaluate(
+    expr: Expr, row: Sequence, schema: SchemaMap, host_vars: HostVars = {}
+) -> bool:
+    """Evaluate a predicate on one row. Three-valued logic is collapsed:
+    anything not definitely TRUE is FALSE (sufficient for retrieval)."""
+    if isinstance(expr, TrueExpr):
+        return True
+    if isinstance(expr, FalseExpr):
+        return False
+    if isinstance(expr, Comparison):
+        left = resolve_term(expr.left, row, schema, host_vars)
+        right = resolve_term(expr.right, row, schema, host_vars)
+        return _compare(expr.op, left, right)
+    if isinstance(expr, Between):
+        value = resolve_term(expr.column, row, schema, host_vars)
+        lo = resolve_term(expr.lo, row, schema, host_vars)
+        hi = resolve_term(expr.hi, row, schema, host_vars)
+        if value is None or lo is None or hi is None:
+            return False
+        return lo <= value <= hi
+    if isinstance(expr, InList):
+        value = resolve_term(expr.column, row, schema, host_vars)
+        if value is None:
+            return False
+        return any(
+            value == resolve_term(term, row, schema, host_vars) for term in expr.values
+        )
+    if isinstance(expr, Like):
+        value = resolve_term(expr.column, row, schema, host_vars)
+        if not isinstance(value, str):
+            return False
+        return _like_regex(expr.pattern).match(value) is not None
+    if isinstance(expr, And):
+        return all(evaluate(child, row, schema, host_vars) for child in expr.children)
+    if isinstance(expr, Or):
+        return any(evaluate(child, row, schema, host_vars) for child in expr.children)
+    if isinstance(expr, Not):
+        return not evaluate(expr.child, row, schema, host_vars)
+    raise ExpressionError(f"cannot evaluate {expr!r}")
+
+
+def referenced_columns(expr: Expr) -> frozenset[str]:
+    """All column names the expression reads."""
+    names: set[str] = set()
+    _walk_columns(expr, names)
+    return frozenset(names)
+
+
+def _walk_columns(node: object, names: set[str]) -> None:
+    if isinstance(node, ColumnRef):
+        names.add(node.name)
+    elif isinstance(node, Comparison):
+        _walk_columns(node.left, names)
+        _walk_columns(node.right, names)
+    elif isinstance(node, Between):
+        _walk_columns(node.column, names)
+        _walk_columns(node.lo, names)
+        _walk_columns(node.hi, names)
+    elif isinstance(node, InList):
+        _walk_columns(node.column, names)
+        for term in node.values:
+            _walk_columns(term, names)
+    elif isinstance(node, Like):
+        _walk_columns(node.column, names)
+    elif isinstance(node, (And, Or)):
+        for child in node.children:
+            _walk_columns(child, names)
+    elif isinstance(node, Not):
+        _walk_columns(node.child, names)
+
+
+def referenced_host_vars(expr: Expr) -> frozenset[str]:
+    """All host-variable names the expression reads."""
+    names: set[str] = set()
+    _walk_vars(expr, names)
+    return frozenset(names)
+
+
+def _walk_vars(node: object, names: set[str]) -> None:
+    if isinstance(node, HostVar):
+        names.add(node.name)
+    elif isinstance(node, Comparison):
+        _walk_vars(node.left, names)
+        _walk_vars(node.right, names)
+    elif isinstance(node, Between):
+        _walk_vars(node.lo, names)
+        _walk_vars(node.hi, names)
+    elif isinstance(node, InList):
+        for term in node.values:
+            _walk_vars(term, names)
+    elif isinstance(node, (And, Or)):
+        for child in node.children:
+            _walk_vars(child, names)
+    elif isinstance(node, Not):
+        _walk_vars(node.child, names)

@@ -1,0 +1,121 @@
+"""Expression normalization.
+
+The engine (like the paper's Section 6 scope: "all index-bound restriction
+portions connected by ANDs") works on the conjunctive spine of the
+restriction: NOTs are pushed to the leaves, nested ANDs are flattened, and
+the top-level AND terms are split out so each index can claim the terms it
+can turn into a key range.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExpressionError
+from repro.expr.ast import (
+    ALWAYS_FALSE,
+    ALWAYS_TRUE,
+    And,
+    Between,
+    Comparison,
+    Expr,
+    FalseExpr,
+    InList,
+    Like,
+    Not,
+    Or,
+    TrueExpr,
+)
+
+_NEGATED_OP = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+def normalize(expr: Expr) -> Expr:
+    """Push NOT to the leaves (De Morgan) and flatten nested AND/OR chains."""
+    return _flatten(_push_not(expr, negate=False))
+
+
+def _push_not(expr: Expr, negate: bool) -> Expr:
+    if isinstance(expr, Not):
+        return _push_not(expr.child, not negate)
+    if isinstance(expr, And):
+        children = tuple(_push_not(child, negate) for child in expr.children)
+        return Or(children) if negate else And(children)
+    if isinstance(expr, Or):
+        children = tuple(_push_not(child, negate) for child in expr.children)
+        return And(children) if negate else Or(children)
+    if isinstance(expr, TrueExpr):
+        return ALWAYS_FALSE if negate else ALWAYS_TRUE
+    if isinstance(expr, FalseExpr):
+        return ALWAYS_TRUE if negate else ALWAYS_FALSE
+    if not negate:
+        return expr
+    if isinstance(expr, Comparison):
+        return Comparison(_NEGATED_OP[expr.op], expr.left, expr.right)
+    if isinstance(expr, Between):
+        # NOT (c BETWEEN lo AND hi)  ==  c < lo OR c > hi
+        return Or((Comparison("<", expr.column, expr.lo), Comparison(">", expr.column, expr.hi)))
+    if isinstance(expr, InList):
+        if not expr.values:
+            return ALWAYS_TRUE
+        return _and_or_single(
+            tuple(Comparison("<>", expr.column, term) for term in expr.values)
+        )
+    if isinstance(expr, Like):
+        return Not(expr)  # LIKE has no comparison dual; keep the NOT at the leaf
+    raise ExpressionError(f"cannot normalize {expr!r}")
+
+
+def _and_or_single(children: tuple[Expr, ...]) -> Expr:
+    if len(children) == 1:
+        return children[0]
+    return And(children)
+
+
+def _flatten(expr: Expr) -> Expr:
+    if isinstance(expr, And):
+        flat: list[Expr] = []
+        for child in expr.children:
+            child = _flatten(child)
+            if isinstance(child, And):
+                flat.extend(child.children)
+            elif isinstance(child, TrueExpr):
+                continue
+            elif isinstance(child, FalseExpr):
+                return ALWAYS_FALSE
+            else:
+                flat.append(child)
+        if not flat:
+            return ALWAYS_TRUE
+        return _and_or_single(tuple(flat))
+    if isinstance(expr, Or):
+        flat = []
+        for child in expr.children:
+            child = _flatten(child)
+            if isinstance(child, Or):
+                flat.extend(child.children)
+            elif isinstance(child, FalseExpr):
+                continue
+            elif isinstance(child, TrueExpr):
+                return ALWAYS_TRUE
+            else:
+                flat.append(child)
+        if not flat:
+            return ALWAYS_FALSE
+        if len(flat) == 1:
+            return flat[0]
+        return Or(tuple(flat))
+    if isinstance(expr, Not):
+        return Not(_flatten(expr.child))
+    return expr
+
+
+def conjunction_terms(expr: Expr) -> tuple[Expr, ...]:
+    """The top-level AND terms of a normalized expression.
+
+    A non-AND expression is a single term; TRUE yields no terms.
+    """
+    expr = normalize(expr)
+    if isinstance(expr, TrueExpr):
+        return ()
+    if isinstance(expr, And):
+        return expr.children
+    return (expr,)

@@ -1,0 +1,37 @@
+"""Name resolution: validate a plan tree against the catalog."""
+
+from __future__ import annotations
+
+from repro.db.session import Database
+from repro.db.table import Table
+from repro.errors import BindingError
+from repro.expr.eval import referenced_columns
+from repro.sql.plan import PlanNode, Retrieve, Sort, walk
+
+
+def bind(db: Database, root: PlanNode) -> dict[int, Table]:
+    """Resolve every retrieve node's table and check its column references.
+
+    Returns ``{id(retrieve_node): Table}``; raises :class:`BindingError` on
+    unknown tables or columns.
+    """
+    tables: dict[int, Table] = {}
+    for node in walk(root):
+        if isinstance(node, Retrieve):
+            if node.table not in db.tables:
+                raise BindingError(node.table, "table")
+            table = db.table(node.table)
+            tables[id(node)] = table
+            names: set[str] = set()
+            if node.restriction is not None:
+                names |= set(referenced_columns(node.restriction))
+            if node.output_columns is not None:
+                names |= set(node.output_columns)
+            for name in sorted(names):
+                if name not in table.schema:
+                    raise BindingError(name, f"column (table {node.table})")
+        elif isinstance(node, Sort):
+            # sort keys are validated against the child retrieve when the
+            # chain is executed; nothing to do here
+            continue
+    return tables

@@ -1,0 +1,293 @@
+"""Plan execution over the dynamic retrieval engine.
+
+The parser emits a fixed chain per query block —
+``Project [Limit] [Distinct] [Sort] [Aggregate] Retrieve`` — which the
+executor unwraps, resolving subqueries first (each subquery is itself a
+chain), inferring per-retrieval goals (Section 4), and pushing ORDER BY /
+LIMIT into the retrieval when legal so the engine's fast-first machinery
+actually sees the early-termination opportunity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.db.session import Database
+from repro.db.table import Table
+from repro.engine.goals import OptimizationGoal, infer_goals
+from repro.engine.retrieval import RetrievalResult
+from repro.errors import SqlSyntaxError
+from repro.expr.ast import (
+    ALWAYS_FALSE,
+    ALWAYS_TRUE,
+    And,
+    Expr,
+    InList,
+    Literal,
+    Not,
+    Or,
+)
+from repro.sql.binder import bind
+from repro.sql.parser import parse
+from repro.sql.plan import (
+    Aggregate,
+    Distinct,
+    Exists,
+    ExistsSubquery,
+    InSubquery,
+    Limit,
+    PlanNode,
+    Project,
+    Retrieve,
+    Sort,
+    format_plan,
+)
+
+
+@dataclass
+class RetrievalInfo:
+    """One executed retrieval: which table, which goal, and its result."""
+
+    table: str
+    goal: OptimizationGoal
+    result: RetrievalResult
+
+
+@dataclass
+class QueryResult:
+    """Rows plus everything needed to understand how they were produced."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    plan: PlanNode
+    goals: dict[int, OptimizationGoal]
+    retrievals: list[RetrievalInfo] = field(default_factory=list)
+
+    @property
+    def total_io(self) -> int:
+        """Physical I/O across all retrievals of the statement."""
+        return sum(info.result.execution_io for info in self.retrievals)
+
+    @property
+    def total_cost(self) -> float:
+        """Total cost (I/O + CPU fractions) across all retrievals."""
+        return sum(info.result.total_cost for info in self.retrievals)
+
+
+def execute_sql(
+    db: Database,
+    sql: str,
+    host_vars: Mapping[str, Any] | None = None,
+    goal: OptimizationGoal = OptimizationGoal.DEFAULT,
+):
+    """Parse, bind, infer goals, and execute one statement.
+
+    SELECTs return a :class:`QueryResult`; DDL/DML statements return a
+    :class:`repro.sql.ddl.DdlResult`.
+    """
+    from repro.sql.ddl import execute_ddl
+    from repro.sql.parser import ParsedQuery, parse_any
+
+    parsed = parse_any(sql)
+    if not isinstance(parsed, ParsedQuery):
+        return execute_ddl(db, parsed)
+    requested = parsed.goal if parsed.goal is not OptimizationGoal.DEFAULT else goal
+    bind(db, parsed.plan)
+    goals = infer_goals(parsed.plan, requested)
+    retrievals: list[RetrievalInfo] = []
+    columns, rows = _execute_block(
+        db, parsed.plan, dict(host_vars or {}), goals, retrievals
+    )
+    return QueryResult(
+        columns=columns, rows=rows, plan=parsed.plan, goals=goals, retrievals=retrievals
+    )
+
+
+def explain_sql(db: Database, sql: str) -> str:
+    """Render the logical plan with inferred per-retrieval goals."""
+    parsed = parse(sql)
+    bind(db, parsed.plan)
+    goals = infer_goals(parsed.plan, parsed.goal)
+    return format_plan(parsed.plan, goals)
+
+
+# -- chain unwrapping -----------------------------------------------------------
+
+
+@dataclass
+class _Chain:
+    project: Project
+    limit: Limit | None
+    distinct: Distinct | None
+    sort: Sort | None
+    aggregate: Aggregate | None
+    retrieve: Retrieve
+
+
+def _unwrap(root: PlanNode) -> _Chain:
+    if not isinstance(root, Project):
+        raise SqlSyntaxError(f"expected a Project root, found {root.node_type}")
+    project = root
+    node = project.children[0]
+    limit = distinct = sort = aggregate = None
+    if isinstance(node, Limit):
+        limit, node = node, node.children[0]
+    if isinstance(node, Distinct):
+        distinct, node = node, node.children[0]
+    if isinstance(node, Sort):
+        sort, node = node, node.children[0]
+    if isinstance(node, Aggregate):
+        aggregate, node = node, node.children[0]
+    if not isinstance(node, Retrieve):
+        raise SqlSyntaxError(f"malformed plan chain: found {node.node_type}")
+    return _Chain(project, limit, distinct, sort, aggregate, node)
+
+
+def _execute_block(
+    db: Database,
+    root: PlanNode,
+    host_vars: dict[str, Any],
+    goals: dict[int, OptimizationGoal],
+    retrievals: list[RetrievalInfo],
+    forced_limit: int | None = None,
+) -> tuple[tuple[str, ...], list[tuple]]:
+    chain = _unwrap(root)
+    table = db.table(chain.retrieve.table)
+    restriction = _resolve_subqueries(
+        db, chain.retrieve.restriction or ALWAYS_TRUE, host_vars, goals, retrievals
+    )
+
+    goal = goals.get(id(chain.retrieve), OptimizationGoal.DEFAULT)
+    order_keys = chain.sort.keys if chain.sort is not None else ()
+    ascending_only = chain.sort is None or not any(chain.sort.descending)
+
+    # LIMIT pushes into the retrieval only when no operation between them
+    # needs the full row set
+    push_limit: int | None = None
+    if chain.limit is not None and chain.distinct is None and chain.aggregate is None:
+        if ascending_only:
+            push_limit = chain.limit.count
+    if forced_limit is not None and chain.limit is None and (
+        chain.distinct is None and chain.aggregate is None and chain.sort is None
+    ):
+        push_limit = forced_limit
+
+    result = table.select(
+        where=restriction,
+        host_vars=host_vars,
+        columns=chain.retrieve.output_columns,
+        order_by=order_keys if ascending_only else (),
+        limit=push_limit,
+        optimize_for=goal,
+    )
+    retrievals.append(RetrievalInfo(table=chain.retrieve.table, goal=goal, result=result))
+    rows = list(result.rows)
+
+    if chain.sort is not None and not ascending_only:
+        rows = _sort_rows(rows, table, chain.sort)
+
+    if chain.aggregate is not None:
+        columns, rows = _aggregate(rows, table, chain.aggregate)
+    else:
+        columns, rows = _project(rows, table, chain.project)
+
+    if chain.distinct is not None:
+        seen: set[tuple] = set()
+        unique: list[tuple] = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        rows = unique
+
+    limit_count = chain.limit.count if chain.limit is not None else forced_limit
+    if limit_count is not None and len(rows) > limit_count:
+        rows = rows[:limit_count]
+    return columns, rows
+
+
+def _sort_rows(rows: list[tuple], table: Table, sort: Sort) -> list[tuple]:
+    positions = [table.schema.index_of(key) for key in sort.keys]
+    # stable multi-key sort with mixed directions: sort by keys right-to-left
+    for position, descending in reversed(list(zip(positions, sort.descending))):
+        rows = sorted(rows, key=lambda row: row[position], reverse=descending)
+    return rows
+
+
+def _project(
+    rows: list[tuple], table: Table, project: Project
+) -> tuple[tuple[str, ...], list[tuple]]:
+    if not project.columns:
+        return table.schema.names, rows
+    positions = [table.schema.index_of(name) for name in project.columns]
+    projected = [tuple(row[position] for position in positions) for row in rows]
+    return tuple(project.columns), projected
+
+
+def _aggregate(
+    rows: list[tuple], table: Table, aggregate: Aggregate
+) -> tuple[tuple[str, ...], list[tuple]]:
+    values: list[Any] = []
+    names: list[str] = []
+    for item in aggregate.items:
+        names.append(item.alias)
+        if item.function == "count" and item.argument is None:
+            values.append(len(rows))
+            continue
+        position = table.schema.index_of(item.argument or "")
+        column = [row[position] for row in rows if row[position] is not None]
+        if item.function == "count":
+            values.append(len(column))
+        elif not column:
+            values.append(None)
+        elif item.function == "sum":
+            values.append(sum(column))
+        elif item.function == "avg":
+            values.append(sum(column) / len(column))
+        elif item.function == "min":
+            values.append(min(column))
+        elif item.function == "max":
+            values.append(max(column))
+    return tuple(names), [tuple(values)]
+
+
+# -- subquery resolution ------------------------------------------------------------
+
+
+def _resolve_subqueries(
+    db: Database,
+    expr: Expr,
+    host_vars: dict[str, Any],
+    goals: dict[int, OptimizationGoal],
+    retrievals: list[RetrievalInfo],
+) -> Expr:
+    if isinstance(expr, InSubquery):
+        _, rows = _execute_block(db, expr.plan, host_vars, goals, retrievals)
+        values = sorted({row[0] for row in rows if row and row[0] is not None})
+        if not values:
+            return ALWAYS_FALSE
+        return InList(expr.column, tuple(Literal(value) for value in values))
+    if isinstance(expr, ExistsSubquery):
+        subquery_root = expr.plan.children[0] if isinstance(expr.plan, Exists) else expr.plan
+        _, rows = _execute_block(
+            db, subquery_root, host_vars, goals, retrievals, forced_limit=1
+        )
+        return ALWAYS_TRUE if rows else ALWAYS_FALSE
+    if isinstance(expr, And):
+        return And(
+            tuple(
+                _resolve_subqueries(db, child, host_vars, goals, retrievals)
+                for child in expr.children
+            )
+        )
+    if isinstance(expr, Or):
+        return Or(
+            tuple(
+                _resolve_subqueries(db, child, host_vars, goals, retrievals)
+                for child in expr.children
+            )
+        )
+    if isinstance(expr, Not):
+        return Not(_resolve_subqueries(db, expr.child, host_vars, goals, retrievals))
+    return expr

@@ -1,0 +1,383 @@
+"""Recursive-descent SQL parser producing logical plans.
+
+Supports the single-table subset the paper works in, plus nested
+subqueries via ``IN (select ...)`` and ``EXISTS (select ...)``, and the
+Rdb/VMS extensions ``LIMIT TO n ROWS`` and ``OPTIMIZE FOR FAST FIRST /
+TOTAL TIME``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.goals import OptimizationGoal
+from repro.errors import SqlSyntaxError
+from repro.expr.ast import (
+    ALWAYS_TRUE,
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    HostVar,
+    InList,
+    Like,
+    Literal,
+    Not,
+    Or,
+    ValueTerm,
+)
+from repro.sql.plan import (
+    Aggregate,
+    AggregateItem,
+    Distinct,
+    Exists,
+    ExistsSubquery,
+    InSubquery,
+    Limit,
+    PlanNode,
+    Project,
+    Retrieve,
+    Sort,
+)
+from repro.sql.tokenizer import Token, tokenize
+
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass
+class ParsedQuery:
+    """A parsed statement: the plan tree plus the statement-level goal."""
+
+    plan: PlanNode
+    goal: OptimizationGoal
+
+
+def parse(sql: str) -> ParsedQuery:
+    """Parse one SELECT statement."""
+    parser = _Parser(tokenize(sql))
+    query = parser.select_statement()
+    parser.expect_end()
+    return query
+
+
+def parse_any(sql: str):
+    """Parse any supported statement: a SELECT (returns
+    :class:`ParsedQuery`) or a DDL/DML statement (returns a
+    :mod:`repro.sql.ddl` statement object)."""
+    parser = _Parser(tokenize(sql))
+    if parser.current.is_keyword("select"):
+        query = parser.select_statement()
+        parser.expect_end()
+        return query
+    from repro.sql.ddl import parse_ddl
+
+    statement = parse_ddl(parser)
+    parser.expect_end()
+    return statement
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word.upper()}, found {self.current.value!r}",
+                self.current.position,
+            )
+
+    def accept_op(self, op: str) -> bool:
+        if self.current.kind == "op" and self.current.value == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            raise SqlSyntaxError(
+                f"expected {op!r}, found {self.current.value!r}", self.current.position
+            )
+
+    def expect_name(self) -> str:
+        if self.current.kind != "name":
+            raise SqlSyntaxError(
+                f"expected a name, found {self.current.value!r}", self.current.position
+            )
+        return self.advance().value
+
+    def expect_end(self) -> None:
+        if self.current.kind != "end":
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self.current.value!r}", self.current.position
+            )
+
+    # -- grammar ------------------------------------------------------------------
+
+    def select_statement(self) -> ParsedQuery:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        star, columns, aggregates = self.select_list()
+        if aggregates and columns:
+            raise SqlSyntaxError(
+                "mixing plain columns with aggregates requires GROUP BY, "
+                "which this subset does not support"
+            )
+        self.expect_keyword("from")
+        table = self.expect_name()
+        restriction: Expr = ALWAYS_TRUE
+        subplans: list[PlanNode] = []
+        if self.accept_keyword("where"):
+            restriction = self.or_expr(table, subplans)
+        order_keys: list[str] = []
+        order_desc: list[bool] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            while True:
+                order_keys.append(self.column_name(table))
+                if self.accept_keyword("desc"):
+                    order_desc.append(True)
+                else:
+                    self.accept_keyword("asc")
+                    order_desc.append(False)
+                if not self.accept_op(","):
+                    break
+        limit: int | None = None
+        if self.accept_keyword("limit"):
+            self.expect_keyword("to")
+            if self.current.kind != "number":
+                raise SqlSyntaxError("LIMIT TO expects a number", self.current.position)
+            limit = int(self.advance().value)
+            self.expect_keyword("rows")
+        goal = OptimizationGoal.DEFAULT
+        if self.accept_keyword("optimize"):
+            self.expect_keyword("for")
+            if self.accept_keyword("fast"):
+                self.expect_keyword("first")
+                goal = OptimizationGoal.FAST_FIRST
+            else:
+                self.expect_keyword("total")
+                self.expect_keyword("time")
+                goal = OptimizationGoal.TOTAL_TIME
+
+        output: tuple[str, ...] | None
+        if star:
+            output = None
+        else:
+            needed = list(columns)
+            for item in aggregates:
+                if item.argument is not None and item.argument not in needed:
+                    needed.append(item.argument)
+            for key in order_keys:
+                if key not in needed:
+                    needed.append(key)
+            output = tuple(needed)
+
+        node: PlanNode = Retrieve(
+            children=tuple(subplans),
+            table=table,
+            restriction=restriction,
+            output_columns=output,
+        )
+        if aggregates:
+            node = Aggregate(children=(node,), items=tuple(aggregates))
+        if order_keys:
+            node = Sort(children=(node,), keys=tuple(order_keys), descending=tuple(order_desc))
+        if distinct:
+            node = Distinct(children=(node,))
+        if limit is not None:
+            node = Limit(children=(node,), count=limit)
+        node = Project(children=(node,), columns=tuple(columns) if not star else ())
+        return ParsedQuery(plan=node, goal=goal)
+
+    def select_list(self) -> tuple[bool, list[str], list[AggregateItem]]:
+        if self.accept_op("*"):
+            return True, [], []
+        columns: list[str] = []
+        aggregates: list[AggregateItem] = []
+        while True:
+            token = self.current
+            if token.kind == "keyword" and token.value in AGGREGATE_FUNCTIONS:
+                self.advance()
+                self.expect_op("(")
+                argument: str | None
+                if self.accept_op("*"):
+                    if token.value != "count":
+                        raise SqlSyntaxError(
+                            f"{token.value}(*) is not valid", token.position
+                        )
+                    argument = None
+                else:
+                    argument = self.column_name(None)
+                self.expect_op(")")
+                alias = f"{token.value}({argument or '*'})"
+                if self.accept_keyword("as"):
+                    alias = self.expect_name()
+                aggregates.append(AggregateItem(token.value, argument, alias))
+            else:
+                columns.append(self.column_name(None))
+                if self.accept_keyword("as"):
+                    self.expect_name()  # aliases accepted, projection keeps base name
+            if not self.accept_op(","):
+                return False, columns, aggregates
+
+    def column_name(self, table: str | None) -> str:
+        first = self.expect_name()
+        if self.accept_op("."):
+            second = self.expect_name()
+            if table is not None and first != table:
+                raise SqlSyntaxError(
+                    f"qualifier {first!r} does not match table {table!r}",
+                    self.current.position,
+                )
+            return second
+        return first
+
+    # -- boolean expressions ------------------------------------------------------
+
+    def or_expr(self, table: str, subplans: list[PlanNode]) -> Expr:
+        terms = [self.and_expr(table, subplans)]
+        while self.accept_keyword("or"):
+            terms.append(self.and_expr(table, subplans))
+        return terms[0] if len(terms) == 1 else Or(tuple(terms))
+
+    def and_expr(self, table: str, subplans: list[PlanNode]) -> Expr:
+        terms = [self.not_expr(table, subplans)]
+        while self.accept_keyword("and"):
+            terms.append(self.not_expr(table, subplans))
+        return terms[0] if len(terms) == 1 else And(tuple(terms))
+
+    def not_expr(self, table: str, subplans: list[PlanNode]) -> Expr:
+        if self.accept_keyword("not"):
+            return Not(self.not_expr(table, subplans))
+        return self.primary(table, subplans)
+
+    def primary(self, table: str, subplans: list[PlanNode]) -> Expr:
+        if self.current.is_keyword("exists"):
+            self.advance()
+            self.expect_op("(")
+            subquery = self.select_statement()
+            self.expect_op(")")
+            exists_node = Exists(children=(subquery.plan,))
+            subplans.append(exists_node)
+            return ExistsSubquery(plan=exists_node)
+        if self.accept_op("("):
+            expr = self.or_expr(table, subplans)
+            self.expect_op(")")
+            return expr
+        return self.predicate(table, subplans)
+
+    def predicate(self, table: str, subplans: list[PlanNode]) -> Expr:
+        left = self.operand(table)
+        token = self.current
+        if token.is_keyword("between"):
+            self.advance()
+            lo = self.operand(table)
+            self.expect_keyword("and")
+            hi = self.operand(table)
+            column = self._require_column(left, token)
+            return Between(column, lo, hi)
+        if token.is_keyword("not"):
+            # col NOT BETWEEN / NOT IN / NOT LIKE
+            self.advance()
+            inner = self.predicate_tail_after_not(table, subplans, left)
+            return Not(inner)
+        if token.is_keyword("in"):
+            self.advance()
+            return self.in_tail(table, subplans, left)
+        if token.is_keyword("like"):
+            self.advance()
+            column = self._require_column(left, token)
+            if self.current.kind != "string":
+                raise SqlSyntaxError("LIKE expects a string pattern", self.current.position)
+            return Like(column, self.advance().value)
+        if token.kind == "op" and token.value in ("=", "<>", "<", "<=", ">", ">="):
+            self.advance()
+            right = self.operand(table)
+            return Comparison(token.value, left, right)
+        raise SqlSyntaxError(
+            f"expected a predicate operator, found {token.value!r}", token.position
+        )
+
+    def predicate_tail_after_not(
+        self, table: str, subplans: list[PlanNode], left: ValueTerm
+    ) -> Expr:
+        token = self.current
+        if token.is_keyword("between"):
+            self.advance()
+            lo = self.operand(table)
+            self.expect_keyword("and")
+            hi = self.operand(table)
+            return Between(self._require_column(left, token), lo, hi)
+        if token.is_keyword("in"):
+            self.advance()
+            return self.in_tail(table, subplans, left)
+        if token.is_keyword("like"):
+            self.advance()
+            if self.current.kind != "string":
+                raise SqlSyntaxError("LIKE expects a string pattern", self.current.position)
+            return Like(self._require_column(left, token), self.advance().value)
+        raise SqlSyntaxError(
+            f"expected BETWEEN, IN, or LIKE after NOT, found {token.value!r}",
+            token.position,
+        )
+
+    def in_tail(self, table: str, subplans: list[PlanNode], left: ValueTerm) -> Expr:
+        column = self._require_column(left, self.current)
+        self.expect_op("(")
+        if self.current.is_keyword("select"):
+            subquery = self.select_statement()
+            self.expect_op(")")
+            subplans.append(subquery.plan)
+            return InSubquery(column=column, plan=subquery.plan)
+        values: list[ValueTerm] = [self.operand(table)]
+        while self.accept_op(","):
+            values.append(self.operand(table))
+        self.expect_op(")")
+        return InList(column, tuple(values))
+
+    def operand(self, table: str | None) -> ValueTerm:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "hostvar":
+            self.advance()
+            return HostVar(token.value)
+        if token.kind == "name":
+            return ColumnRef(self.column_name(table))
+        raise SqlSyntaxError(
+            f"expected a value or column, found {token.value!r}", token.position
+        )
+
+    @staticmethod
+    def _require_column(term: ValueTerm, token: Token) -> ColumnRef:
+        if not isinstance(term, ColumnRef):
+            raise SqlSyntaxError(
+                "this predicate requires a column on the left-hand side", token.position
+            )
+        return term

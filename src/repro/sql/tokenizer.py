@@ -1,0 +1,119 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = frozenset(
+    """
+    select distinct from where and or not between in exists like
+    order by asc desc limit to rows optimize for fast first total time
+    count sum avg min max as is null
+    create table index unique on insert into values drop analyze
+    """.split()
+)
+
+#: multi-character operators first so '<=' wins over '<'
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # keyword | name | number | string | op | hostvar | end
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Case-insensitive keyword test."""
+        return self.kind == "keyword" and self.value == word
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL text into tokens; raises :class:`SqlSyntaxError`."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "-" and text[index : index + 2] == "--":
+            newline = text.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if char == ":":
+            start = index + 1
+            end = start
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            if end == start:
+                raise SqlSyntaxError("':' must be followed by a host variable name", index)
+            yield Token("hostvar", text[start:end], index)
+            index = end
+            continue
+        if char == "'":
+            end = index + 1
+            chunks: list[str] = []
+            while True:
+                if end >= length:
+                    raise SqlSyntaxError("unterminated string literal", index)
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        chunks.append("'")
+                        end += 2
+                        continue
+                    break
+                chunks.append(text[end])
+                end += 1
+            yield Token("string", "".join(chunks), index)
+            index = end + 1
+            continue
+        # note: str.isdigit() accepts non-ASCII digits like '²' that int()
+        # rejects, so number scanning is restricted to ASCII explicitly
+        ascii_digits = "0123456789"
+        if char in ascii_digits or (
+            char == "-" and index + 1 < length and text[index + 1] in ascii_digits
+        ):
+            end = index + 1
+            seen_dot = False
+            while end < length and (
+                text[end] in ascii_digits or (text[end] == "." and not seen_dot)
+            ):
+                if text[end] == ".":
+                    # "1." followed by a non-digit is a name boundary, not a float
+                    if end + 1 >= length or text[end + 1] not in ascii_digits:
+                        break
+                    seen_dot = True
+                end += 1
+            yield Token("number", text[index:end], index)
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                yield Token("keyword", lowered, index)
+            else:
+                yield Token("name", word, index)
+            index = end
+            continue
+        for operator in OPERATORS:
+            if text.startswith(operator, index):
+                yield Token("op", "<>" if operator == "!=" else operator, index)
+                index += len(operator)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {char!r}", index)
+    yield Token("end", "", length)

@@ -1,0 +1,173 @@
+"""LRU buffer pool with per-process cost attribution.
+
+The paper's dynamic optimizer charges each competing strategy for the
+physical I/O it causes. The pool therefore takes a :class:`CostMeter` on
+every access: hits are (almost) free, misses charge one I/O to the meter.
+
+The pool also provides the *cache interference* hook the paper discusses in
+Section 3(c): "the pattern of caching the disk pages is influenced by many
+asynchronous processes totally unrelated to a given retrieval". Benchmarks
+inject interference by evicting random pages between steps.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import random
+
+from repro.storage.pager import Page, Pager, PageKind
+
+
+@dataclass
+class CostMeter:
+    """Accumulates the cost charged to one process/strategy.
+
+    Costs are in units of one physical page I/O. CPU work is charged in
+    small fractions of that unit so that ties between otherwise equal plans
+    break in favour of less CPU work, as in the paper's cost model.
+    """
+
+    name: str = ""
+    io_reads: int = 0
+    io_writes: int = 0
+    buffer_hits: int = 0
+    cpu: float = 0.0
+    #: breakdown of read misses per page kind
+    reads_by_kind: dict[PageKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in PageKind}
+    )
+
+    @property
+    def total(self) -> float:
+        """Total cost: physical I/Os plus fractional CPU cost."""
+        return self.io_reads + self.io_writes + self.cpu
+
+    @property
+    def io_total(self) -> int:
+        """Physical I/O count only (paper's headline metric)."""
+        return self.io_reads + self.io_writes
+
+    def charge_cpu(self, amount: float) -> None:
+        """Charge ``amount`` page-I/O-equivalents of CPU work."""
+        self.cpu += amount
+
+    def merge(self, other: "CostMeter") -> None:
+        """Fold another meter's charges into this one."""
+        self.io_reads += other.io_reads
+        self.io_writes += other.io_writes
+        self.buffer_hits += other.buffer_hits
+        self.cpu += other.cpu
+        for kind, count in other.reads_by_kind.items():
+            self.reads_by_kind[kind] += count
+
+    def snapshot(self) -> "CostMeter":
+        """Return a copy of the current charges."""
+        copy = CostMeter(name=self.name)
+        copy.merge(self)
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CostMeter({self.name!r}, reads={self.io_reads}, "
+            f"writes={self.io_writes}, hits={self.buffer_hits}, cpu={self.cpu:.3f})"
+        )
+
+
+#: Meter used when the caller does not care about attribution.
+NULL_METER = CostMeter(name="<null>")
+
+
+class BufferPool:
+    """A fixed-capacity LRU page cache over a :class:`Pager`.
+
+    All engine page access goes through :meth:`get`. The pool is shared by
+    all processes of a retrieval (and between retrievals), so the cache state
+    itself is a source of the cost uncertainty the paper exploits.
+    """
+
+    def __init__(self, pager: Pager, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("buffer pool capacity must be >= 1")
+        self.pager = pager
+        self.capacity = capacity
+        self._cache: OrderedDict[int, Page] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get(self, page_id: int, meter: CostMeter = NULL_METER) -> Page:
+        """Fetch a page, charging ``meter`` one read on a miss."""
+        page = self._cache.get(page_id)
+        if page is not None:
+            self._cache.move_to_end(page_id)
+            self.hits += 1
+            meter.buffer_hits += 1
+            return page
+        page = self.pager.read(page_id)
+        self.misses += 1
+        meter.io_reads += 1
+        meter.reads_by_kind[page.kind] += 1
+        self._admit(page)
+        return page
+
+    def put(self, page: Page, meter: CostMeter = NULL_METER) -> None:
+        """Write a page through the cache, charging one write."""
+        self.pager.write(page)
+        meter.io_writes += 1
+        self._admit(page)
+
+    def allocate(
+        self,
+        kind: PageKind,
+        owner: str = "",
+        payload: object = None,
+        meter: CostMeter = NULL_METER,
+    ) -> Page:
+        """Allocate a new page through the cache, charging one write."""
+        page = self.pager.allocate(kind, owner=owner, payload=payload)
+        meter.io_writes += 1
+        self._admit(page)
+        return page
+
+    def _admit(self, page: Page) -> None:
+        self._cache[page.page_id] = page
+        self._cache.move_to_end(page.page_id)
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+
+    # -- cache management -------------------------------------------------
+
+    def evict(self, page_id: int) -> None:
+        """Drop one page from the cache if present."""
+        self._cache.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Empty the cache (cold-start benchmarks)."""
+        self._cache.clear()
+
+    def evict_random(self, fraction: float, rng: random.Random) -> int:
+        """Simulate cache interference from unrelated queries.
+
+        Evicts roughly ``fraction`` of cached pages chosen uniformly at
+        random. Returns the number of evicted pages.
+        """
+        if not self._cache or fraction <= 0:
+            return 0
+        count = max(1, int(len(self._cache) * min(fraction, 1.0)))
+        victims = rng.sample(list(self._cache.keys()), count)
+        for page_id in victims:
+            del self._cache[page_id]
+        return count
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of accesses served from cache (0 when no accesses)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

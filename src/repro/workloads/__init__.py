@@ -1,0 +1,31 @@
+"""Synthetic workload generation.
+
+The paper's uncertainty sources — skewed data, correlated columns,
+clustered vs scattered physical placement, parameterized repeated queries —
+are produced here so benchmarks, examples, and tests share the same
+scenario definitions.
+"""
+
+from repro.workloads.generators import (
+    clustered_permutation,
+    correlated_pair,
+    normal_ints,
+    uniform_ints,
+    zipf_ints,
+)
+from repro.workloads.scenarios import (
+    build_families_table,
+    build_multi_index_orders,
+    build_parts_table,
+)
+
+__all__ = [
+    "clustered_permutation",
+    "correlated_pair",
+    "normal_ints",
+    "uniform_ints",
+    "zipf_ints",
+    "build_families_table",
+    "build_multi_index_orders",
+    "build_parts_table",
+]

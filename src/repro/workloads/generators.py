@@ -1,0 +1,82 @@
+"""Column-value generators for synthetic workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_ints(rng: np.random.Generator, n: int, lo: int, hi: int) -> list[int]:
+    """``n`` integers uniform on [lo, hi] inclusive."""
+    return [int(v) for v in rng.integers(lo, hi + 1, size=n)]
+
+
+def zipf_ints(rng: np.random.Generator, n: int, values: int, skew: float = 1.2) -> list[int]:
+    """``n`` integers in [0, values) with a Zipf(``skew``) frequency profile.
+
+    The paper (and [Zipf49]) motivates Zipf-like skew as the normal state of
+    intermediate selectivities; this generator puts it into base data.
+    """
+    ranks = np.arange(1, values + 1, dtype=float)
+    weights = ranks**-skew
+    weights /= weights.sum()
+    return [int(v) for v in rng.choice(values, size=n, p=weights)]
+
+
+def normal_ints(
+    rng: np.random.Generator, n: int, mean: float, std: float, lo: int, hi: int
+) -> list[int]:
+    """``n`` integers from a clipped normal distribution."""
+    values = np.clip(np.round(rng.normal(mean, std, size=n)), lo, hi)
+    return [int(v) for v in values]
+
+
+def correlated_pair(
+    rng: np.random.Generator,
+    n: int,
+    lo: int,
+    hi: int,
+    correlation: float,
+) -> tuple[list[int], list[int]]:
+    """Two integer columns with (approximately) the given rank correlation.
+
+    Implemented via a Gaussian copula: correlated normals are mapped to
+    uniform ranks and scaled to [lo, hi]. Column correlation is the paper's
+    central unknown — Section 2's "unknown correlation" mixture models
+    precisely our ignorance of this parameter.
+    """
+    if not -1.0 <= correlation <= 1.0:
+        raise ValueError("correlation must be within [-1, 1]")
+    base = rng.normal(size=n)
+    noise = rng.normal(size=n)
+    second = correlation * base + np.sqrt(max(0.0, 1.0 - correlation**2)) * noise
+    span = hi - lo
+
+    def to_ints(values: np.ndarray) -> list[int]:
+        ranks = values.argsort().argsort().astype(float) / max(1, n - 1)
+        return [int(lo + round(rank * span)) for rank in ranks]
+
+    return to_ints(base), to_ints(second)
+
+
+def clustered_permutation(
+    rng: np.random.Generator, values: list[int], clustering: float
+) -> list[int]:
+    """Reorder ``values`` so physical order correlates with value order.
+
+    ``clustering`` = 1 produces perfectly clustered placement (index order
+    == physical order, the cheap case for range fetches); 0 produces a
+    random shuffle (the expensive case). Intermediate values blend the two
+    by perturbing sorted positions with noise — the "clustering effect
+    [that] may not be known or may be hard to detect" (Section 3(b)).
+    """
+    if not 0.0 <= clustering <= 1.0:
+        raise ValueError("clustering must be within [0, 1]")
+    n = len(values)
+    if n == 0:
+        return []
+    sorted_values = sorted(values)
+    # each sorted item gets a physical-position score blending its sorted
+    # rank with a random rank; the physical sequence sorts by that score
+    noise = rng.permutation(n).astype(float)
+    scores = clustering * np.arange(n, dtype=float) + (1.0 - clustering) * noise
+    return [sorted_values[int(i)] for i in np.argsort(scores, kind="stable")]

@@ -1,0 +1,96 @@
+"""Canned scenarios shared by examples, benchmarks, and integration tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.session import Database
+from repro.db.table import Table
+from repro.workloads.generators import (
+    clustered_permutation,
+    correlated_pair,
+    uniform_ints,
+    zipf_ints,
+)
+
+
+def build_families_table(
+    db: Database,
+    rows: int = 4000,
+    max_age: int = 120,
+    seed: int = 42,
+    clustering: float = 0.0,
+) -> Table:
+    """The Section 4 FAMILIES table: AGE with a realistic (skewed) profile.
+
+    ``select * from FAMILIES where AGE >= :A1`` with A1 in {0, 200} is the
+    paper's motivating query: all rows vs none, undecidable at compile time.
+    """
+    rng = np.random.default_rng(seed)
+    table = db.create_table(
+        "FAMILIES", [("ID", "int"), ("AGE", "int"), ("INCOME", "int"), ("SIZE", "int")]
+    )
+    ages = [min(max_age, value) for value in zipf_ints(rng, rows, max_age + 1, skew=0.8)]
+    ages = clustered_permutation(rng, ages, clustering)
+    incomes = uniform_ints(rng, rows, 10_000, 200_000)
+    sizes = uniform_ints(rng, rows, 1, 8)
+    for i in range(rows):
+        table.insert((i, ages[i], incomes[i], sizes[i]))
+    table.create_index("IX_AGE", ["AGE"])
+    table.analyze()
+    return table
+
+
+def build_parts_table(
+    db: Database,
+    rows: int = 6000,
+    seed: int = 7,
+    correlation: float = 0.0,
+) -> Table:
+    """A PARTS table with three fetch-needed single-column indexes.
+
+    COLOR is low-cardinality Zipf-skewed, WEIGHT and SIZE are correlated
+    numerics — the multi-index AND workload Jscan was built for.
+    """
+    rng = np.random.default_rng(seed)
+    table = db.create_table(
+        "PARTS",
+        [("PNO", "int"), ("COLOR", "int"), ("WEIGHT", "int"), ("SIZE", "int"),
+         ("PRICE", "int")],
+    )
+    colors = zipf_ints(rng, rows, 20, skew=1.1)
+    weights, sizes = correlated_pair(rng, rows, 1, 1000, correlation)
+    prices = uniform_ints(rng, rows, 1, 10_000)
+    for i in range(rows):
+        table.insert((i, colors[i], weights[i], sizes[i], prices[i]))
+    table.create_index("IX_COLOR", ["COLOR"])
+    table.create_index("IX_WEIGHT", ["WEIGHT"])
+    table.create_index("IX_SIZE", ["SIZE"])
+    table.analyze()
+    return table
+
+
+def build_multi_index_orders(
+    db: Database,
+    rows: int = 8000,
+    seed: int = 99,
+) -> Table:
+    """An ORDERS table: date-clustered placement, plus customer/status
+    indexes, and a covering (self-sufficient) index for status counts."""
+    rng = np.random.default_rng(seed)
+    table = db.create_table(
+        "ORDERS",
+        [("ONO", "int"), ("CUSTOMER", "int"), ("ODATE", "int"), ("STATUS", "int"),
+         ("AMOUNT", "int")],
+    )
+    dates = sorted(uniform_ints(rng, rows, 20_000, 21_000))  # clustered by date
+    customers = zipf_ints(rng, rows, 500, skew=1.3)
+    statuses = zipf_ints(rng, rows, 6, skew=1.5)
+    amounts = uniform_ints(rng, rows, 1, 100_000)
+    for i in range(rows):
+        table.insert((i, customers[i], dates[i], statuses[i], amounts[i]))
+    table.create_index("IX_CUSTOMER", ["CUSTOMER"])
+    table.create_index("IX_DATE", ["ODATE"])
+    table.create_index("IX_STATUS_DATE", ["STATUS", "ODATE"])
+    table.analyze()
+    return table

@@ -1,0 +1,87 @@
+"""Property-based tests: the B+-tree against a sorted-list oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.btree.tree import BTree, KeyRange
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+from repro.storage.rid import RID
+
+keys = st.lists(st.integers(min_value=-50, max_value=50), max_size=120)
+
+
+def build(key_list, order=4):
+    tree = BTree(BufferPool(Pager(), 512), "ix", order=order)
+    entries = []
+    for i, key in enumerate(key_list):
+        rid = RID(i, 0)
+        tree.insert(key, rid)
+        entries.append(((key,), rid))
+    return tree, sorted(entries)
+
+
+@given(keys, st.sampled_from([4, 5, 8, 16]))
+@settings(max_examples=60)
+def test_entries_match_sorted_oracle(key_list, order):
+    tree, oracle = build(key_list, order)
+    assert list(tree.entries()) == oracle
+    tree.check_invariants()
+
+
+@given(keys, st.integers(-60, 60), st.integers(-60, 60))
+@settings(max_examples=60)
+def test_range_scan_matches_oracle(key_list, a, b):
+    lo, hi = min(a, b), max(a, b)
+    tree, oracle = build(key_list)
+    got = [(key, rid) for key, rid in tree.scan_range(KeyRange(lo=(lo,), hi=(hi,)))]
+    expected = [(key, rid) for key, rid in oracle if lo <= key[0] <= hi]
+    assert got == expected
+
+
+@given(keys, st.integers(-60, 60), st.integers(-60, 60), st.booleans(), st.booleans())
+@settings(max_examples=60)
+def test_range_scan_bound_flags(key_list, a, b, lo_inc, hi_inc):
+    lo, hi = min(a, b), max(a, b)
+    tree, oracle = build(key_list)
+    key_range = KeyRange(lo=(lo,), hi=(hi,), lo_inclusive=lo_inc, hi_inclusive=hi_inc)
+    got = [key[0] for key, _ in tree.scan_range(key_range)]
+    expected = [
+        key[0]
+        for key, _ in oracle
+        if (key[0] > lo or (lo_inc and key[0] == lo))
+        and (key[0] < hi or (hi_inc and key[0] == hi))
+    ]
+    assert got == expected
+
+
+@given(keys)
+@settings(max_examples=40)
+def test_delete_everything_leaves_empty_tree(key_list):
+    tree, oracle = build(key_list)
+    for key, rid in oracle:
+        assert tree.delete(key, rid)
+    assert tree.entry_count == 0
+    assert list(tree.entries()) == []
+
+
+@given(keys, st.data())
+@settings(max_examples=40)
+def test_interleaved_insert_delete_matches_oracle(key_list, data):
+    tree = BTree(BufferPool(Pager(), 512), "ix", order=4)
+    live: list = []
+    for i, key in enumerate(key_list):
+        tree.insert(key, RID(i, 0))
+        live.append(((key,), RID(i, 0)))
+        if live and data.draw(st.booleans()):
+            victim = data.draw(st.sampled_from(live))
+            live.remove(victim)
+            assert tree.delete(victim[0], victim[1])
+    assert list(tree.entries()) == sorted(live)
+
+
+@given(keys)
+@settings(max_examples=40)
+def test_exact_count_matches_scan(key_list):
+    tree, _ = build(key_list)
+    key_range = KeyRange(lo=(-10,), hi=(10,))
+    assert tree.count_range_exact(key_range) == len(list(tree.scan_range(key_range)))

@@ -1,0 +1,108 @@
+"""Tests for the analytic L-shaped cost model and competition arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.competition.model import (
+    LShapedCost,
+    sequential_switch_expected_cost,
+    simultaneous_expected_cost,
+    traditional_expected_cost,
+)
+from repro.errors import CompetitionError
+
+
+def test_from_c_and_mean_matches_targets():
+    dist = LShapedCost.from_c_and_mean(c=10, mean=100)
+    assert dist.median() == pytest.approx(10, rel=1e-6)
+    assert dist.mean() == pytest.approx(100, rel=1e-6)
+
+
+def test_from_c_and_mean_requires_l_shape():
+    with pytest.raises(CompetitionError):
+        LShapedCost.from_c_and_mean(c=60, mean=50)
+    with pytest.raises(CompetitionError):
+        LShapedCost.from_c_and_mean(c=0, mean=50)
+
+
+def test_cdf_quantile_inverse():
+    dist = LShapedCost.from_c_and_mean(c=5, mean=40)
+    for q in (0.1, 0.5, 0.9):
+        assert dist.cdf(float(dist.quantile(q))) == pytest.approx(q, abs=1e-9)
+
+
+def test_cdf_clamps():
+    dist = LShapedCost.from_c_and_mean(c=5, mean=40)
+    assert float(dist.cdf(-1.0)) == 0.0
+    assert float(dist.cdf(dist.H * 2)) == pytest.approx(1.0)
+
+
+def test_half_mass_below_median():
+    dist = LShapedCost.from_c_and_mean(c=7, mean=70)
+    assert float(dist.cdf(dist.median())) == pytest.approx(0.5, abs=1e-9)
+
+
+def test_conditional_mean_below_median_is_small():
+    dist = LShapedCost.from_c_and_mean(c=10, mean=100)
+    m = dist.conditional_mean_below(dist.median())
+    assert 0 < m < dist.median()
+
+
+def test_conditional_mean_full_range_is_mean():
+    dist = LShapedCost.from_c_and_mean(c=10, mean=100)
+    assert dist.conditional_mean_below(dist.H) == pytest.approx(dist.mean(), rel=1e-6)
+
+
+def test_sampling_statistics():
+    dist = LShapedCost.from_c_and_mean(c=10, mean=100)
+    rng = np.random.default_rng(42)
+    samples = dist.sample(rng, 20_000)
+    assert samples.mean() == pytest.approx(100, rel=0.05)
+    assert np.median(samples) == pytest.approx(10, rel=0.1)
+    assert samples.min() >= 0
+    assert samples.max() <= dist.H + 1e-9
+
+
+def test_paper_sequential_arithmetic():
+    """(m2 + c2 + M1)/2 'about twice smaller than the traditional M1'."""
+    plan_1 = LShapedCost.from_c_and_mean(c=10, mean=100)
+    plan_2 = LShapedCost.from_c_and_mean(c=8, mean=120)
+    m2 = plan_2.conditional_mean_below(plan_2.median())
+    sequential = sequential_switch_expected_cost(m2, plan_2.median(), plan_1.mean())
+    traditional = traditional_expected_cost(plan_1.mean())
+    assert sequential < 0.62 * traditional  # "about twice smaller"
+    assert sequential == pytest.approx((m2 + 8 + 100) / 2, rel=1e-9)
+
+
+def test_sequential_beats_traditional_generally():
+    for c, mean in [(5, 50), (2, 200), (20, 90)]:
+        plan = LShapedCost.from_c_and_mean(c=c, mean=mean)
+        m = plan.conditional_mean_below(plan.median())
+        assert sequential_switch_expected_cost(m, plan.median(), mean) < mean
+
+
+def test_simultaneous_beats_sequential_on_hyperbolas():
+    """Paper: 'a still better approach is to run both plans simultaneously'."""
+    plan_1 = LShapedCost.from_c_and_mean(c=10, mean=100)
+    plan_2 = LShapedCost.from_c_and_mean(c=8, mean=120)
+    m2 = plan_2.conditional_mean_below(plan_2.median())
+    sequential = sequential_switch_expected_cost(m2, plan_2.median(), plan_1.mean())
+    simultaneous = simultaneous_expected_cost(plan_1, plan_2)
+    assert simultaneous < sequential
+
+
+def test_simultaneous_with_explicit_switch_point():
+    plan_1 = LShapedCost.from_c_and_mean(c=10, mean=100)
+    plan_2 = LShapedCost.from_c_and_mean(c=8, mean=120)
+    at_median = simultaneous_expected_cost(plan_1, plan_2, switch_point=plan_2.median())
+    optimal = simultaneous_expected_cost(plan_1, plan_2)
+    assert optimal <= at_median + 1e-6
+
+
+def test_simultaneous_speed_ratio_effect():
+    plan_1 = LShapedCost.from_c_and_mean(c=10, mean=100)
+    plan_2 = LShapedCost.from_c_and_mean(c=8, mean=120)
+    balanced = simultaneous_expected_cost(plan_1, plan_2, speed_a=1, speed_b=1)
+    challenger_starved = simultaneous_expected_cost(plan_1, plan_2, speed_a=1, speed_b=0.01)
+    # starving the challenger converges to running plan 1 alone (~M1)
+    assert challenger_starved > balanced

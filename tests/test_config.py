@@ -1,0 +1,47 @@
+"""Tests for the engine configuration object."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, EngineConfig
+
+
+def test_defaults_match_paper_numbers():
+    assert DEFAULT_CONFIG.switch_threshold == 0.95  # "e.g. becomes 95%"
+    assert DEFAULT_CONFIG.static_rid_buffer_size == 20  # "lists up to 20 RIDs"
+
+
+def test_with_creates_modified_copy():
+    modified = DEFAULT_CONFIG.with_(switch_threshold=0.5)
+    assert modified.switch_threshold == 0.5
+    assert DEFAULT_CONFIG.switch_threshold == 0.95
+    assert modified.static_rid_buffer_size == DEFAULT_CONFIG.static_rid_buffer_size
+
+
+def test_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DEFAULT_CONFIG.switch_threshold = 0.1  # type: ignore[misc]
+
+
+def test_with_unknown_field_rejected():
+    with pytest.raises(TypeError):
+        DEFAULT_CONFIG.with_(nonexistent=1)
+
+
+def test_custom_config_flows_through_engine():
+    from repro.db.session import Database
+    from repro.expr.ast import col
+
+    config = EngineConfig(dynamic_estimation=False, simultaneous_adjacent_scans=False)
+    db = Database(buffer_capacity=32, config=config)
+    table = db.create_table("T", [("A", "int")])
+    for i in range(50):
+        table.insert((i,))
+    table.create_index("IX", ["A"])
+    result = table.select(where=col("A") < 10)
+    # with dynamic estimation off, no initial-estimate events appear
+    from repro.engine.metrics import EventKind
+
+    assert not result.trace.has(EventKind.INITIAL_ESTIMATE)
+    assert len(result.rows) == 10

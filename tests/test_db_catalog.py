@@ -1,0 +1,111 @@
+"""Tests for schemas, index metadata, and histograms."""
+
+import pytest
+
+from repro.btree.tree import BTree
+from repro.db.catalog import Column, Histogram, IndexInfo, TableSchema
+from repro.errors import CatalogError
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+
+
+def test_column_type_validation():
+    Column("A", "int")
+    with pytest.raises(CatalogError):
+        Column("A", "blob")
+
+
+def test_schema_requires_columns():
+    with pytest.raises(CatalogError):
+        TableSchema([])
+
+
+def test_schema_rejects_duplicates():
+    with pytest.raises(CatalogError):
+        TableSchema([Column("A"), Column("A")])
+
+
+def test_schema_positions():
+    schema = TableSchema([Column("A"), Column("B"), Column("C")])
+    assert schema.index_of("B") == 1
+    assert schema.names == ("A", "B", "C")
+    assert "B" in schema and "Z" not in schema
+    with pytest.raises(CatalogError):
+        schema.index_of("Z")
+
+
+def test_row_from_mapping_fills_none():
+    schema = TableSchema([Column("A"), Column("B")])
+    assert schema.row_from_mapping({"B": 2}) == (None, 2)
+    with pytest.raises(CatalogError):
+        schema.row_from_mapping({"X": 1})
+
+
+def test_validate_row_arity_and_types():
+    schema = TableSchema([Column("A", "int"), Column("B", "str"), Column("C", "float")])
+    assert schema.validate_row((1, "x", 2.5)) == (1, "x", 2.5)
+    assert schema.validate_row((None, None, None)) == (None, None, None)
+    assert schema.validate_row((1, "x", 3)) == (1, "x", 3)  # int ok for float
+    with pytest.raises(CatalogError):
+        schema.validate_row((1, "x"))
+    with pytest.raises(CatalogError):
+        schema.validate_row(("bad", "x", 1.0))
+    with pytest.raises(CatalogError):
+        schema.validate_row((1, 2, 1.0))
+
+
+def _index(columns, positions, unique=False):
+    tree = BTree(BufferPool(Pager(), 16), "ix", order=8)
+    return IndexInfo("ix", tuple(columns), tree, unique, tuple(positions))
+
+
+def test_index_key_extraction():
+    index = _index(["B", "A"], [1, 0])
+    assert index.key_for((10, 20, 30)) == (20, 10)
+
+
+def test_index_covers():
+    index = _index(["A", "B"], [0, 1])
+    assert index.covers({"A"})
+    assert index.covers({"A", "B"})
+    assert not index.covers({"A", "C"})
+
+
+def test_index_provides_order():
+    index = _index(["A", "B"], [0, 1])
+    assert index.provides_order(("A",))
+    assert index.provides_order(("A", "B"))
+    assert not index.provides_order(("B",))
+    assert not index.provides_order(())
+
+
+def test_histogram_selectivity_uniform():
+    histogram = Histogram(list(range(1000)), buckets=10)
+    assert histogram.selectivity_range(0, 999) == pytest.approx(1.0, abs=0.01)
+    assert histogram.selectivity_range(0, 499) == pytest.approx(0.5, abs=0.02)
+    assert histogram.selectivity_range(None, 99) == pytest.approx(0.1, abs=0.02)
+    assert histogram.selectivity_range(900, None) == pytest.approx(0.1, abs=0.02)
+
+
+def test_histogram_empty_and_inverted():
+    histogram = Histogram([], buckets=10)
+    assert histogram.selectivity_range(0, 10) == 0.0
+    filled = Histogram([1, 2, 3])
+    assert filled.selectivity_range(5, 2) == 0.0
+
+
+def test_histogram_single_value():
+    histogram = Histogram([7] * 100, buckets=10)
+    assert histogram.selectivity_range(7, 7) == pytest.approx(1.0)
+    assert histogram.selectivity_range(8, 9) == 0.0
+
+
+def test_histogram_strings():
+    histogram = Histogram(["a", "b", "c", "d"] * 25, buckets=4)
+    full = histogram.selectivity_range("a", "d")
+    assert 0.8 <= full <= 1.0
+
+
+def test_histogram_ignores_none():
+    histogram = Histogram([1, None, 2, None, 3])
+    assert histogram.total == 3

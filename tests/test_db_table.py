@@ -1,0 +1,154 @@
+"""Tests for the Table API and Database session."""
+
+import pytest
+
+from repro.db.catalog import Column
+from repro.db.session import Database
+from repro.errors import CatalogError
+from repro.expr.ast import col
+from repro.storage.rid import RID
+
+
+@pytest.fixture
+def table(db):
+    return db.create_table("T", [("A", "int"), ("B", "str")], rows_per_page=4)
+
+
+def test_insert_positional_and_mapping(table):
+    rid1 = table.insert((1, "x"))
+    rid2 = table.insert({"A": 2, "B": "y"})
+    assert table.row_count == 2
+    assert table.heap.fetch(rid1) == (1, "x")
+    assert table.heap.fetch(rid2) == (2, "y")
+
+
+def test_insert_mapping_missing_column_is_null(table):
+    rid = table.insert({"A": 5})
+    assert table.heap.fetch(rid) == (5, None)
+
+
+def test_insert_many_counts(table):
+    assert table.insert_many([(i, "r") for i in range(10)]) == 10
+    assert table.row_count == 10
+
+
+def test_create_index_backfills(table):
+    table.insert_many([(i, "r") for i in range(20)])
+    info = table.create_index("IX_A", ["A"])
+    assert info.btree.entry_count == 20
+    assert info.btree.search(7) != []
+
+
+def test_create_index_maintained_by_insert(table):
+    info = table.create_index("IX_A", ["A"])
+    rid = table.insert((42, "z"))
+    assert info.btree.search(42) == [rid]
+
+
+def test_duplicate_index_rejected(table):
+    table.create_index("IX_A", ["A"])
+    with pytest.raises(CatalogError):
+        table.create_index("IX_A", ["A"])
+
+
+def test_drop_index(table):
+    table.create_index("IX_A", ["A"])
+    table.drop_index("IX_A")
+    assert "IX_A" not in table.indexes
+    with pytest.raises(CatalogError):
+        table.drop_index("IX_A")
+
+
+def test_delete_rid_maintains_indexes(table):
+    info = table.create_index("IX_A", ["A"])
+    rid = table.insert((9, "q"))
+    table.delete_rid(rid)
+    assert info.btree.search(9) == []
+    assert table.row_count == 0
+
+
+def test_deleted_rows_not_retrieved(table):
+    table.create_index("IX_A", ["A"])
+    rids = [table.insert((i, "r")) for i in range(10)]
+    table.delete_rid(rids[3])
+    result = table.select(where=col("A") >= 0)
+    assert len(result.rows) == 9
+    assert all(row[0] != 3 for row in result.rows)
+
+
+def test_analyze_builds_stats(table):
+    table.insert_many([(i % 5, "r") for i in range(50)])
+    stats = table.analyze()
+    assert stats.row_count == 50
+    assert stats.columns["A"].distinct == 5
+    assert table.stats is stats
+
+
+def test_context_for_is_sticky(table):
+    context = table.context_for("k")
+    assert table.context_for("k") is context
+    assert table.context_for("other") is not context
+
+
+def test_bad_rows_rejected(table):
+    with pytest.raises(CatalogError):
+        table.insert((1,))
+    with pytest.raises(CatalogError):
+        table.insert(("not-int", "x"))
+
+
+# -- Database -----------------------------------------------------------------
+
+
+def test_create_table_column_forms(db):
+    table = db.create_table("MIX", [Column("A", "int"), ("B", "str"), "C"])
+    assert table.schema.names == ("A", "B", "C")
+    assert table.schema.columns[2].type == "int"
+
+
+def test_duplicate_table_rejected(db):
+    db.create_table("T", ["A"])
+    with pytest.raises(CatalogError):
+        db.create_table("T", ["A"])
+
+
+def test_table_lookup(db):
+    created = db.create_table("T", ["A"])
+    assert db.table("T") is created
+    with pytest.raises(CatalogError):
+        db.table("NOPE")
+
+
+def test_drop_table(db):
+    db.create_table("T", ["A"])
+    db.drop_table("T")
+    with pytest.raises(CatalogError):
+        db.drop_table("T")
+
+
+def test_interference_tick_disabled_by_default(db):
+    db.create_table("T", ["A"]).insert((1,))
+    assert db.interference_tick() == 0
+
+
+def test_interference_tick_evicts(db):
+    table = db.create_table("T", ["A"], rows_per_page=4)
+    table.insert_many([(i,) for i in range(100)])
+    list(table.heap.scan())  # warm the cache
+    db.interference_rate = 0.5
+    assert db.interference_tick() > 0
+
+
+def test_cold_cache_forces_reads(db):
+    table = db.create_table("T", ["A"], rows_per_page=4)
+    table.insert_many([(i,) for i in range(40)])
+    list(table.heap.scan())
+    db.cold_cache()
+    result = table.select()
+    assert result.execution_io == table.heap.page_count
+
+
+def test_shared_buffer_pool_across_tables(db):
+    one = db.create_table("ONE", ["A"])
+    two = db.create_table("TWO", ["A"])
+    assert one.buffer_pool is two.buffer_pool is db.buffer_pool

@@ -1,0 +1,113 @@
+"""Tests for the final retrieval stage (Fin)."""
+
+import pytest
+
+from repro.engine.final_stage import FinalStageProcess
+from repro.engine.metrics import RetrievalTrace
+from repro.expr.ast import ALWAYS_TRUE, col
+from repro.storage.buffer_pool import CostMeter
+from repro.storage.rid import RID
+
+
+class Collector:
+    def __init__(self, stop_after=None):
+        self.rows = []
+        self.stop_after = stop_after
+
+    def __call__(self, rid, row):
+        self.rows.append(row)
+        return self.stop_after is None or len(self.rows) < self.stop_after
+
+
+def run(process):
+    while process.active:
+        if process.step():
+            break
+    return process
+
+
+def test_delivers_all_rids_in_sorted_order(people):
+    rids = [rid for rid, row in people.heap.scan() if row[1] >= 50]
+    sink = Collector()
+    process = run(
+        FinalStageProcess(
+            list(reversed(rids)), people.heap, people.schema, ALWAYS_TRUE, {}, sink,
+            RetrievalTrace(),
+        )
+    )
+    assert process.rids == sorted(rids)
+    assert len(sink.rows) == len(rids)
+
+
+def test_reevaluates_restriction(people):
+    all_rids = [rid for rid, _ in people.heap.scan()]
+    sink = Collector()
+    process = run(
+        FinalStageProcess(
+            all_rids, people.heap, people.schema, col("AGE") < 30, {}, sink,
+            RetrievalTrace(),
+        )
+    )
+    assert all(row[1] < 30 for row in sink.rows)
+    assert process.rejected == len(all_rids) - len(sink.rows)
+
+
+def test_skip_rids_filter(people):
+    rids = [rid for rid, _ in people.heap.scan()][:20]
+    skip = set(rids[:5])
+    sink = Collector()
+    process = run(
+        FinalStageProcess(
+            rids, people.heap, people.schema, ALWAYS_TRUE, {}, sink,
+            RetrievalTrace(), skip_rids=lambda rid: rid in skip,
+        )
+    )
+    assert process.skipped == 5
+    assert len(sink.rows) == 15
+
+
+def test_consumer_stop(people):
+    rids = [rid for rid, _ in people.heap.scan()]
+    sink = Collector(stop_after=3)
+    process = run(
+        FinalStageProcess(
+            rids, people.heap, people.schema, ALWAYS_TRUE, {}, sink, RetrievalTrace()
+        )
+    )
+    assert process.stopped_by_consumer
+    assert len(sink.rows) == 3
+
+
+def test_empty_rid_list(people):
+    sink = Collector()
+    process = run(
+        FinalStageProcess([], people.heap, people.schema, ALWAYS_TRUE, {}, sink,
+                          RetrievalTrace())
+    )
+    assert process.finished
+    assert sink.rows == []
+
+
+def test_sorted_fetch_is_page_clustered(people, db):
+    # many rids on few pages: cost ~ distinct pages, not rid count
+    rids = sorted(rid for rid, _ in people.heap.scan())[:32]  # 4 pages x 8 rows
+    db.cold_cache()
+    sink = Collector()
+    process = FinalStageProcess(
+        rids, people.heap, people.schema, ALWAYS_TRUE, {}, sink, RetrievalTrace()
+    )
+    run(process)
+    assert process.meter.io_reads == 4
+
+
+def test_trace_counters(people):
+    trace = RetrievalTrace()
+    rids = [rid for rid, _ in people.heap.scan()][:10]
+    sink = Collector()
+    run(
+        FinalStageProcess(
+            rids, people.heap, people.schema, col("AGE") >= 0, {}, sink, trace
+        )
+    )
+    assert trace.counters.records_fetched == 10
+    assert trace.counters.records_delivered == 10

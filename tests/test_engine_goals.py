@@ -1,0 +1,108 @@
+"""Tests for optimization-goal inference (Section 4 rules)."""
+
+from repro.engine.goals import OptimizationGoal, goal_for_controller, infer_goals
+from repro.sql.plan import (
+    Aggregate,
+    AggregateItem,
+    Distinct,
+    Exists,
+    Limit,
+    Project,
+    Retrieve,
+    Sort,
+)
+
+
+def _retrieve(table="T", children=()):
+    return Retrieve(children=tuple(children), table=table)
+
+
+def test_limit_controls_fast_first():
+    retrieve = _retrieve()
+    root = Limit(children=(retrieve,), count=2)
+    goals = infer_goals(root)
+    assert goals[id(retrieve)] is OptimizationGoal.FAST_FIRST
+
+
+def test_exists_controls_fast_first():
+    retrieve = _retrieve()
+    root = Exists(children=(retrieve,))
+    assert infer_goals(root)[id(retrieve)] is OptimizationGoal.FAST_FIRST
+
+
+def test_sort_controls_total_time():
+    retrieve = _retrieve()
+    root = Sort(children=(retrieve,), keys=("a",), descending=(False,))
+    assert infer_goals(root)[id(retrieve)] is OptimizationGoal.TOTAL_TIME
+
+
+def test_aggregate_controls_total_time():
+    retrieve = _retrieve()
+    root = Aggregate(children=(retrieve,), items=(AggregateItem("count", None, "n"),))
+    assert infer_goals(root)[id(retrieve)] is OptimizationGoal.TOTAL_TIME
+
+
+def test_distinct_controls_total_time():
+    retrieve = _retrieve()
+    root = Distinct(children=(retrieve,))
+    assert infer_goals(root)[id(retrieve)] is OptimizationGoal.TOTAL_TIME
+
+
+def test_nearest_controller_wins():
+    retrieve = _retrieve()
+    inner = Limit(children=(retrieve,), count=1)
+    root = Sort(children=(inner,), keys=("a",), descending=(False,))
+    # limit is nearer to the retrieve than sort
+    assert infer_goals(root)[id(retrieve)] is OptimizationGoal.FAST_FIRST
+
+
+def test_uncontrolled_uses_request():
+    retrieve = _retrieve()
+    root = Project(children=(retrieve,), columns=())
+    goals = infer_goals(root, OptimizationGoal.FAST_FIRST)
+    assert goals[id(retrieve)] is OptimizationGoal.FAST_FIRST
+
+
+def test_uncontrolled_default_is_total_time():
+    retrieve = _retrieve()
+    assert infer_goals(retrieve)[id(retrieve)] is OptimizationGoal.TOTAL_TIME
+
+
+def test_controller_overrides_user_request():
+    retrieve = _retrieve()
+    root = Limit(children=(retrieve,), count=5)
+    goals = infer_goals(root, OptimizationGoal.TOTAL_TIME)
+    assert goals[id(retrieve)] is OptimizationGoal.FAST_FIRST
+
+
+def test_paper_three_table_example():
+    """C fast-first (limit), B total-time (distinct), A total-time (request)."""
+    retrieve_c = _retrieve("C")
+    subquery_c = Project(children=(Limit(children=(retrieve_c,), count=2),), columns=("Z",))
+    retrieve_b = _retrieve("B", children=(subquery_c,))
+    subquery_b = Project(
+        children=(Distinct(children=(retrieve_b,)),), columns=("Y",)
+    )
+    retrieve_a = _retrieve("A", children=(subquery_b,))
+    root = Project(children=(retrieve_a,), columns=())
+    goals = infer_goals(root, OptimizationGoal.TOTAL_TIME)
+    assert goals[id(retrieve_c)] is OptimizationGoal.FAST_FIRST
+    assert goals[id(retrieve_b)] is OptimizationGoal.TOTAL_TIME
+    assert goals[id(retrieve_a)] is OptimizationGoal.TOTAL_TIME
+
+
+def test_goal_for_controller_direct():
+    assert goal_for_controller("limit", OptimizationGoal.DEFAULT) is OptimizationGoal.FAST_FIRST
+    assert goal_for_controller("sort", OptimizationGoal.DEFAULT) is OptimizationGoal.TOTAL_TIME
+    assert goal_for_controller(None, OptimizationGoal.DEFAULT) is OptimizationGoal.TOTAL_TIME
+    assert (
+        goal_for_controller(None, OptimizationGoal.FAST_FIRST)
+        is OptimizationGoal.FAST_FIRST
+    )
+
+
+def test_all_retrieves_get_goals():
+    retrieves = [_retrieve(name) for name in "XYZ"]
+    root = Project(children=tuple(retrieves), columns=())
+    goals = infer_goals(root)
+    assert len(goals) == 3

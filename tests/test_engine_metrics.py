@@ -1,0 +1,50 @@
+"""Tests for the dynamic execution metrics (trace + counters)."""
+
+from repro.engine.metrics import EventKind, RetrievalTrace, TraceEvent
+
+
+def test_emit_and_iterate():
+    trace = RetrievalTrace()
+    trace.emit(EventKind.SCAN_START, strategy="tscan")
+    trace.emit(EventKind.SCAN_COMPLETE, index="IX")
+    assert len(trace) == 2
+    kinds = [event.kind for event in trace]
+    assert kinds == [EventKind.SCAN_START, EventKind.SCAN_COMPLETE]
+
+
+def test_of_kind_preserves_order():
+    trace = RetrievalTrace()
+    trace.emit(EventKind.SCAN_START, n=1)
+    trace.emit(EventKind.SCAN_COMPLETE)
+    trace.emit(EventKind.SCAN_START, n=2)
+    starts = trace.of_kind(EventKind.SCAN_START)
+    assert [event.detail["n"] for event in starts] == [1, 2]
+
+
+def test_has():
+    trace = RetrievalTrace()
+    assert not trace.has(EventKind.SPILL)
+    trace.emit(EventKind.SPILL)
+    assert trace.has(EventKind.SPILL)
+
+
+def test_event_str_format():
+    event = TraceEvent(EventKind.SCAN_ABANDONED, {"index": "IX", "reason": "x"})
+    text = str(event)
+    assert "scan-abandoned" in text
+    assert "index=IX" in text
+
+
+def test_format_is_numbered():
+    trace = RetrievalTrace()
+    trace.emit(EventKind.SCAN_START)
+    trace.emit(EventKind.RETRIEVAL_COMPLETE, rows=3)
+    lines = trace.format().splitlines()
+    assert len(lines) == 2
+    assert lines[0].strip().startswith("0.")
+
+
+def test_counters_default_zero():
+    trace = RetrievalTrace()
+    assert trace.counters.records_delivered == 0
+    assert trace.counters.scans_abandoned == 0

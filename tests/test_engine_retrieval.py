@@ -1,0 +1,181 @@
+"""Integration tests for the retrieval dispatcher: correctness against a
+brute-force oracle on randomized workloads, across goals and tactics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.session import Database
+from repro.engine.goals import OptimizationGoal as Goal
+from repro.errors import RetrievalError
+from repro.expr.ast import ALWAYS_TRUE, col, var
+from repro.expr.eval import evaluate
+
+
+def build_random_table(seed, rows=300):
+    db = Database(buffer_capacity=48)
+    table = db.create_table(
+        "T", [("A", "int"), ("B", "int"), ("C", "int")],
+        rows_per_page=8, index_order=6,
+    )
+    rng = np.random.default_rng(seed)
+    for _ in range(rows):
+        table.insert(
+            (int(rng.integers(0, 30)), int(rng.integers(0, 100)), int(rng.integers(0, 10)))
+        )
+    table.create_index("IX_A", ["A"])
+    table.create_index("IX_B", ["B"])
+    return db, table
+
+
+def oracle(table, expr, host_vars={}):
+    return sorted(
+        row
+        for _, row in table.heap.scan()
+        if evaluate(expr, row, table.schema.position, host_vars)
+    )
+
+
+PREDICATES = [
+    ALWAYS_TRUE,
+    col("A").eq(5),
+    col("A") < 3,
+    (col("A").eq(5)) & (col("B") < 40),
+    (col("A") >= 25) & (col("B").between(10, 60)),
+    (col("A").eq(5)) & (col("B") < 40) & (col("C").eq(2)),
+    (col("A") < 2) | (col("A") > 28),
+    col("B") >= 95,
+    col("B") >= 0,
+    (col("A").eq(999)) & (col("B") < 40),
+]
+
+
+@pytest.mark.parametrize("expr", PREDICATES)
+@pytest.mark.parametrize("goal", [Goal.TOTAL_TIME, Goal.FAST_FIRST])
+def test_dynamic_retrieval_matches_oracle(expr, goal):
+    db, table = build_random_table(seed=11)
+    result = table.select(where=expr, optimize_for=goal)
+    assert sorted(result.rows) == oracle(table, expr)
+    assert len(result.rids) == len(result.rows)
+    assert len(set(result.rids)) == len(result.rids), "duplicate RIDs delivered"
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_randomized_workloads_match_oracle(seed):
+    db, table = build_random_table(seed=seed)
+    rng = np.random.default_rng(seed + 100)
+    for _ in range(8):
+        a = int(rng.integers(0, 30))
+        b_lo = int(rng.integers(0, 100))
+        b_hi = b_lo + int(rng.integers(0, 50))
+        expr = (col("A") >= a) & (col("B").between(b_lo, b_hi))
+        goal = Goal.FAST_FIRST if rng.random() < 0.5 else Goal.TOTAL_TIME
+        result = table.select(where=expr, optimize_for=goal)
+        assert sorted(result.rows) == oracle(table, expr), f"mismatch for A>={a}"
+
+
+def test_limit_honored_all_goals():
+    db, table = build_random_table(seed=21)
+    for goal in (Goal.TOTAL_TIME, Goal.FAST_FIRST):
+        result = table.select(where=col("A") < 20, limit=7, optimize_for=goal)
+        assert len(result.rows) == 7
+        full = oracle(table, col("A") < 20)
+        assert all(tuple(row) in set(full) for row in result.rows)
+
+
+def test_order_by_with_index():
+    db, table = build_random_table(seed=31)
+    result = table.select(where=col("B") < 50, order_by=("A",))
+    values = [row[0] for row in result.rows]
+    assert values == sorted(values)
+    assert sorted(result.rows) == oracle(table, col("B") < 50)
+
+
+def test_order_by_without_index_sorts():
+    db, table = build_random_table(seed=41)
+    result = table.select(where=col("A") < 10, order_by=("C",))
+    values = [row[2] for row in result.rows]
+    assert values == sorted(values)
+
+
+def test_host_variable_rebinding_same_engine():
+    db, table = build_random_table(seed=51)
+    expr = col("A") >= var("X")
+    for x in (0, 10, 29, 100):
+        result = table.select(where=expr, host_vars={"X": x})
+        assert sorted(result.rows) == oracle(table, expr, {"X": x})
+
+
+def test_iteration_context_reused():
+    db, table = build_random_table(seed=61)
+    expr = (col("A").eq(3)) & (col("B") < 50)
+    first = table.select(where=expr, context_key="q1")
+    context = table.context_for("q1")
+    assert context.executions == 1
+    assert context.last_order
+    second = table.select(where=expr, context_key="q1")
+    assert context.executions == 2
+    assert sorted(first.rows) == sorted(second.rows)
+
+
+def test_unknown_column_raises():
+    db, table = build_random_table(seed=71)
+    with pytest.raises(RetrievalError):
+        table.select(where=col("NOPE") < 1)
+
+
+def test_projection_columns_covered_by_index():
+    db, table = build_random_table(seed=81)
+    result = table.select(where=col("A").eq(5), columns=("A",))
+    assert all(row[0] == 5 for row in result.rows)
+
+
+def test_empty_result_shortcut_costs_almost_nothing():
+    db, table = build_random_table(seed=91)
+    db.cold_cache()
+    result = table.select(where=col("A").eq(999))
+    assert result.rows == []
+    assert result.execution_io == 0
+    assert result.total_cost < 5  # just the estimation descent
+
+
+def test_result_metrics_populated():
+    db, table = build_random_table(seed=101)
+    db.cold_cache()
+    result = table.select(where=col("A").eq(5))
+    assert result.execution_cost > 0
+    assert result.total_cost >= result.execution_cost
+    assert result.description
+    assert len(result.trace) > 0
+
+
+def test_stopped_early_flag():
+    db, table = build_random_table(seed=111)
+    result = table.select(where=ALWAYS_TRUE, limit=2)
+    assert result.stopped_early
+    full = table.select(where=ALWAYS_TRUE)
+    assert not full.stopped_early
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(0, 29),
+    st.integers(0, 99),
+    st.integers(0, 60),
+    st.sampled_from([Goal.TOTAL_TIME, Goal.FAST_FIRST]),
+)
+def test_property_retrieval_correctness(a, b_lo, width, goal):
+    db, table = build_random_table(seed=7)  # deterministic table
+    expr = (col("A") >= a) & (col("B").between(b_lo, b_lo + width))
+    result = table.select(where=expr, optimize_for=goal)
+    assert sorted(result.rows) == oracle(table, expr)
+
+
+def test_result_summary_mentions_key_facts():
+    db, table = build_random_table(seed=121)
+    db.cold_cache()
+    result = table.select(where=col("A").eq(5))
+    text = result.summary()
+    assert "strategy" in text and "cost" in text
+    assert str(len(result.rows)) in text
+    assert result.goal.value in text

@@ -1,0 +1,194 @@
+"""Tests for the Tscan / Sscan / Fscan processes."""
+
+import pytest
+
+from repro.btree.tree import KeyRange
+from repro.engine.metrics import RetrievalTrace
+from repro.engine.scans import FscanProcess, SscanProcess, TscanProcess, check_self_sufficient
+from repro.errors import RetrievalError
+from repro.expr.ast import ALWAYS_TRUE, col
+from repro.storage.rid import RID
+
+
+class Collector:
+    def __init__(self, stop_after=None):
+        self.rows = []
+        self.rids = []
+        self.stop_after = stop_after
+
+    def __call__(self, rid, row):
+        self.rids.append(rid)
+        self.rows.append(row)
+        return self.stop_after is None or len(self.rows) < self.stop_after
+
+
+def run(process):
+    while process.active:
+        if process.step():
+            break
+    return process
+
+
+def test_tscan_delivers_all_matching(people):
+    sink = Collector()
+    process = run(
+        TscanProcess(people.heap, people.schema, col("AGE") < 50, {}, sink, RetrievalTrace())
+    )
+    expected = [row for _, row in people.heap.scan() if row[1] < 50]
+    assert sink.rows == expected
+    assert process.finished and not process.stopped_by_consumer
+
+
+def test_tscan_step_is_one_page(people):
+    sink = Collector()
+    process = TscanProcess(people.heap, people.schema, ALWAYS_TRUE, {}, sink, RetrievalTrace())
+    process.step()
+    assert len(sink.rows) == people.heap.rows_per_page
+
+
+def test_tscan_consumer_stop(people):
+    sink = Collector(stop_after=3)
+    process = run(
+        TscanProcess(people.heap, people.schema, ALWAYS_TRUE, {}, sink, RetrievalTrace())
+    )
+    assert process.stopped_by_consumer
+    assert len(sink.rows) == 3
+
+
+def test_tscan_skip_rids(people):
+    all_rids = [rid for rid, _ in people.heap.scan()]
+    skip = set(all_rids[:10])
+    sink = Collector()
+    run(
+        TscanProcess(
+            people.heap, people.schema, ALWAYS_TRUE, {}, sink, RetrievalTrace(),
+            skip_rids=lambda rid: rid in skip,
+        )
+    )
+    assert len(sink.rows) == people.row_count - 10
+
+
+def test_tscan_cost_is_page_count_cold(people, db):
+    db.cold_cache()
+    sink = Collector()
+    process = run(
+        TscanProcess(people.heap, people.schema, ALWAYS_TRUE, {}, sink, RetrievalTrace())
+    )
+    assert process.meter.io_reads == people.heap.page_count
+
+
+def test_sscan_delivers_from_index_only(people, db):
+    index = people.indexes["IX_AGE"]
+    sink = Collector()
+    trace = RetrievalTrace()
+    process = run(
+        SscanProcess(
+            index, KeyRange(lo=(50,), hi=None), people.schema,
+            col("AGE") >= 50, {}, sink, trace,
+        )
+    )
+    expected = sorted(row[1] for _, row in people.heap.scan() if row[1] >= 50)
+    assert [row[1] for row in sink.rows] == expected
+    # no heap fetches at all
+    assert trace.counters.records_fetched == 0
+
+
+def test_sscan_rows_have_nones_outside_index(people):
+    index = people.indexes["IX_AGE"]
+    sink = Collector()
+    run(
+        SscanProcess(
+            index, KeyRange.exact(7), people.schema, col("AGE").eq(7), {}, sink,
+            RetrievalTrace(),
+        )
+    )
+    for row in sink.rows:
+        assert row[1] == 7  # AGE position filled
+        assert row[0] is None and row[2] is None  # ID, NAME not in index
+
+
+def test_sscan_consumer_stop(people):
+    index = people.indexes["IX_AGE"]
+    sink = Collector(stop_after=2)
+    process = run(
+        SscanProcess(
+            index, KeyRange.all(), people.schema, ALWAYS_TRUE, {}, sink, RetrievalTrace()
+        )
+    )
+    assert process.stopped_by_consumer
+    assert len(sink.rows) == 2
+
+
+def test_fscan_fetches_and_filters(people):
+    index = people.indexes["IX_AGE"]
+    trace = RetrievalTrace()
+    sink = Collector()
+    # restriction narrower than the range: some fetches get rejected
+    process = run(
+        FscanProcess(
+            index, KeyRange(lo=(40,), hi=(70,)), people.heap, people.schema,
+            (col("AGE") >= 40) & (col("AGE") <= 70) & (col("ID") < 40), {}, sink, trace,
+        )
+    )
+    expected = {row for _, row in people.heap.scan() if 40 <= row[1] <= 70 and row[0] < 40}
+    assert set(sink.rows) == expected
+    assert process.rejected > 0
+    assert trace.counters.fetches_rejected == process.rejected
+
+
+def test_fscan_delivers_in_index_order(people):
+    index = people.indexes["IX_AGE"]
+    sink = Collector()
+    run(
+        FscanProcess(
+            index, KeyRange.all(), people.heap, people.schema, ALWAYS_TRUE, {}, sink,
+            RetrievalTrace(),
+        )
+    )
+    ages = [row[1] for row in sink.rows]
+    assert ages == sorted(ages)
+
+
+def test_fscan_installable_filter(people):
+    index = people.indexes["IX_AGE"]
+    allowed = {rid for rid, row in people.heap.scan() if row[0] % 2 == 0}
+
+    class Filter:
+        def may_contain(self, rid):
+            return rid in allowed
+
+    sink = Collector()
+    process = FscanProcess(
+        index, KeyRange.all(), people.heap, people.schema, ALWAYS_TRUE, {}, sink,
+        RetrievalTrace(),
+    )
+    process.filter = Filter()
+    run(process)
+    assert all(row[0] % 2 == 0 for row in sink.rows)
+    assert process.filtered_out == people.row_count - len(sink.rows)
+
+
+def test_fscan_filter_suppresses_fetch_cost(people, db):
+    index = people.indexes["IX_AGE"]
+
+    class RejectAll:
+        def may_contain(self, rid):
+            return False
+
+    db.cold_cache()
+    sink = Collector()
+    process = FscanProcess(
+        index, KeyRange.all(), people.heap, people.schema, ALWAYS_TRUE, {}, sink,
+        RetrievalTrace(),
+    )
+    process.filter = RejectAll()
+    run(process)
+    assert process.fetched == 0
+    assert sink.rows == []
+
+
+def test_check_self_sufficient(people):
+    index = people.indexes["IX_AGE"]
+    check_self_sufficient(index, frozenset({"AGE"}))
+    with pytest.raises(RetrievalError):
+        check_self_sufficient(index, frozenset({"AGE", "NAME"}))

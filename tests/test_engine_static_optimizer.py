@@ -1,0 +1,120 @@
+"""Tests for the System R-style static-optimizer baseline."""
+
+import pytest
+
+from repro.engine.static_optimizer import (
+    MAGIC_EQ,
+    MAGIC_RANGE,
+    StaticOptimizer,
+)
+from repro.expr.ast import ALWAYS_TRUE, col, var
+from repro.workloads.scenarios import build_families_table
+
+
+@pytest.fixture
+def families(db):
+    return build_families_table(db, rows=1500)
+
+
+def test_requires_analyze_runs_it(db):
+    table = db.create_table("T", [("A", "int")])
+    table.insert((1,))
+    optimizer = StaticOptimizer(table)
+    assert table.stats is not None
+    assert optimizer.stats.row_count == 1
+
+
+def test_literal_range_selectivity_from_histogram(families):
+    optimizer = StaticOptimizer(families)
+    narrow = optimizer.estimate_selectivity(col("AGE") >= 115)
+    wide = optimizer.estimate_selectivity(col("AGE") >= 10)
+    assert narrow < wide
+    assert 0.0 <= narrow <= 1.0
+
+
+def test_host_var_uses_magic_number(families):
+    optimizer = StaticOptimizer(families)
+    selectivity = optimizer.estimate_selectivity(col("AGE") >= var("A1"))
+    assert selectivity == pytest.approx(MAGIC_RANGE)
+
+
+def test_eq_selectivity_uses_ndv(families):
+    optimizer = StaticOptimizer(families)
+    selectivity = optimizer.estimate_selectivity(col("SIZE").eq(3))
+    distinct = families.stats.columns["SIZE"].distinct
+    assert selectivity == pytest.approx(1.0 / distinct)
+
+
+def test_eq_host_var_magic(families):
+    optimizer = StaticOptimizer(families)
+    assert optimizer.estimate_selectivity(col("AGE").eq(var("X"))) == pytest.approx(MAGIC_EQ)
+
+
+def test_and_multiplies_or_adds(families):
+    optimizer = StaticOptimizer(families)
+    a = optimizer.estimate_selectivity(col("AGE") >= 100)
+    b = optimizer.estimate_selectivity(col("SIZE").eq(3))
+    both = optimizer.estimate_selectivity((col("AGE") >= 100) & (col("SIZE").eq(3)))
+    either = optimizer.estimate_selectivity((col("AGE") >= 100) | (col("SIZE").eq(3)))
+    assert both == pytest.approx(a * b, rel=1e-6)
+    assert either == pytest.approx(a + b - a * b, rel=1e-6)
+
+
+def test_compile_picks_index_for_selective_literal(families):
+    optimizer = StaticOptimizer(families)
+    plan = optimizer.compile(col("AGE") >= 118)
+    assert plan.strategy == "fscan"
+    assert plan.index_name == "IX_AGE"
+
+
+def test_compile_picks_tscan_for_unselective_literal(families):
+    optimizer = StaticOptimizer(families)
+    plan = optimizer.compile(col("AGE") >= 0)
+    assert plan.strategy == "tscan"
+
+
+def test_frozen_plan_runs_regardless_of_bindings(families, db):
+    """The paper's failure mode: one frozen plan, two very different runs."""
+    optimizer = StaticOptimizer(families)
+    plan = optimizer.compile(col("AGE") >= var("A1"))
+    # whatever the choice, it stays fixed for both bindings
+    run_all = optimizer.execute(plan, col("AGE") >= var("A1"), {"A1": 0})
+    run_none = optimizer.execute(plan, col("AGE") >= var("A1"), {"A1": 200})
+    assert len(run_all.rows) == families.row_count
+    assert run_none.rows == []
+    assert run_all.plan is plan and run_none.plan is plan
+
+
+def test_execute_results_match_oracle(families):
+    optimizer = StaticOptimizer(families)
+    expr = col("AGE").between(30, 40)
+    plan = optimizer.compile(expr)
+    execution = optimizer.execute(plan, expr)
+    expected = sorted(row for _, row in families.heap.scan() if 30 <= row[1] <= 40)
+    assert sorted(execution.rows) == expected
+
+
+def test_execute_honors_limit(families):
+    optimizer = StaticOptimizer(families)
+    plan = optimizer.compile(ALWAYS_TRUE)
+    execution = optimizer.execute(plan, ALWAYS_TRUE, limit=5)
+    assert len(execution.rows) == 5
+
+
+def test_sscan_plan_for_covering_index(db):
+    table = db.create_table("T", [("A", "int"), ("B", "int")], rows_per_page=8)
+    for i in range(400):
+        table.insert((i % 50, i))
+    table.create_index("IX_A", ["A"])
+    table.analyze()
+    optimizer = StaticOptimizer(table)
+    plan = optimizer.compile(col("A").eq(7), needed_columns=frozenset({"A"}))
+    assert plan.strategy == "sscan"
+    execution = optimizer.execute(plan, col("A").eq(7))
+    assert all(row[0] == 7 for row in execution.rows)
+
+
+def test_plan_describe(families):
+    plan = StaticOptimizer(families).compile(col("AGE") >= 118)
+    text = plan.describe()
+    assert "fscan" in text and "IX_AGE" in text

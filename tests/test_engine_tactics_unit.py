@@ -1,0 +1,117 @@
+"""Unit tests for tactic building blocks (ForegroundBuffer, borrowing)."""
+
+from collections import deque
+
+import pytest
+
+from repro.engine.metrics import RetrievalTrace
+from repro.engine.tactics import BorrowingFetchProcess, ForegroundBuffer, TacticOutcome
+from repro.competition.process import SyntheticProcess
+from repro.expr.ast import ALWAYS_TRUE, col
+from repro.storage.rid import RID
+
+
+def test_foreground_buffer_records_until_capacity():
+    buffer = ForegroundBuffer(capacity=2)
+    assert buffer.add(RID(0, 0))
+    assert buffer.add(RID(0, 1))
+    assert not buffer.add(RID(0, 2))  # overflow
+    assert len(buffer) == 2
+    assert RID(0, 0) in buffer and RID(0, 2) not in buffer
+
+
+def test_foreground_buffer_deduplicates():
+    buffer = ForegroundBuffer(capacity=10)
+    buffer.add(RID(1, 1))
+    buffer.add(RID(1, 1))
+    assert len(buffer) == 1
+
+
+def test_tactic_outcome_cost_sums_processes():
+    a = SyntheticProcess("a", 3)
+    b = SyntheticProcess("b", 2)
+    while not a.step():
+        pass
+    while not b.step():
+        pass
+    outcome = TacticOutcome(processes=[a, b])
+    assert outcome.total_cost == pytest.approx(5.0)
+    assert outcome.total_io == 0  # synthetic processes charge cpu only
+
+
+@pytest.fixture
+def borrow_env(people):
+    queue = deque(rid for rid, _ in people.heap.scan())
+    delivered = []
+
+    def sink(rid, row):
+        delivered.append(row)
+        return True
+
+    buffer = ForegroundBuffer(capacity=1000)
+    process = BorrowingFetchProcess(
+        queue, people.heap, people.schema, ALWAYS_TRUE, {}, sink, buffer,
+        RetrievalTrace(),
+    )
+    return queue, delivered, buffer, process
+
+
+def test_borrowing_fetches_from_queue(borrow_env):
+    queue, delivered, buffer, process = borrow_env
+    initial = len(queue)
+    process.step()
+    assert len(queue) == initial - 1
+    assert len(delivered) == 1
+    assert len(buffer) == 1
+
+
+def test_borrowing_idle_step_on_empty_queue(people):
+    queue = deque()
+    buffer = ForegroundBuffer(10)
+    process = BorrowingFetchProcess(
+        queue, people.heap, people.schema, ALWAYS_TRUE, {}, lambda r, w: True,
+        buffer, RetrievalTrace(),
+    )
+    assert not process.has_work
+    assert not process.step()  # idle, not finished
+
+
+def test_borrowing_rejects_nonmatching(people):
+    queue = deque(rid for rid, _ in people.heap.scan())
+    buffer = ForegroundBuffer(1000)
+    delivered = []
+    process = BorrowingFetchProcess(
+        queue, people.heap, people.schema, col("AGE") < 10, {},
+        lambda r, w: delivered.append(w) or True, buffer, RetrievalTrace(),
+    )
+    while process.has_work and not process.step():
+        pass
+    assert process.rejected > 0
+    assert all(row[1] < 10 for row in delivered)
+    # only delivered rows enter the foreground buffer
+    assert len(buffer) == len(delivered)
+
+
+def test_borrowing_overflow_terminates(people):
+    queue = deque(rid for rid, _ in people.heap.scan())
+    buffer = ForegroundBuffer(capacity=3)
+    process = BorrowingFetchProcess(
+        queue, people.heap, people.schema, ALWAYS_TRUE, {}, lambda r, w: True,
+        buffer, RetrievalTrace(),
+    )
+    finished = False
+    while process.has_work and not finished:
+        finished = process.step()
+    assert process.buffer_overflow
+    assert finished
+
+
+def test_borrowing_consumer_stop(people):
+    queue = deque(rid for rid, _ in people.heap.scan())
+    buffer = ForegroundBuffer(1000)
+    process = BorrowingFetchProcess(
+        queue, people.heap, people.schema, ALWAYS_TRUE, {}, lambda r, w: False,
+        buffer, RetrievalTrace(),
+    )
+    assert process.step()
+    assert process.stopped_by_consumer

@@ -1,0 +1,103 @@
+"""Tests for disjunctive restriction analysis."""
+
+import pytest
+
+from repro.btree.tree import BTree
+from repro.db.catalog import IndexInfo
+from repro.expr.ast import ALWAYS_TRUE, Comparison, col, lit, var
+from repro.expr.disjunction import cover_disjuncts, disjunction_terms
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+
+
+def make_index(name, columns, positions):
+    tree = BTree(BufferPool(Pager(), 64), name, order=8)
+    return IndexInfo(name=name, columns=tuple(columns), btree=tree,
+                     positions=tuple(positions))
+
+
+IX_A = make_index("IX_A", ["A"], [0])
+IX_B = make_index("IX_B", ["B"], [1])
+
+
+def test_single_predicate_is_one_disjunct():
+    terms = disjunction_terms(col("A").eq(1))
+    assert len(terms) == 1
+
+
+def test_or_splits():
+    terms = disjunction_terms((col("A").eq(1)) | (col("B") < 5) | (col("A") > 9))
+    assert len(terms) == 3
+
+
+def test_in_list_expands_to_equalities():
+    terms = disjunction_terms(col("A").in_([1, 2, 3]))
+    assert len(terms) == 3
+    assert all(isinstance(term, Comparison) and term.op == "=" for term in terms)
+
+
+def test_in_list_with_host_var_not_expanded():
+    terms = disjunction_terms(col("A").in_([lit(1), var("v")]))
+    assert len(terms) == 1
+
+
+def test_nested_and_inside_or():
+    expr = ((col("A").eq(1)) & (col("B") < 5)) | (col("B").eq(9))
+    terms = disjunction_terms(expr)
+    assert len(terms) == 2
+
+
+def test_cover_all_disjuncts():
+    expr = (col("A").eq(1)) | (col("B") < 5)
+    covered = cover_disjuncts(expr, [IX_A, IX_B])
+    assert covered is not None
+    assert [c.index.name for c in covered] == ["IX_A", "IX_B"]
+
+
+def test_cover_fails_on_unindexed_disjunct():
+    expr = (col("A").eq(1)) | (col("C") < 5)
+    assert cover_disjuncts(expr, [IX_A, IX_B]) is None
+
+
+def test_cover_fails_on_true_disjunct():
+    assert cover_disjuncts(ALWAYS_TRUE, [IX_A]) is None
+
+
+def test_cover_prefers_equality_range():
+    # disjunct restricts both columns: equality on B should win over range on A
+    expr = ((col("A") > 3) & (col("B").eq(7))) | (col("A").eq(0))
+    covered = cover_disjuncts(expr, [IX_A, IX_B])
+    assert covered is not None
+    assert covered[0].index.name == "IX_B"
+    assert covered[0].key_range.lo == (7,)
+
+
+def test_cover_uses_host_vars():
+    expr = (col("A") >= var("x")) | (col("B").eq(1))
+    assert cover_disjuncts(expr, [IX_A, IX_B], {}) is None
+    covered = cover_disjuncts(expr, [IX_A, IX_B], {"x": 10})
+    assert covered is not None
+    assert covered[0].key_range.lo == (10,)
+
+
+def test_cover_conjunctive_expression_single_disjunct():
+    expr = (col("A").eq(1)) & (col("B") < 5)
+    covered = cover_disjuncts(expr, [IX_A, IX_B])
+    assert covered is not None
+    assert len(covered) == 1
+
+
+def test_in_list_distributed_over_conjunction():
+    expr = (col("A").in_([1, 2])) & (col("C") > 5)
+    terms = disjunction_terms(expr)
+    assert len(terms) == 2
+    covered = cover_disjuncts(expr, [IX_A, IX_B])
+    assert covered is not None
+    assert [c.key_range.lo for c in covered] == [(1,), (2,)]
+
+
+def test_only_first_in_list_distributed():
+    expr = (col("A").in_([1, 2])) & (col("B").in_([3, 4]))
+    terms = disjunction_terms(expr)
+    # two disjuncts (from A), each keeping B IN (...) as a residual term
+    assert len(terms) == 2

@@ -1,0 +1,112 @@
+"""Tests for predicate evaluation."""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.expr.ast import ALWAYS_FALSE, ALWAYS_TRUE, col, lit, var
+from repro.expr.eval import evaluate, referenced_columns, referenced_host_vars
+
+SCHEMA = {"a": 0, "b": 1, "name": 2}
+ROW = (10, 20, "hello")
+
+
+def test_comparisons():
+    assert evaluate(col("a") < 11, ROW, SCHEMA)
+    assert not evaluate(col("a") < 10, ROW, SCHEMA)
+    assert evaluate(col("a") <= 10, ROW, SCHEMA)
+    assert evaluate(col("b") > 19, ROW, SCHEMA)
+    assert evaluate(col("b") >= 20, ROW, SCHEMA)
+    assert evaluate(col("a").eq(10), ROW, SCHEMA)
+    assert evaluate(col("a").ne(11), ROW, SCHEMA)
+
+
+def test_column_to_column_comparison():
+    assert evaluate(col("a") < col("b"), ROW, SCHEMA)
+    assert not evaluate(col("a").eq(col("b")), ROW, SCHEMA)
+
+
+def test_host_variables():
+    assert evaluate(col("a") >= var("x"), ROW, SCHEMA, {"x": 5})
+    assert not evaluate(col("a") >= var("x"), ROW, SCHEMA, {"x": 50})
+
+
+def test_unbound_host_variable_raises():
+    with pytest.raises(BindingError):
+        evaluate(col("a") >= var("missing"), ROW, SCHEMA, {})
+
+
+def test_unknown_column_raises():
+    with pytest.raises(BindingError):
+        evaluate(col("zzz") < 1, ROW, SCHEMA)
+
+
+def test_between():
+    assert evaluate(col("a").between(5, 15), ROW, SCHEMA)
+    assert evaluate(col("a").between(10, 10), ROW, SCHEMA)
+    assert not evaluate(col("a").between(11, 15), ROW, SCHEMA)
+
+
+def test_in_list():
+    assert evaluate(col("a").in_([1, 10, 100]), ROW, SCHEMA)
+    assert not evaluate(col("a").in_([1, 2]), ROW, SCHEMA)
+    assert evaluate(col("a").in_([var("v")]), ROW, SCHEMA, {"v": 10})
+
+
+def test_like_patterns():
+    assert evaluate(col("name").like("hello"), ROW, SCHEMA)
+    assert evaluate(col("name").like("he%"), ROW, SCHEMA)
+    assert evaluate(col("name").like("%llo"), ROW, SCHEMA)
+    assert evaluate(col("name").like("h_llo"), ROW, SCHEMA)
+    assert not evaluate(col("name").like("h_"), ROW, SCHEMA)
+    assert not evaluate(col("name").like("world%"), ROW, SCHEMA)
+
+
+def test_like_on_non_string_is_false():
+    assert not evaluate(col("a").like("1%"), ROW, SCHEMA)
+
+
+def test_like_escapes_regex_metacharacters():
+    schema = {"s": 0}
+    assert evaluate(col("s").like("a.b%"), ("a.bcd",), schema)
+    assert not evaluate(col("s").like("a.b%"), ("axbcd",), schema)
+
+
+def test_boolean_connectives():
+    expr = (col("a").eq(10)) & (col("b").eq(20))
+    assert evaluate(expr, ROW, SCHEMA)
+    expr = (col("a").eq(99)) | (col("b").eq(20))
+    assert evaluate(expr, ROW, SCHEMA)
+    assert not evaluate(~(col("a").eq(10)), ROW, SCHEMA)
+
+
+def test_constants():
+    assert evaluate(ALWAYS_TRUE, ROW, SCHEMA)
+    assert not evaluate(ALWAYS_FALSE, ROW, SCHEMA)
+
+
+def test_null_semantics_not_true():
+    row = (None, 20, None)
+    assert not evaluate(col("a") < 100, row, SCHEMA)
+    assert not evaluate(col("a").eq(None), row, SCHEMA)
+    assert not evaluate(col("a").between(0, 100), row, SCHEMA)
+    assert not evaluate(col("a").in_([None, 1]), row, SCHEMA)
+    # NOT of an unknown comparison collapses to TRUE in two-valued logic
+    assert evaluate(~(col("a") < 100), row, SCHEMA)
+
+
+def test_referenced_columns():
+    expr = ((col("a") < 1) | col("b").between(var("x"), 9)) & ~col("name").like("z%")
+    assert referenced_columns(expr) == {"a", "b", "name"}
+
+
+def test_referenced_columns_includes_comparison_rhs():
+    assert referenced_columns(col("a") < col("b")) == {"a", "b"}
+
+
+def test_referenced_host_vars():
+    expr = (col("a") >= var("lo")) & (col("a") <= var("hi")) & col("b").in_([var("v"), lit(3)])
+    assert referenced_host_vars(expr) == {"lo", "hi", "v"}
+
+
+def test_referenced_host_vars_empty():
+    assert referenced_host_vars(col("a") < 5) == frozenset()

@@ -1,0 +1,143 @@
+"""Tests for NOT push-down and AND/OR flattening."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.expr.ast import (
+    ALWAYS_FALSE,
+    ALWAYS_TRUE,
+    And,
+    Comparison,
+    Like,
+    Not,
+    Or,
+    col,
+)
+from repro.expr.eval import evaluate
+from repro.expr.normalize import conjunction_terms, normalize
+
+SCHEMA = {"a": 0, "b": 1}
+
+
+def test_not_comparison_flips_operator():
+    assert normalize(~(col("a") < 5)) == Comparison(">=", col("a"), _lit(5))
+
+
+def _lit(value):
+    from repro.expr.ast import Literal
+
+    return Literal(value)
+
+
+def test_double_negation_cancels():
+    expr = ~~(col("a") < 5)
+    assert normalize(expr) == normalize(col("a") < 5)
+
+
+def test_de_morgan_and():
+    expr = ~((col("a") < 5) & (col("b") < 5))
+    normalized = normalize(expr)
+    assert isinstance(normalized, Or)
+    assert all(isinstance(child, Comparison) for child in normalized.children)
+
+
+def test_de_morgan_or():
+    expr = ~((col("a") < 5) | (col("b") < 5))
+    normalized = normalize(expr)
+    assert isinstance(normalized, And)
+
+
+def test_not_between_becomes_disjunction():
+    normalized = normalize(~col("a").between(1, 9))
+    assert isinstance(normalized, Or)
+    assert len(normalized.children) == 2
+
+
+def test_not_in_list_becomes_inequalities():
+    normalized = normalize(~col("a").in_([1, 2]))
+    assert isinstance(normalized, And)
+    assert all(child.op == "<>" for child in normalized.children)
+
+
+def test_not_like_stays_at_leaf():
+    normalized = normalize(~col("a").like("x%"))
+    assert isinstance(normalized, Not)
+    assert isinstance(normalized.child, Like)
+
+
+def test_flatten_nested_ands():
+    expr = ((col("a") < 1) & (col("a") < 2)) & ((col("a") < 3) & (col("a") < 4))
+    normalized = normalize(expr)
+    assert isinstance(normalized, And)
+    assert len(normalized.children) == 4
+
+
+def test_flatten_drops_true_in_and():
+    expr = (col("a") < 1) & ALWAYS_TRUE
+    assert normalize(expr) == normalize(col("a") < 1)
+
+
+def test_false_collapses_and():
+    expr = (col("a") < 1) & ALWAYS_FALSE
+    assert normalize(expr) == ALWAYS_FALSE
+
+
+def test_true_collapses_or():
+    expr = (col("a") < 1) | ALWAYS_TRUE
+    assert normalize(expr) == ALWAYS_TRUE
+
+
+def test_conjunction_terms_of_simple_and():
+    terms = conjunction_terms((col("a") < 1) & (col("b") > 2))
+    assert len(terms) == 2
+
+
+def test_conjunction_terms_of_single_predicate():
+    assert len(conjunction_terms(col("a") < 1)) == 1
+
+
+def test_conjunction_terms_of_true_is_empty():
+    assert conjunction_terms(ALWAYS_TRUE) == ()
+
+
+def test_conjunction_terms_keeps_or_as_single_term():
+    terms = conjunction_terms(((col("a") < 1) | (col("b") > 2)) & (col("a") > 0))
+    assert len(terms) == 2
+    assert any(isinstance(term, Or) for term in terms)
+
+
+# -- semantic preservation under normalization (property-based) ------------------
+
+_comparison = st.builds(
+    lambda op, column, value: Comparison(op, col(column), _lit(value)),
+    st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+    st.sampled_from(["a", "b"]),
+    st.integers(-5, 5),
+)
+
+
+def _expr_strategy():
+    return st.recursive(
+        _comparison,
+        lambda children: st.one_of(
+            st.builds(lambda a, b: And((a, b)), children, children),
+            st.builds(lambda a, b: Or((a, b)), children, children),
+            st.builds(Not, children),
+        ),
+        max_leaves=12,
+    )
+
+
+@given(_expr_strategy(), st.integers(-5, 5), st.integers(-5, 5))
+@settings(max_examples=150)
+def test_normalize_preserves_semantics(expr, a, b):
+    row = (a, b)
+    assert evaluate(expr, row, SCHEMA) == evaluate(normalize(expr), row, SCHEMA)
+
+
+@given(_expr_strategy(), st.integers(-5, 5), st.integers(-5, 5))
+@settings(max_examples=100)
+def test_conjunction_terms_conjoin_to_original(expr, a, b):
+    row = (a, b)
+    terms = conjunction_terms(expr)
+    conjoined = all(evaluate(term, row, SCHEMA) for term in terms)
+    assert conjoined == evaluate(expr, row, SCHEMA)

@@ -1,0 +1,134 @@
+"""Tests for sargable key-range extraction."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.btree.tree import KeyRange
+from repro.expr.ast import col, lit, var
+from repro.expr.normalize import conjunction_terms
+from repro.expr.eval import evaluate
+from repro.expr.ranges import extract_index_restriction
+
+
+def ranges_of(expr, columns, host_vars={}):
+    return extract_index_restriction(conjunction_terms(expr), columns, host_vars)
+
+
+def test_simple_lower_bound():
+    restriction = ranges_of(col("age") >= 30, ["age"])
+    assert restriction.matched
+    assert restriction.key_range == KeyRange(lo=(30,), hi=None)
+
+
+def test_simple_upper_bound_exclusive():
+    restriction = ranges_of(col("age") < 30, ["age"])
+    assert restriction.key_range == KeyRange(lo=None, hi=(30,), hi_inclusive=False)
+
+
+def test_equality_range():
+    restriction = ranges_of(col("age").eq(30), ["age"])
+    assert restriction.key_range == KeyRange(lo=(30,), hi=(30,))
+
+
+def test_between_range():
+    restriction = ranges_of(col("age").between(10, 20), ["age"])
+    assert restriction.key_range == KeyRange(lo=(10,), hi=(20,))
+
+
+def test_combined_bounds_narrow():
+    expr = (col("age") >= 10) & (col("age") < 50) & (col("age") >= 20)
+    restriction = ranges_of(expr, ["age"])
+    assert restriction.key_range == KeyRange(lo=(20,), hi=(50,), hi_inclusive=False)
+
+
+def test_reversed_comparison_flips():
+    restriction = ranges_of(lit(30) <= col("age"), ["age"])
+    # 30 <= age means age >= 30
+    assert restriction.key_range.lo == (30,)
+
+
+def test_host_var_bound_at_runtime():
+    expr = col("age") >= var("A1")
+    assert not ranges_of(expr, ["age"], {}).matched
+    restriction = ranges_of(expr, ["age"], {"A1": 42})
+    assert restriction.key_range.lo == (42,)
+
+
+def test_unrelated_column_does_not_match():
+    restriction = ranges_of(col("salary") > 10, ["age"])
+    assert not restriction.matched
+    assert restriction.key_range == KeyRange.all()
+
+
+def test_not_equal_is_not_sargable():
+    assert not ranges_of(col("age").ne(5), ["age"]).matched
+
+
+def test_composite_equality_prefix_plus_range():
+    expr = (col("a").eq(5)) & (col("b") > 10)
+    restriction = ranges_of(expr, ["a", "b"])
+    assert restriction.key_range.lo == (5, 10)
+    assert not restriction.key_range.lo_inclusive
+    assert restriction.key_range.hi == (5,)
+    assert restriction.equality_prefix == 1
+
+
+def test_composite_all_equalities():
+    expr = (col("a").eq(1)) & (col("b").eq(2))
+    restriction = ranges_of(expr, ["a", "b"])
+    assert restriction.key_range == KeyRange(lo=(1, 2), hi=(1, 2))
+    assert restriction.equality_prefix == 2
+
+
+def test_composite_stops_at_gap():
+    # no restriction on leading column: composite index unusable
+    expr = col("b").eq(2)
+    restriction = ranges_of(expr, ["a", "b"])
+    assert not restriction.matched
+
+
+def test_single_value_in_list_is_equality():
+    restriction = ranges_of(col("a").in_([7]), ["a"])
+    assert restriction.key_range == KeyRange(lo=(7,), hi=(7,))
+
+
+def test_multi_value_in_list_not_sargable():
+    assert not ranges_of(col("a").in_([1, 2]), ["a"]).matched
+
+
+def test_like_prefix_range():
+    restriction = ranges_of(col("name").like("abc%"), ["name"])
+    assert restriction.matched
+    assert restriction.key_range.lo == ("abc",)
+    assert restriction.key_range.hi[0].startswith("abc")
+
+
+def test_like_without_prefix_not_sargable():
+    assert not ranges_of(col("name").like("%abc"), ["name"]).matched
+
+
+def test_or_terms_do_not_produce_ranges():
+    expr = (col("a") > 5) | (col("a") < 2)
+    assert not ranges_of(expr, ["a"]).matched
+
+
+def test_contributing_terms_recorded():
+    expr = (col("a") > 5) & (col("b") < 2)
+    restriction = ranges_of(expr, ["a"])
+    assert len(restriction.contributing_terms) == 1
+
+
+@given(
+    st.integers(-20, 20),
+    st.integers(-20, 20),
+    st.lists(st.integers(-25, 25), min_size=1, max_size=50),
+)
+@settings(max_examples=80)
+def test_range_is_sound_overapproximation(a, b, values):
+    """Every row satisfying the terms must have its key inside the range."""
+    lo, hi = min(a, b), max(a, b)
+    expr = (col("x") >= lo) & (col("x") <= hi)
+    restriction = ranges_of(expr, ["x"])
+    schema = {"x": 0}
+    for value in values:
+        if evaluate(expr, (value,), schema):
+            assert restriction.key_range.contains_key((value,))

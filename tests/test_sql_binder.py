@@ -1,0 +1,46 @@
+"""Tests for plan binding/name resolution."""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.sql.binder import bind
+from repro.sql.parser import parse
+
+
+def test_bind_resolves_tables(db):
+    db.create_table("T", [("A", "int")])
+    parsed = parse("select * from T where A = 1")
+    tables = bind(db, parsed.plan)
+    assert len(tables) == 1
+    assert next(iter(tables.values())).name == "T"
+
+
+def test_bind_unknown_table(db):
+    with pytest.raises(BindingError):
+        bind(db, parse("select * from NOPE").plan)
+
+
+def test_bind_unknown_column_in_where(db):
+    db.create_table("T", [("A", "int")])
+    with pytest.raises(BindingError):
+        bind(db, parse("select * from T where Z = 1").plan)
+
+
+def test_bind_unknown_column_in_select_list(db):
+    db.create_table("T", [("A", "int")])
+    with pytest.raises(BindingError):
+        bind(db, parse("select Z from T").plan)
+
+
+def test_bind_subquery_tables_checked(db):
+    db.create_table("T", [("A", "int")])
+    with pytest.raises(BindingError):
+        bind(db, parse("select * from T where A in (select X from MISSING)").plan)
+
+
+def test_bind_all_subquery_retrieves(db):
+    db.create_table("T", [("A", "int")])
+    db.create_table("U", [("X", "int")])
+    parsed = parse("select * from T where A in (select X from U)")
+    tables = bind(db, parsed.plan)
+    assert {table.name for table in tables.values()} == {"T", "U"}

@@ -1,0 +1,196 @@
+"""Tests for the SQL parser and plan construction."""
+
+import pytest
+
+from repro.engine.goals import OptimizationGoal
+from repro.errors import SqlSyntaxError
+from repro.expr.ast import And, Between, Comparison, HostVar, InList, Like, Not, Or
+from repro.sql.parser import parse
+from repro.sql.plan import (
+    Aggregate,
+    Distinct,
+    ExistsSubquery,
+    InSubquery,
+    Limit,
+    Project,
+    Retrieve,
+    Sort,
+    walk,
+)
+
+
+def retrieve_of(plan):
+    return next(node for node in walk(plan) if isinstance(node, Retrieve))
+
+
+def test_simple_select_star():
+    query = parse("select * from T")
+    assert isinstance(query.plan, Project)
+    retrieve = retrieve_of(query.plan)
+    assert retrieve.table == "T"
+    assert retrieve.output_columns is None
+    assert query.goal is OptimizationGoal.DEFAULT
+
+
+def test_select_columns_projection():
+    query = parse("select A, B from T")
+    assert query.plan.columns == ("A", "B")
+    assert retrieve_of(query.plan).output_columns == ("A", "B")
+
+
+def test_where_comparison():
+    query = parse("select * from T where A >= 10")
+    restriction = retrieve_of(query.plan).restriction
+    assert isinstance(restriction, Comparison)
+    assert restriction.op == ">="
+
+
+def test_where_host_variable():
+    query = parse("select * from FAMILIES where AGE >= :A1")
+    restriction = retrieve_of(query.plan).restriction
+    assert isinstance(restriction.right, HostVar)
+    assert restriction.right.name == "A1"
+
+
+def test_qualified_column_names():
+    query = parse("select T.A from T where T.B < 5")
+    assert query.plan.columns == ("A",)
+    assert retrieve_of(query.plan).restriction.left.name == "B"
+
+
+def test_mismatched_qualifier_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("select * from T where U.B < 5")
+
+
+def test_and_or_precedence():
+    query = parse("select * from T where A = 1 or B = 2 and C = 3")
+    restriction = retrieve_of(query.plan).restriction
+    assert isinstance(restriction, Or)
+    assert isinstance(restriction.children[1], And)
+
+
+def test_parentheses_override_precedence():
+    query = parse("select * from T where (A = 1 or B = 2) and C = 3")
+    restriction = retrieve_of(query.plan).restriction
+    assert isinstance(restriction, And)
+
+
+def test_not_between_in_like():
+    query = parse(
+        "select * from T where not A = 1 and B between 2 and 3 "
+        "and C in (1, 2) and D like 'x%' and E not in (5)"
+    )
+    restriction = retrieve_of(query.plan).restriction
+    types = [type(child) for child in restriction.children]
+    assert types == [Not, Between, InList, Like, Not]
+
+
+def test_order_by_asc_desc():
+    query = parse("select * from T order by A desc, B asc, C")
+    sort = next(node for node in walk(query.plan) if isinstance(node, Sort))
+    assert sort.keys == ("A", "B", "C")
+    assert sort.descending == (True, False, False)
+
+
+def test_limit_to_rows():
+    query = parse("select * from T limit to 7 rows")
+    limit = next(node for node in walk(query.plan) if isinstance(node, Limit))
+    assert limit.count == 7
+
+
+def test_limit_requires_rows_keyword():
+    with pytest.raises(SqlSyntaxError):
+        parse("select * from T limit to 7")
+
+
+def test_optimize_for_fast_first():
+    assert parse("select * from T optimize for fast first").goal is OptimizationGoal.FAST_FIRST
+
+
+def test_optimize_for_total_time():
+    assert parse("select * from T optimize for total time").goal is OptimizationGoal.TOTAL_TIME
+
+
+def test_distinct_node():
+    query = parse("select distinct A from T")
+    assert any(isinstance(node, Distinct) for node in walk(query.plan))
+
+
+def test_aggregates():
+    query = parse("select count(*), max(A) as top, avg(B) from T")
+    aggregate = next(node for node in walk(query.plan) if isinstance(node, Aggregate))
+    functions = [item.function for item in aggregate.items]
+    assert functions == ["count", "max", "avg"]
+    assert aggregate.items[1].alias == "top"
+    assert aggregate.items[0].argument is None
+
+
+def test_sum_star_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("select sum(*) from T")
+
+
+def test_in_subquery_plan_attached():
+    query = parse("select * from A where X in (select Y from B)")
+    retrieve_a = retrieve_of(query.plan)
+    assert retrieve_a.table == "A"
+    assert len(retrieve_a.children) == 1
+    assert isinstance(retrieve_a.restriction, InSubquery)
+
+
+def test_exists_subquery():
+    query = parse("select * from A where exists (select * from B where Z = 1)")
+    restriction = retrieve_of(query.plan).restriction
+    assert isinstance(restriction, ExistsSubquery)
+
+
+def test_nested_paper_example_structure():
+    query = parse(
+        "select * from A where A.X in ("
+        " select distinct Y from B where B.Y in ("
+        "  select Z from C limit to 2 rows))"
+        " optimize for total time"
+    )
+    assert query.goal is OptimizationGoal.TOTAL_TIME
+    tables = [node.table for node in walk(query.plan) if isinstance(node, Retrieve)]
+    assert set(tables) == {"A", "B", "C"}
+    # C sits under a Limit, B under a Distinct
+    limit = next(node for node in walk(query.plan) if isinstance(node, Limit))
+    assert retrieve_of(limit).table == "C"
+    distinct = next(node for node in walk(query.plan) if isinstance(node, Distinct))
+    assert retrieve_of(distinct).table == "B"
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("select * from T garbage")
+
+
+def test_missing_from_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("select *")
+
+
+def test_order_keys_added_to_output_columns():
+    query = parse("select A from T order by B")
+    assert retrieve_of(query.plan).output_columns == ("A", "B")
+
+
+def test_string_literal_operand():
+    query = parse("select * from T where NAME = 'bob'")
+    assert retrieve_of(query.plan).restriction.right.value == "bob"
+
+
+def test_float_literal_operand():
+    query = parse("select * from T where X < 2.5")
+    assert retrieve_of(query.plan).restriction.right.value == 2.5
+
+
+def test_mixed_columns_and_aggregates_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("select A, count(*) from T")
+
+
+def test_pure_aggregates_accepted():
+    parse("select count(*), max(A) from T")

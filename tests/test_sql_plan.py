@@ -1,0 +1,59 @@
+"""Tests for logical plan nodes and formatting."""
+
+from repro.engine.goals import OptimizationGoal, infer_goals
+from repro.sql.plan import (
+    Aggregate,
+    AggregateItem,
+    Distinct,
+    Exists,
+    Limit,
+    Project,
+    Retrieve,
+    Sort,
+    format_plan,
+    walk,
+)
+
+
+def test_node_types():
+    assert Retrieve(table="T").node_type == "retrieve"
+    assert Sort(keys=("a",), descending=(False,)).node_type == "sort"
+    assert Distinct().node_type == "distinct"
+    assert Limit(count=3).node_type == "limit"
+    assert Exists().node_type == "exists"
+    assert Aggregate(items=()).node_type == "aggregate"
+    assert Project(columns=()).node_type == "project"
+
+
+def test_describe_lines():
+    assert Retrieve(table="T").describe() == "retrieve T"
+    assert "limit to 3 rows" == Limit(count=3).describe()
+    assert "sort by a desc, b" == Sort(
+        keys=("a", "b"), descending=(True, False)
+    ).describe()
+    assert "aggregate count(*)" == Aggregate(
+        items=(AggregateItem("count", None, "n"),)
+    ).describe()
+    assert "project x, y" == Project(columns=("x", "y")).describe()
+
+
+def test_walk_depth_first():
+    leaf = Retrieve(table="T")
+    middle = Limit(children=(leaf,), count=1)
+    root = Project(children=(middle,), columns=())
+    assert [node.node_type for node in walk(root)] == ["project", "limit", "retrieve"]
+
+
+def test_format_plan_with_goals():
+    leaf = Retrieve(table="T")
+    root = Limit(children=(leaf,), count=1)
+    goals = infer_goals(root)
+    text = format_plan(root, goals)
+    assert "limit to 1 rows" in text
+    assert "[goal: fast-first]" in text
+    assert text.splitlines()[1].startswith("  ")  # indentation
+
+
+def test_format_plan_without_goals():
+    text = format_plan(Retrieve(table="T"))
+    assert "goal" not in text

@@ -1,0 +1,91 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.tokenizer import tokenize
+
+
+def kinds(sql):
+    return [token.kind for token in tokenize(sql)]
+
+
+def values(sql):
+    return [token.value for token in tokenize(sql)][:-1]  # drop end token
+
+
+def test_keywords_case_insensitive():
+    tokens = tokenize("SELECT From WhErE")
+    assert [t.kind for t in tokens[:3]] == ["keyword"] * 3
+    assert [t.value for t in tokens[:3]] == ["select", "from", "where"]
+
+
+def test_names_preserve_case():
+    assert values("FAMILIES Age_2")[0] == "FAMILIES"
+    assert values("FAMILIES Age_2")[1] == "Age_2"
+
+
+def test_numbers():
+    assert values("42 3.14 -7") == ["42", "3.14", "-7"]
+
+
+def test_negative_number_vs_operator():
+    tokens = tokenize("-5")
+    assert tokens[0].kind == "number" and tokens[0].value == "-5"
+
+
+def test_string_literal():
+    tokens = tokenize("'hello world'")
+    assert tokens[0].kind == "string"
+    assert tokens[0].value == "hello world"
+
+
+def test_string_with_escaped_quote():
+    tokens = tokenize("'it''s'")
+    assert tokens[0].value == "it's"
+
+
+def test_unterminated_string():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("'oops")
+
+
+def test_host_variable():
+    tokens = tokenize(":A1 :x_y")
+    assert tokens[0].kind == "hostvar" and tokens[0].value == "A1"
+    assert tokens[1].value == "x_y"
+
+
+def test_bare_colon_rejected():
+    with pytest.raises(SqlSyntaxError):
+        tokenize(": x")
+
+
+def test_operators_multi_char_first():
+    assert values("a<=b") == ["a", "<=", "b"]
+    assert values("a<>b") == ["a", "<>", "b"]
+    assert values("a!=b") == ["a", "<>", "b"]  # normalized
+    assert values("a>=b") == ["a", ">=", "b"]
+
+
+def test_punctuation():
+    assert values("(a, b) * t.c") == ["(", "a", ",", "b", ")", "*", "t", ".", "c"]
+
+
+def test_comments_skipped():
+    assert values("select -- a comment\n x") == ["select", "x"]
+
+
+def test_unexpected_character():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("select @")
+
+
+def test_end_token_present():
+    tokens = tokenize("select")
+    assert tokens[-1].kind == "end"
+
+
+def test_float_followed_by_dot_name():
+    # "1.x" should be number 1 then . then name (not a malformed float)
+    assert values("1.x") == ["1", ".", "x"]

@@ -1,0 +1,126 @@
+"""Tests for the LRU buffer pool and cost attribution."""
+
+import random
+
+import pytest
+
+from repro.storage.buffer_pool import BufferPool, CostMeter
+from repro.storage.pager import Pager, PageKind
+
+
+def _fill(pager: Pager, count: int) -> list[int]:
+    return [pager.allocate(PageKind.HEAP, payload=i).page_id for i in range(count)]
+
+
+def test_miss_charges_meter(pager, buffer_pool, meter):
+    (page_id,) = _fill(pager, 1)
+    buffer_pool.clear()
+    buffer_pool.get(page_id, meter)
+    assert meter.io_reads == 1
+    assert meter.buffer_hits == 0
+
+
+def test_hit_charges_no_io(pager, buffer_pool, meter):
+    (page_id,) = _fill(pager, 1)
+    buffer_pool.clear()
+    buffer_pool.get(page_id, meter)
+    buffer_pool.get(page_id, meter)
+    assert meter.io_reads == 1
+    assert meter.buffer_hits == 1
+
+
+def test_lru_evicts_oldest(pager):
+    pool = BufferPool(pager, capacity=2)
+    ids = _fill(pager, 3)
+    pool.clear()
+    pool.get(ids[0])
+    pool.get(ids[1])
+    pool.get(ids[2])  # evicts ids[0]
+    assert ids[0] not in pool
+    assert ids[1] in pool and ids[2] in pool
+
+
+def test_lru_access_refreshes_recency(pager):
+    pool = BufferPool(pager, capacity=2)
+    ids = _fill(pager, 3)
+    pool.clear()
+    pool.get(ids[0])
+    pool.get(ids[1])
+    pool.get(ids[0])  # refresh 0: now 1 is oldest
+    pool.get(ids[2])
+    assert ids[1] not in pool
+    assert ids[0] in pool
+
+
+def test_capacity_one_works(pager):
+    pool = BufferPool(pager, capacity=1)
+    ids = _fill(pager, 2)
+    pool.clear()
+    pool.get(ids[0])
+    pool.get(ids[1])
+    assert len(pool) == 1
+
+
+def test_capacity_zero_rejected(pager):
+    with pytest.raises(ValueError):
+        BufferPool(pager, capacity=0)
+
+
+def test_allocation_charges_write(pager, buffer_pool, meter):
+    buffer_pool.allocate(PageKind.TEMP, meter=meter)
+    assert meter.io_writes == 1
+
+
+def test_meter_reads_by_kind(pager, buffer_pool, meter):
+    heap_page = pager.allocate(PageKind.HEAP)
+    index_page = pager.allocate(PageKind.INDEX)
+    buffer_pool.clear()
+    buffer_pool.get(heap_page.page_id, meter)
+    buffer_pool.get(index_page.page_id, meter)
+    assert meter.reads_by_kind[PageKind.HEAP] == 1
+    assert meter.reads_by_kind[PageKind.INDEX] == 1
+
+
+def test_evict_random_fraction(pager, buffer_pool):
+    ids = _fill(pager, 40)
+    for page_id in ids:
+        buffer_pool.get(page_id)
+    evicted = buffer_pool.evict_random(0.5, random.Random(7))
+    assert evicted == 20
+    assert len(buffer_pool) == len(ids) - 20
+
+
+def test_evict_random_on_empty_cache(pager, buffer_pool):
+    buffer_pool.clear()
+    assert buffer_pool.evict_random(0.5, random.Random(7)) == 0
+
+
+def test_hit_ratio(pager, buffer_pool):
+    (page_id,) = _fill(pager, 1)
+    buffer_pool.clear()
+    buffer_pool.hits = buffer_pool.misses = 0
+    buffer_pool.get(page_id)
+    buffer_pool.get(page_id)
+    assert buffer_pool.hit_ratio == pytest.approx(0.5)
+
+
+def test_meter_merge_and_snapshot():
+    a = CostMeter(name="a")
+    a.io_reads = 3
+    a.charge_cpu(0.5)
+    b = CostMeter(name="b")
+    b.io_writes = 2
+    b.merge(a)
+    assert b.io_reads == 3 and b.io_writes == 2
+    assert b.total == pytest.approx(5.5)
+    snapshot = b.snapshot()
+    b.io_reads += 1
+    assert snapshot.io_reads == 3
+
+
+def test_meter_total_mixes_io_and_cpu():
+    meter = CostMeter()
+    meter.io_reads = 2
+    meter.charge_cpu(0.25)
+    assert meter.total == pytest.approx(2.25)
+    assert meter.io_total == 2

@@ -1,0 +1,80 @@
+"""Tests for the simulated disk."""
+
+import pytest
+
+from repro.errors import PageNotFoundError
+from repro.storage.pager import Pager, PageKind
+
+
+def test_allocate_assigns_sequential_ids(pager):
+    first = pager.allocate(PageKind.HEAP, owner="t")
+    second = pager.allocate(PageKind.INDEX, owner="t")
+    assert (first.page_id, second.page_id) == (0, 1)
+    assert len(pager) == 2
+
+
+def test_allocate_counts_as_write(pager):
+    pager.allocate(PageKind.HEAP)
+    assert pager.stats.writes == 1
+    assert pager.stats.writes_by_kind[PageKind.HEAP] == 1
+    assert pager.stats.writes_by_kind[PageKind.INDEX] == 0
+
+
+def test_read_counts_by_kind(pager):
+    page = pager.allocate(PageKind.TEMP, payload=[1, 2])
+    got = pager.read(page.page_id)
+    assert got.payload == [1, 2]
+    assert pager.stats.reads == 1
+    assert pager.stats.reads_by_kind[PageKind.TEMP] == 1
+
+
+def test_read_missing_page_raises(pager):
+    with pytest.raises(PageNotFoundError):
+        pager.read(42)
+
+
+def test_write_missing_page_raises(pager):
+    page = pager.allocate(PageKind.HEAP)
+    pager.free(page.page_id)
+    with pytest.raises(PageNotFoundError):
+        pager.write(page)
+
+
+def test_free_then_exists(pager):
+    page = pager.allocate(PageKind.HEAP)
+    assert pager.exists(page.page_id)
+    pager.free(page.page_id)
+    assert not pager.exists(page.page_id)
+
+
+def test_free_is_idempotent(pager):
+    page = pager.allocate(PageKind.HEAP)
+    pager.free(page.page_id)
+    pager.free(page.page_id)  # no error
+
+
+def test_peek_does_not_count(pager):
+    page = pager.allocate(PageKind.HEAP, payload="x")
+    before = pager.stats.reads
+    assert pager.peek(page.page_id).payload == "x"
+    assert pager.stats.reads == before
+
+
+def test_peek_missing_raises(pager):
+    with pytest.raises(PageNotFoundError):
+        pager.peek(7)
+
+
+def test_pages_of_filters_by_owner(pager):
+    pager.allocate(PageKind.HEAP, owner="a")
+    pager.allocate(PageKind.HEAP, owner="b")
+    pager.allocate(PageKind.HEAP, owner="a")
+    assert sum(1 for _ in pager.pages_of("a")) == 2
+
+
+def test_stats_snapshot_is_independent(pager):
+    pager.allocate(PageKind.HEAP)
+    snapshot = pager.stats.snapshot()
+    pager.allocate(PageKind.HEAP)
+    assert snapshot.writes == 1
+    assert pager.stats.writes == 2

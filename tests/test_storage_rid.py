@@ -1,0 +1,101 @@
+"""Tests for RIDs, sorted RID buffers, and Yao's formula."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.rid import RID, SortedRidBuffer, yao_pages_touched
+
+rid_strategy = st.tuples(
+    st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=63)
+).map(lambda pair: RID(*pair))
+
+
+def test_rid_encode_decode_roundtrip():
+    rid = RID(12345, 17)
+    assert RID.decode(rid.encode()) == rid
+
+
+@given(rid_strategy)
+def test_rid_encode_decode_roundtrip_property(rid):
+    assert RID.decode(rid.encode()) == rid
+
+
+def test_rid_ordering_is_page_major():
+    assert RID(1, 9) < RID(2, 0)
+    assert RID(1, 2) < RID(1, 3)
+
+
+def test_sorted_buffer_keeps_order():
+    buffer = SortedRidBuffer()
+    for rid in [RID(3, 0), RID(1, 2), RID(2, 5), RID(1, 1)]:
+        buffer.add(rid)
+    assert buffer.to_list() == sorted(buffer.to_list())
+    assert len(buffer) == 4
+
+
+def test_sorted_buffer_membership():
+    buffer = SortedRidBuffer([RID(1, 1), RID(2, 2)])
+    assert RID(1, 1) in buffer
+    assert RID(1, 2) not in buffer
+
+
+def test_sorted_buffer_intersect():
+    a = SortedRidBuffer([RID(1, 1), RID(2, 2), RID(3, 3)])
+    b = SortedRidBuffer([RID(2, 2), RID(3, 3), RID(4, 4)])
+    assert a.intersect(b).to_list() == [RID(2, 2), RID(3, 3)]
+
+
+def test_sorted_buffer_union_dedupes():
+    a = SortedRidBuffer([RID(1, 1), RID(2, 2)])
+    b = SortedRidBuffer([RID(2, 2), RID(3, 3)])
+    assert a.union(b).to_list() == [RID(1, 1), RID(2, 2), RID(3, 3)]
+
+
+@given(st.lists(rid_strategy, max_size=60), st.lists(rid_strategy, max_size=60))
+def test_intersect_union_match_set_semantics(lhs, rhs):
+    a, b = SortedRidBuffer(lhs), SortedRidBuffer(rhs)
+    assert set(a.intersect(b).to_list()) == (set(lhs) & set(rhs))
+    assert set(a.union(b).to_list()) == (set(lhs) | set(rhs))
+    assert a.union(b).to_list() == sorted(set(lhs) | set(rhs))
+
+
+def test_distinct_pages():
+    buffer = SortedRidBuffer([RID(1, 0), RID(1, 5), RID(2, 0)])
+    assert buffer.distinct_pages() == 2
+
+
+def test_yao_zero_records():
+    assert yao_pages_touched(10, 8, 0) == 0.0
+
+
+def test_yao_all_records_touches_all_pages():
+    assert yao_pages_touched(10, 8, 80) == pytest.approx(10.0)
+    assert yao_pages_touched(10, 8, 1000) == pytest.approx(10.0)
+
+
+def test_yao_single_record():
+    assert yao_pages_touched(10, 8, 1) == pytest.approx(1.0)
+
+
+def test_yao_monotone_in_k():
+    previous = 0.0
+    for k in range(0, 80, 5):
+        value = yao_pages_touched(10, 8, k)
+        assert value >= previous
+        previous = value
+
+
+def test_yao_bounded_by_k_and_pages():
+    for k in (1, 5, 17, 50):
+        value = yao_pages_touched(20, 10, k)
+        assert value <= min(k, 20) + 1e-9
+
+
+def test_yao_approximation_matches_exact_for_large_k():
+    # the closed form used for k > 1000 should agree with the product form
+    exact_like = 50 * (1.0 - (1.0 - 1.0 / 50) ** 1500)
+    assert yao_pages_touched(50, 40, 1500) == pytest.approx(exact_like, rel=0.05)
+
+
+def test_yao_empty_table():
+    assert yao_pages_touched(0, 8, 5) == 0.0

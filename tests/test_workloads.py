@@ -1,0 +1,122 @@
+"""Tests for workload generators and scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.db.session import Database
+from repro.workloads.generators import (
+    clustered_permutation,
+    correlated_pair,
+    normal_ints,
+    uniform_ints,
+    zipf_ints,
+)
+from repro.workloads.scenarios import (
+    build_families_table,
+    build_multi_index_orders,
+    build_parts_table,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def test_uniform_ints_bounds(rng):
+    values = uniform_ints(rng, 1000, 5, 9)
+    assert min(values) >= 5 and max(values) <= 9
+    assert len(set(values)) == 5
+
+
+def test_zipf_ints_skew(rng):
+    values = zipf_ints(rng, 5000, 100, skew=1.5)
+    counts = np.bincount(values, minlength=100)
+    # the most frequent value dominates the median one heavily
+    assert counts[0] > 10 * np.median(counts[counts > 0])
+    assert min(values) >= 0 and max(values) < 100
+
+
+def test_zipf_low_skew_flatter(rng):
+    flat = zipf_ints(rng, 5000, 50, skew=0.2)
+    sharp = zipf_ints(rng, 5000, 50, skew=2.0)
+    flat_top = np.bincount(flat).max() / len(flat)
+    sharp_top = np.bincount(sharp).max() / len(sharp)
+    assert sharp_top > flat_top
+
+
+def test_normal_ints_clipped(rng):
+    values = normal_ints(rng, 1000, mean=50, std=30, lo=0, hi=100)
+    assert min(values) >= 0 and max(values) <= 100
+    assert abs(np.mean(values) - 50) < 5
+
+
+def test_correlated_pair_positive(rng):
+    a, b = correlated_pair(rng, 2000, 0, 1000, correlation=0.9)
+    measured = np.corrcoef(a, b)[0, 1]
+    assert measured > 0.8
+
+
+def test_correlated_pair_negative(rng):
+    a, b = correlated_pair(rng, 2000, 0, 1000, correlation=-0.9)
+    assert np.corrcoef(a, b)[0, 1] < -0.8
+
+
+def test_correlated_pair_zero(rng):
+    a, b = correlated_pair(rng, 2000, 0, 1000, correlation=0.0)
+    assert abs(np.corrcoef(a, b)[0, 1]) < 0.1
+
+
+def test_correlated_pair_validation(rng):
+    with pytest.raises(ValueError):
+        correlated_pair(rng, 10, 0, 1, correlation=2.0)
+
+
+def test_clustered_permutation_full(rng):
+    values = uniform_ints(rng, 500, 0, 99)
+    clustered = clustered_permutation(rng, values, 1.0)
+    assert clustered == sorted(values)
+
+
+def test_clustered_permutation_none_preserves_multiset(rng):
+    values = uniform_ints(rng, 500, 0, 99)
+    shuffled = clustered_permutation(rng, values, 0.0)
+    assert sorted(shuffled) == sorted(values)
+    assert shuffled != sorted(values)  # overwhelmingly likely
+
+
+def test_clustered_permutation_partial_monotonicity(rng):
+    values = list(range(1000))
+    half = clustered_permutation(rng, values, 0.7)
+    # positively rank-correlated with sorted order, but not perfectly
+    correlation = np.corrcoef(half, np.arange(1000))[0, 1]
+    assert 0.3 < correlation < 0.999
+
+
+def test_clustered_permutation_validation(rng):
+    with pytest.raises(ValueError):
+        clustered_permutation(rng, [1], 2.0)
+    assert clustered_permutation(rng, [], 0.5) == []
+
+
+def test_families_scenario():
+    db = Database()
+    table = build_families_table(db, rows=500)
+    assert table.row_count == 500
+    assert "IX_AGE" in table.indexes
+    assert table.stats is not None
+
+
+def test_parts_scenario():
+    db = Database()
+    table = build_parts_table(db, rows=500)
+    assert set(table.indexes) == {"IX_COLOR", "IX_WEIGHT", "IX_SIZE"}
+    assert table.row_count == 500
+
+
+def test_orders_scenario_dates_clustered():
+    db = Database()
+    table = build_multi_index_orders(db, rows=500)
+    dates = [row[2] for _, row in table.heap.scan()]
+    assert dates == sorted(dates)
+    assert "IX_STATUS_DATE" in table.indexes
