@@ -9,12 +9,14 @@ goals inside a nested query — the paper's three-table example.
 Run:  python examples/fast_first_browsing.py
 """
 
-from repro import Database, OptimizationGoal, col
+import repro
+from repro import OptimizationGoal, col
 from repro.workloads.scenarios import build_multi_index_orders
 
 
 def main() -> None:
-    db = Database(buffer_capacity=64)
+    conn = repro.connect(buffer_capacity=64)
+    db = conn.db
     orders = build_multi_index_orders(db, rows=8000)
     restriction = (col("CUSTOMER") <= 25) & (col("AMOUNT") >= 50_000)
     print(f"ORDERS: {orders.row_count} rows over {orders.heap.page_count} pages\n")
@@ -46,7 +48,7 @@ def main() -> None:
 
     # -- goal inference on the paper's nested example ------------------------
     for name, column in (("A", "X"), ("B", "Y"), ("C", "Z")):
-        table = db.create_table(name, [("ID", "int"), (column, "int")])
+        table = conn.create_table(name, [("ID", "int"), (column, "int")])
         for i in range(100):
             table.insert((i, i % 9))
     sql = (
@@ -56,8 +58,8 @@ def main() -> None:
         " optimize for total time"
     )
     print("\nGoal inference for the paper's nested query:")
-    print(db.explain(sql))
-    result = db.execute(sql)
+    print(conn.explain(sql))
+    result = conn.execute(sql)
     print("\nper-retrieval goals as executed:")
     for info in result.retrievals:
         print(f"  table {info.table}: {info.goal.value}")

@@ -12,13 +12,15 @@ physical I/O each pays.
 Run:  python examples/host_variable_skew.py
 """
 
-from repro import Database, col, var
+import repro
+from repro import col, var
 from repro.engine.static_optimizer import StaticOptimizer
 from repro.workloads.scenarios import build_families_table
 
 
 def main() -> None:
-    db = Database(buffer_capacity=48)
+    conn = repro.connect(buffer_capacity=48)
+    db = conn.db
     families = build_families_table(db, rows=4000)
     query = col("AGE") >= var("A1")
 

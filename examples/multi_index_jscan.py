@@ -11,13 +11,15 @@ Jscan of [MoHa90] and a plain Tscan for comparison.
 Run:  python examples/multi_index_jscan.py
 """
 
-from repro import Database, col
+import repro
+from repro import col
 from repro.engine.mohan_jscan import run_static_jscan
 from repro.workloads.scenarios import build_parts_table
 
 
 def main() -> None:
-    db = Database(buffer_capacity=64)
+    conn = repro.connect(buffer_capacity=64)
+    db = conn.db
     parts = build_parts_table(db, rows=6000)
     print(f"PARTS: {parts.row_count} rows over {parts.heap.page_count} pages, "
           f"indexes: {', '.join(parts.indexes)}")

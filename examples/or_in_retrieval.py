@@ -10,12 +10,14 @@ arrangement for Tscan when the union projects too large.
 Run:  python examples/or_in_retrieval.py
 """
 
-from repro import Database, col, var
+import repro
+from repro import col, var
 from repro.workloads.scenarios import build_parts_table
 
 
 def main() -> None:
-    db = Database(buffer_capacity=64)
+    conn = repro.connect(buffer_capacity=64)
+    db = conn.db
     parts = build_parts_table(db, rows=6000)
     tscan_cost = parts.heap.page_count
     print(f"PARTS: {parts.row_count} rows / {tscan_cost} pages\n")

@@ -3,14 +3,17 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import Database, OptimizationGoal, col, var
+import repro
+from repro import OptimizationGoal, col, var
 
 
 def main() -> None:
-    db = Database(buffer_capacity=64)
+    # one connection = one database + the multi-query scheduler in front
+    conn = repro.connect(buffer_capacity=64)
+    db = conn.db
 
     # -- create and fill a table -----------------------------------------
-    families = db.create_table(
+    families = conn.create_table(
         "FAMILIES", [("ID", "int"), ("AGE", "int"), ("INCOME", "int")]
     )
     for i in range(2000):
@@ -31,7 +34,7 @@ def main() -> None:
 
     # -- the same query through SQL, with the Rdb/VMS extensions ----------
     db.cold_cache()
-    result = db.execute(
+    result = conn.execute(
         "select ID, AGE from FAMILIES where AGE >= :A1 "
         "order by AGE limit to 5 rows optimize for fast first",
         {"A1": 100},

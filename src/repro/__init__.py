@@ -9,45 +9,66 @@ and sampling, the Section 2 selectivity-distribution toolkit, the Section 3
 competition framework, an SQL front end with the Rdb/VMS extensions, and
 the static-optimizer / static-Jscan baselines the paper argues against.
 
+Statements are served by a multi-query scheduler: open a connection with
+:func:`repro.connect`, then execute SQL on it — or open several sessions
+and watch their queries interleave over one shared buffer pool.
+
 Quick start::
 
-    from repro import Database, col, var
+    import repro
 
-    db = Database()
-    families = db.create_table("FAMILIES", [("ID", "int"), ("AGE", "int")])
-    families.insert_many((i, age) for i, age in enumerate([5, 30, 70, 95]))
-    families.create_index("IX_AGE", ["AGE"])
+    conn = repro.connect()
+    conn.execute("create table FAMILIES (ID int, AGE int)")
+    conn.execute("create index IX_AGE on FAMILIES (AGE)")
+    for i, age in enumerate([5, 30, 70, 95]):
+        conn.execute(f"insert into FAMILIES values ({i}, {age})")
 
-    result = families.select(where=col("AGE") >= var("A1"),
-                             host_vars={"A1": 60})
-    print(result.rows, result.description)
-
-    print(db.execute("select * from FAMILIES where AGE >= :A1 "
-                     "optimize for fast first", {"A1": 60}).rows)
+    result = conn.execute("select * from FAMILIES where AGE >= :A1 "
+                          "optimize for fast first", {"A1": 60})
+    print(result.rows)
 """
 
+from repro.api import Connection, connect
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.db.catalog import Column
 from repro.db.session import Database
 from repro.db.table import Table
 from repro.engine.goals import OptimizationGoal, infer_goals
 from repro.engine.retrieval import RetrievalRequest, RetrievalResult
-from repro.errors import ReproError
+from repro.errors import QueryCancelledError, ReproError, ServerError
 from repro.expr.ast import col, lit, var
+from repro.server import (
+    MetricsRegistry,
+    QueryHandle,
+    QueryServer,
+    QueryState,
+    ServerSession,
+    SessionMetrics,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Column",
+    "Connection",
     "Database",
     "DEFAULT_CONFIG",
     "EngineConfig",
+    "MetricsRegistry",
     "OptimizationGoal",
+    "QueryCancelledError",
+    "QueryHandle",
+    "QueryServer",
+    "QueryState",
     "RetrievalRequest",
     "RetrievalResult",
     "ReproError",
+    "ServerError",
+    "ServerSession",
+    "SessionMetrics",
     "Table",
     "col",
+    "connect",
     "infer_goals",
     "lit",
     "var",

@@ -1,0 +1,157 @@
+"""The unified connection API: ``repro.connect()``.
+
+One entry point replaces the historical trio of ``Database(...)`` +
+``db.execute(...)`` + ``db.explain(...)``: a :class:`Connection` owns a
+:class:`~repro.db.session.Database` and fronts it with a
+:class:`~repro.server.QueryServer`, so *every* statement — including the
+single-user ones — runs through the multi-query scheduler. With one
+session and no concurrent work the step sequence is identical to direct
+execution; open more sessions and their queries interleave over the shared
+buffer pool, which is where the paper's Section 3(c) cache uncertainty
+comes from.
+
+Quick start::
+
+    import repro
+
+    conn = repro.connect(buffer_capacity=128)
+    conn.execute("create table T (ID int, AGE int)")
+    result = conn.execute("select * from T where AGE >= :A1",
+                          {"A1": 60}, goal=repro.OptimizationGoal.FAST_FIRST)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.config import DEFAULT_CONFIG, EngineConfig
+from repro.db.session import Database
+from repro.engine.goals import OptimizationGoal
+from repro.server.scheduler import QueryHandle, QueryServer, ServerSession
+
+
+class Connection:
+    """A client connection: one database, one scheduler, many sessions.
+
+    The connection's own :meth:`execute`/:meth:`explain` run on a default
+    session named ``"main"``; :meth:`session` opens further concurrent
+    sessions that share the buffer pool and compete for engine steps.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        max_concurrency: int = 4,
+        scheduling: str = "round-robin",
+    ) -> None:
+        self.db = db
+        self.server = QueryServer(
+            db, max_concurrency=max_concurrency, scheduling=scheduling
+        )
+        self._main = self.server.session("main")
+        self._closed = False
+
+    # -- statements --------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        host_vars: Mapping[str, Any] | None = None,
+        goal: OptimizationGoal = OptimizationGoal.DEFAULT,
+        deadline: int | None = None,
+    ) -> Any:
+        """Run one statement to completion through the scheduler.
+
+        Returns the same :class:`~repro.sql.executor.QueryResult` (or
+        :class:`~repro.sql.ddl.DdlResult`) as the legacy
+        ``Database.execute``. ``deadline`` is a budget of engine steps;
+        exceeding it cancels the query and raises
+        :class:`~repro.errors.QueryCancelledError`.
+        """
+        self._check_open()
+        return self._main.execute(sql, host_vars, goal=goal, deadline=deadline)
+
+    def submit(
+        self,
+        sql: str,
+        host_vars: Mapping[str, Any] | None = None,
+        goal: OptimizationGoal = OptimizationGoal.DEFAULT,
+        deadline: int | None = None,
+    ) -> QueryHandle:
+        """Queue a statement without driving it; pair with ``handle.wait()``
+        or ``connection.server.run_until_idle()``."""
+        self._check_open()
+        return self._main.submit(sql, host_vars, goal=goal, deadline=deadline)
+
+    def explain(self, sql: str) -> str:
+        """Render the logical plan with inferred per-retrieval goals."""
+        self._check_open()
+        from repro.sql.executor import explain_sql
+
+        return explain_sql(self.db, sql)
+
+    # -- sessions & metrics ------------------------------------------------
+
+    def session(self, name: str | None = None) -> ServerSession:
+        """Open an additional concurrent session on this connection."""
+        self._check_open()
+        return self.server.session(name)
+
+    @property
+    def metrics(self):
+        """The server-wide :class:`~repro.server.MetricsRegistry`."""
+        return self.server.metrics
+
+    # -- catalog passthroughs ----------------------------------------------
+
+    def table(self, name: str):
+        """Look up a table by name (catalog passthrough)."""
+        return self.db.table(name)
+
+    def create_table(self, name: str, columns, **kwargs):
+        """Create a table (catalog passthrough)."""
+        return self.db.create_table(name, columns, **kwargs)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table, releasing its cached and on-disk pages."""
+        self.db.drop_table(name)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Cancel any in-flight queries and refuse further statements."""
+        if self._closed:
+            return
+        for handle in self.server.queued + self.server.running:
+            handle.cancel(reason="connection-closed")
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            from repro.errors import ServerError
+
+            raise ServerError("connection is closed")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def connect(
+    buffer_capacity: int = 256,
+    config: EngineConfig = DEFAULT_CONFIG,
+    max_concurrency: int = 4,
+    scheduling: str = "round-robin",
+    db: Database | None = None,
+) -> Connection:
+    """Open a :class:`Connection` — the package's front door.
+
+    Creates a fresh in-memory :class:`~repro.db.session.Database` (or wraps
+    the one passed via ``db``) and fronts it with a multi-query scheduler.
+    ``scheduling`` is ``"round-robin"`` or ``"weighted"``.
+    """
+    if db is None:
+        db = Database(buffer_capacity=buffer_capacity, config=config)
+    return Connection(db, max_concurrency=max_concurrency, scheduling=scheduling)

@@ -11,8 +11,35 @@ can abandon a process between any two steps.
 from __future__ import annotations
 
 import abc
+from typing import Generator, TypeVar
 
 from repro.storage.buffer_pool import CostMeter
+
+_R = TypeVar("_R")
+
+
+def drain(gen: Generator[object, None, _R]) -> _R:
+    """Run a step generator to completion and return its result.
+
+    The engine's retrieval path is written as generators that yield control
+    after every :meth:`Process.step` so a server-level scheduler can
+    interleave many retrievals over one buffer pool. Synchronous callers
+    (``Table.select``, ``Database.execute``) drain the generator in place.
+    """
+    while True:
+        try:
+            next(gen)
+        except StopIteration as stop:
+            return stop.value
+
+
+def advance(process: "Process") -> Generator[None, None, None]:
+    """Step ``process`` to completion, yielding control after every step."""
+    while process.active:
+        done = process.step()
+        yield
+        if done:
+            return
 
 
 class Process(abc.ABC):

@@ -48,6 +48,9 @@ class EngineConfig:
     allocated_rid_buffer_size: int = 4096
     #: Bitmap filter size in bits ("as small as necessary").
     bitmap_bits: int = 1 << 16
+    #: RIDs per TEMP page when a list spills to a temporary table (small
+    #: values make spills page out quickly — used by cancellation tests).
+    temp_rids_per_page: int = 512
 
     # --- Section 5: initial stage ----------------------------------------
     #: A range estimate at or below this RID count is a "very short range":

@@ -36,6 +36,8 @@ class Database:
         #: interference tick (0 = a quiet system)
         self.interference_rate = 0.0
         self._interference_rng = random.Random(0xD1CE)
+        #: lazily-created Connection backing the execute()/explain() shims
+        self._default_connection = None
 
     # -- DDL -------------------------------------------------------------------
 
@@ -73,10 +75,24 @@ class Database:
             raise CatalogError(f"unknown table {name!r}") from None
 
     def drop_table(self, name: str) -> None:
-        """Remove a table from the catalog."""
+        """Remove a table, releasing its pages from cache and disk.
+
+        The buffer pool and pager are shared by every table, so leaving a
+        dropped table's heap and index pages behind would squat cache
+        capacity and distort every later query's hit rate.
+        """
         if name not in self.tables:
             raise CatalogError(f"unknown table {name!r}")
-        del self.tables[name]
+        table = self.tables.pop(name)
+        self._release_pages(table.heap.name)
+        for info in table.indexes.values():
+            self._release_pages(info.btree.name)
+
+    def _release_pages(self, owner: str) -> None:
+        """Evict and free every page belonging to ``owner``."""
+        for page in list(self.pager.pages_of(owner)):
+            self.buffer_pool.evict(page.page_id)
+            self.pager.free(page.page_id)
 
     # -- cache control ------------------------------------------------------------
 
@@ -92,6 +108,15 @@ class Database:
 
     # -- SQL ------------------------------------------------------------------------
 
+    def default_connection(self):
+        """The lazily-created :class:`repro.api.Connection` over this
+        database that backs the :meth:`execute`/:meth:`explain` shims."""
+        if self._default_connection is None:
+            from repro.api import Connection
+
+            self._default_connection = Connection(self)
+        return self._default_connection
+
     def execute(
         self,
         sql: str,
@@ -100,15 +125,17 @@ class Database:
     ):
         """Parse, bind, and execute an SQL statement.
 
-        Returns a :class:`repro.sql.executor.QueryResult`. Imported lazily
-        to keep the db layer usable without the SQL front end.
+        Back-compat shim: routes through :meth:`default_connection`, i.e.
+        the multi-query scheduler — with no concurrent sessions the step
+        sequence is identical to direct execution. Prefer
+        :func:`repro.connect` in new code. Returns a
+        :class:`repro.sql.executor.QueryResult`.
         """
-        from repro.sql.executor import execute_sql
-
-        return execute_sql(self, sql, dict(host_vars or {}), goal)
+        return self.default_connection().execute(sql, host_vars, goal=goal)
 
     def explain(self, sql: str) -> str:
-        """Describe the logical plan and inferred per-retrieval goals."""
-        from repro.sql.executor import explain_sql
+        """Describe the logical plan and inferred per-retrieval goals.
 
-        return explain_sql(self, sql)
+        Back-compat shim for :meth:`repro.api.Connection.explain`.
+        """
+        return self.default_connection().explain(sql)

@@ -7,9 +7,10 @@ static-optimizer baseline and SQL layer build on the same objects.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Generator, Iterable, Mapping, Sequence
 
 from repro.btree.tree import BTree
+from repro.competition.process import drain
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.db.catalog import (
     Column,
@@ -88,10 +89,14 @@ class Table:
         return info
 
     def drop_index(self, name: str) -> None:
-        """Remove an index from the catalog (pages are left to the pager)."""
+        """Remove an index, releasing its pages from cache and disk."""
         if name not in self.indexes:
             raise CatalogError(f"unknown index {name!r}")
-        del self.indexes[name]
+        info = self.indexes.pop(name)
+        pager = self.buffer_pool.pager
+        for page in list(pager.pages_of(info.btree.name)):
+            self.buffer_pool.evict(page.page_id)
+            pager.free(page.page_id)
 
     # -- data manipulation -------------------------------------------------------
 
@@ -179,6 +184,35 @@ class Table:
         selects with the same key start estimation from the previous run's
         index order.
         """
+        return drain(
+            self.select_steps(
+                where=where,
+                host_vars=host_vars,
+                columns=columns,
+                order_by=order_by,
+                limit=limit,
+                optimize_for=optimize_for,
+                context_key=context_key,
+            )
+        )
+
+    def select_steps(
+        self,
+        where: Expr = ALWAYS_TRUE,
+        host_vars: Mapping[str, Any] | None = None,
+        columns: Sequence[str] | None = None,
+        order_by: Sequence[str] = (),
+        limit: int | None = None,
+        optimize_for: OptimizationGoal = OptimizationGoal.DEFAULT,
+        context_key: Any = None,
+    ) -> Generator[RetrievalResult, None, RetrievalResult]:
+        """:meth:`select` as a step generator.
+
+        Yields the live :class:`RetrievalResult` after every engine step so
+        the multi-query scheduler (:mod:`repro.server`) can interleave this
+        retrieval with others over the shared buffer pool; closing the
+        generator cancels the retrieval and releases its temp structures.
+        """
         request = RetrievalRequest(
             restriction=where,
             host_vars=dict(host_vars or {}),
@@ -188,4 +222,4 @@ class Table:
             goal=optimize_for,
         )
         context = self.context_for(context_key) if context_key is not None else None
-        return self.retrieval_engine().run(request, context)
+        return self.retrieval_engine().run_steps(request, context)

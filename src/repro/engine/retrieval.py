@@ -11,8 +11,9 @@ completion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Generator, Mapping, Sequence
 
+from repro.competition.process import advance, drain
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.db.catalog import IndexInfo, TableSchema
 from repro.engine.goals import OptimizationGoal
@@ -24,13 +25,14 @@ from repro.engine.initial import (
 from repro.engine.metrics import EventKind, RetrievalTrace
 from repro.engine.scans import SscanProcess, TscanProcess
 from repro.engine.tactics import (
+    StepOutcome,
     TacticContext,
     TacticOutcome,
-    background_only,
-    fast_first,
-    index_only,
-    sorted_tactic,
-    union_or,
+    background_only_steps,
+    fast_first_steps,
+    index_only_steps,
+    sorted_tactic_steps,
+    union_or_steps,
 )
 from repro.expr.disjunction import cover_disjuncts
 from repro.errors import RetrievalError
@@ -123,6 +125,22 @@ class SingleTableRetrieval:
         context: IterationContext | None = None,
     ) -> RetrievalResult:
         """Execute one retrieval, dynamically choosing/racing strategies."""
+        return drain(self.run_steps(request, context))
+
+    def run_steps(
+        self,
+        request: RetrievalRequest,
+        context: IterationContext | None = None,
+    ) -> Generator[RetrievalResult, None, RetrievalResult]:
+        """Execute one retrieval as a step generator.
+
+        Yields the live (partially filled) :class:`RetrievalResult` after
+        every engine step so a server-level scheduler can interleave many
+        retrievals over the shared buffer pool. Closing the generator
+        mid-flight cancels the retrieval: every still-active process is
+        abandoned (releasing its buffers and temp structures) and the trace
+        records ``SCAN_ABANDONED`` / ``CONSUMER_STOPPED`` events.
+        """
         trace = RetrievalTrace()
         estimation_meter = CostMeter(name="initial-stage")
         goal = request.goal
@@ -190,7 +208,20 @@ class SingleTableRetrieval:
             trace=trace,
             config=self.config,
         )
-        outcome = self._dispatch(ctx, arrangement, goal, bool(request.order_by))
+        inner = self._dispatch_steps(ctx, arrangement, goal, bool(request.order_by))
+        try:
+            while True:
+                try:
+                    next(inner)
+                except StopIteration as stop:
+                    outcome = stop.value
+                    break
+                yield result
+        except GeneratorExit:
+            # cancellation: the scheduler closed us mid-retrieval
+            inner.close()
+            self._abandon_spawned(ctx, trace)
+            raise
 
         result.description = outcome.description
         result.stopped_early = outcome.stopped_by_consumer
@@ -209,13 +240,13 @@ class SingleTableRetrieval:
 
     # -- dispatch ---------------------------------------------------------------
 
-    def _dispatch(
+    def _dispatch_steps(
         self,
         ctx: TacticContext,
         arrangement: InitialArrangement,
         goal: OptimizationGoal,
         order_requested: bool,
-    ) -> TacticOutcome:
+    ) -> StepOutcome:
         if order_requested and arrangement.order_index is not None:
             order_index = arrangement.order_index.index
             covering = next(
@@ -230,50 +261,45 @@ class SingleTableRetrieval:
                 # the order index is also self-sufficient: an ordered Sscan
                 # delivers sorted results with zero record fetches — a clear
                 # case, no competition needed
-                return self._run_sscan_on(ctx, covering, ordered=True)
-            return sorted_tactic(ctx)
+                return (yield from self._run_sscan_steps(ctx, covering, ordered=True))
+            return (yield from sorted_tactic_steps(ctx))
         has_jscan = bool(arrangement.jscan_candidates)
         has_sscan = arrangement.best_sscan is not None
         if has_sscan and has_jscan:
-            return index_only(ctx)
+            return (yield from index_only_steps(ctx))
         if has_sscan:
             # clear case: "the only optimization task to be resolved is to
             # pick the one whose scan is the cheapest"
-            return self._run_sscan(ctx, arrangement)
+            best = arrangement.best_sscan
+            assert best is not None
+            return (yield from self._run_sscan_steps(ctx, best))
         if has_jscan:
             if goal is OptimizationGoal.FAST_FIRST:
-                return fast_first(ctx)
-            return background_only(ctx)
+                return (yield from fast_first_steps(ctx))
+            return (yield from background_only_steps(ctx))
         # OR extension (Section 8): a disjunctive restriction whose every
         # top-level disjunct is covered by some index range can be resolved
         # by a union joint scan
         covered = cover_disjuncts(ctx.restriction, self.indexes, ctx.host_vars)
         if covered:
-            return union_or(ctx, covered)
+            return (yield from union_or_steps(ctx, covered))
         # clear case: no useful index at all
-        return self._run_tscan(ctx)
+        return (yield from self._run_tscan_steps(ctx))
 
-    def _run_sscan(self, ctx: TacticContext, arrangement: InitialArrangement) -> TacticOutcome:
-        best = arrangement.best_sscan
-        assert best is not None
-        return self._run_sscan_on(ctx, best)
-
-    def _run_sscan_on(
+    def _run_sscan_steps(
         self, ctx: TacticContext, candidate, ordered: bool = False
-    ) -> TacticOutcome:
+    ) -> StepOutcome:
         ctx.trace.emit(
             EventKind.TACTIC_SELECTED,
             tactic="sorted-sscan" if ordered else "sscan",
             index=candidate.index.name,
         )
         ctx.trace.emit(EventKind.SCAN_START, strategy="sscan", index=candidate.index.name)
-        sscan = SscanProcess(
+        sscan = ctx.spawn(SscanProcess(
             candidate.index, candidate.key_range, ctx.schema, ctx.restriction,
             ctx.host_vars, ctx.sink, ctx.trace, ctx.config,
-        )
-        while sscan.active:
-            if sscan.step():
-                break
+        ))
+        yield from advance(sscan)
         label = "sorted-sscan" if ordered else "sscan"
         return TacticOutcome(
             processes=[sscan],
@@ -281,21 +307,36 @@ class SingleTableRetrieval:
             stopped_by_consumer=sscan.stopped_by_consumer,
         )
 
-    def _run_tscan(self, ctx: TacticContext) -> TacticOutcome:
+    def _run_tscan_steps(self, ctx: TacticContext) -> StepOutcome:
         ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="tscan")
         ctx.trace.emit(EventKind.SCAN_START, strategy="tscan")
-        tscan = TscanProcess(
+        tscan = ctx.spawn(TscanProcess(
             ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
             ctx.trace, ctx.config,
-        )
-        while tscan.active:
-            if tscan.step():
-                break
+        ))
+        yield from advance(tscan)
         return TacticOutcome(
             processes=[tscan],
             description="tscan",
             stopped_by_consumer=tscan.stopped_by_consumer,
         )
+
+    @staticmethod
+    def _abandon_spawned(ctx: TacticContext, trace: RetrievalTrace) -> None:
+        """Cancellation cleanup: abandon every still-active process.
+
+        ``Process.abandon`` releases held resources (Jscan discards its
+        hybrid RID lists, freeing spilled temp-table pages) — the cancelled
+        query must leave nothing behind in the shared pool.
+        """
+        for process in ctx.spawned:
+            if process.active:
+                process.abandon()
+                trace.counters.scans_abandoned += 1
+                trace.emit(
+                    EventKind.SCAN_ABANDONED, index=process.name, reason="cancelled"
+                )
+        trace.emit(EventKind.CONSUMER_STOPPED, by="cancellation")
 
     # -- helpers -------------------------------------------------------------------
 

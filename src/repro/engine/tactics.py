@@ -13,18 +13,22 @@
   background Jscan; buffer overflow kills Jscan (Sscan is safer), a small
   complete RID list kills Sscan.
 
-Each tactic is a function taking a :class:`TacticContext` and returning a
-:class:`TacticOutcome`; the dispatcher lives in
-:mod:`repro.engine.retrieval`.
+Each tactic is a *step generator* taking a :class:`TacticContext` and
+yielding control after every process step until it returns a
+:class:`TacticOutcome` — the yield points are where the multi-query
+scheduler (:mod:`repro.server`) interleaves concurrent retrievals and where
+cancellation lands. The plain-named functions (``fast_first`` etc.) are
+synchronous wrappers that drain their ``*_steps`` generator; the dispatcher
+lives in :mod:`repro.engine.retrieval`.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Generator, Mapping
 
-from repro.competition.process import Process
+from repro.competition.process import Process, advance, drain
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.db.catalog import TableSchema
 from repro.engine.final_stage import FinalStageProcess
@@ -52,6 +56,15 @@ class TacticContext:
     sink: Sink
     trace: RetrievalTrace
     config: EngineConfig = DEFAULT_CONFIG
+    #: every process a tactic created, active or not — the cancellation path
+    #: abandons whatever is still running so scans release their buffers and
+    #: temp structures mid-flight
+    spawned: list[Process] = field(default_factory=list)
+
+    def spawn(self, process: Process) -> Process:
+        """Register a process for cancellation tracking and return it."""
+        self.spawned.append(process)
+        return process
 
 
 @dataclass
@@ -163,10 +176,9 @@ class BorrowingFetchProcess(Process):
         return False
 
 
-def _run_to_completion(process: Process) -> None:
-    while process.active:
-        if process.step():
-            return
+#: a tactic written as a step generator: yields after every process step,
+#: returns the outcome when the retrieval is resolved
+StepOutcome = Generator[None, None, TacticOutcome]
 
 
 def _finish_background(
@@ -174,7 +186,7 @@ def _finish_background(
     jscan: JscanProcess,
     outcome: TacticOutcome,
     skip: Callable[[RID], bool] | None,
-) -> None:
+) -> Generator[None, None, None]:
     """Run the final stage appropriate to how Jscan ended."""
     if jscan.empty:
         outcome.description += " -> empty-intersection shortcut"
@@ -182,23 +194,23 @@ def _finish_background(
     if jscan.tscan_recommended:
         ctx.trace.emit(EventKind.STRATEGY_SWITCH, to="tscan", reason="jscan-recommended")
         ctx.trace.counters.strategy_switches += 1
-        tscan = TscanProcess(
+        tscan = ctx.spawn(TscanProcess(
             ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
             ctx.trace, ctx.config, skip_rids=skip,
-        )
+        ))
         ctx.trace.emit(EventKind.SCAN_START, strategy="tscan")
-        _run_to_completion(tscan)
+        yield from advance(tscan)
         outcome.processes.append(tscan)
         outcome.stopped_by_consumer |= tscan.stopped_by_consumer
         outcome.description += " -> tscan"
         return
     rids = jscan.sorted_result()
     ctx.trace.emit(EventKind.FINAL_STAGE_START, rids=len(rids))
-    final = FinalStageProcess(
+    final = ctx.spawn(FinalStageProcess(
         rids, ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
         ctx.trace, ctx.config, skip_rids=skip,
-    )
-    _run_to_completion(final)
+    ))
+    yield from advance(final)
     outcome.processes.append(final)
     outcome.stopped_by_consumer |= final.stopped_by_consumer
     outcome.description += f" -> final-stage({len(rids)} rids)"
@@ -210,6 +222,11 @@ def _finish_background(
 
 
 def union_or(ctx: TacticContext, covered) -> TacticOutcome:
+    """Synchronous wrapper over :func:`union_or_steps`."""
+    return drain(union_or_steps(ctx, covered))
+
+
+def union_or_steps(ctx: TacticContext, covered) -> StepOutcome:
     """Union joint scan over covered disjuncts, then the final stage.
 
     ``covered`` is the list of
@@ -220,18 +237,20 @@ def union_or(ctx: TacticContext, covered) -> TacticOutcome:
 
     ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="union-or", disjuncts=len(covered))
     outcome = TacticOutcome(description=f"union-or: {len(covered)} disjunct scans")
-    union = UnionScanProcess(covered, ctx.heap, ctx.buffer_pool, ctx.trace, ctx.config)
-    _run_to_completion(union)
+    union = ctx.spawn(
+        UnionScanProcess(covered, ctx.heap, ctx.buffer_pool, ctx.trace, ctx.config)
+    )
+    yield from advance(union)
     outcome.processes.append(union)
     if union.tscan_recommended:
         ctx.trace.emit(EventKind.STRATEGY_SWITCH, to="tscan", reason="union-too-big")
         ctx.trace.counters.strategy_switches += 1
-        tscan = TscanProcess(
+        tscan = ctx.spawn(TscanProcess(
             ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
             ctx.trace, ctx.config,
-        )
+        ))
         ctx.trace.emit(EventKind.SCAN_START, strategy="tscan")
-        _run_to_completion(tscan)
+        yield from advance(tscan)
         outcome.processes.append(tscan)
         outcome.stopped_by_consumer |= tscan.stopped_by_consumer
         outcome.description += " -> tscan"
@@ -241,11 +260,11 @@ def union_or(ctx: TacticContext, covered) -> TacticOutcome:
         outcome.description += " -> empty union"
         return outcome
     ctx.trace.emit(EventKind.FINAL_STAGE_START, rids=len(rids))
-    final = FinalStageProcess(
+    final = ctx.spawn(FinalStageProcess(
         rids, ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
         ctx.trace, ctx.config,
-    )
-    _run_to_completion(final)
+    ))
+    yield from advance(final)
     outcome.processes.append(final)
     outcome.stopped_by_consumer |= final.stopped_by_consumer
     outcome.description += f" -> final-stage({len(rids)} rids)"
@@ -258,15 +277,20 @@ def union_or(ctx: TacticContext, covered) -> TacticOutcome:
 
 
 def background_only(ctx: TacticContext) -> TacticOutcome:
+    """Synchronous wrapper over :func:`background_only_steps`."""
+    return drain(background_only_steps(ctx))
+
+
+def background_only_steps(ctx: TacticContext) -> StepOutcome:
     """Jscan to completion, then the final stage (Section 7)."""
     ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="background-only")
     outcome = TacticOutcome(description="background-only: jscan")
-    jscan = JscanProcess(
+    jscan = ctx.spawn(JscanProcess(
         ctx.arrangement.jscan_candidates, ctx.heap, ctx.buffer_pool, ctx.trace, ctx.config
-    )
-    _run_to_completion(jscan)
+    ))
+    yield from advance(jscan)
     outcome.processes.append(jscan)
-    _finish_background(ctx, jscan, outcome, skip=None)
+    yield from _finish_background(ctx, jscan, outcome, skip=None)
     return outcome
 
 
@@ -276,6 +300,11 @@ def background_only(ctx: TacticContext) -> TacticOutcome:
 
 
 def fast_first(ctx: TacticContext) -> TacticOutcome:
+    """Synchronous wrapper over :func:`fast_first_steps`."""
+    return drain(fast_first_steps(ctx))
+
+
+def fast_first_steps(ctx: TacticContext) -> StepOutcome:
     """Jscan in background; foreground borrows, fetches, delivers (Section 7)."""
     ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="fast-first")
     outcome = TacticOutcome(description="fast-first: fgr-borrow || jscan")
@@ -285,15 +314,15 @@ def fast_first(ctx: TacticContext) -> TacticOutcome:
         if position == 0:
             borrow_queue.append(rid)
 
-    jscan = JscanProcess(
+    jscan = ctx.spawn(JscanProcess(
         ctx.arrangement.jscan_candidates, ctx.heap, ctx.buffer_pool, ctx.trace,
         ctx.config, on_keep=tap,
-    )
+    ))
     fgr_buffer = ForegroundBuffer(ctx.config.foreground_buffer_size)
-    fgr = BorrowingFetchProcess(
+    fgr = ctx.spawn(BorrowingFetchProcess(
         borrow_queue, ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars,
         ctx.sink, fgr_buffer, ctx.trace, ctx.config,
-    )
+    ))
     outcome.processes = [jscan, fgr]
     fgr_weight = ctx.config.foreground_speed
     bgr_weight = ctx.config.background_speed
@@ -341,6 +370,7 @@ def fast_first(ctx: TacticContext) -> TacticOutcome:
             fgr.step()
         else:
             break
+        yield
 
     if fgr.active:
         fgr.abandon()
@@ -348,9 +378,9 @@ def fast_first(ctx: TacticContext) -> TacticOutcome:
         # jscan was abandoned — nothing more to do
         return outcome
     if jscan.active:
-        _run_to_completion(jscan)
+        yield from advance(jscan)
     skip = lambda rid: rid in fgr_buffer  # noqa: E731 - tiny closure
-    _finish_background(ctx, jscan, outcome, skip=skip)
+    yield from _finish_background(ctx, jscan, outcome, skip=skip)
     return outcome
 
 
@@ -360,16 +390,21 @@ def fast_first(ctx: TacticContext) -> TacticOutcome:
 
 
 def sorted_tactic(ctx: TacticContext) -> TacticOutcome:
+    """Synchronous wrapper over :func:`sorted_tactic_steps`."""
+    return drain(sorted_tactic_steps(ctx))
+
+
+def sorted_tactic_steps(ctx: TacticContext) -> StepOutcome:
     """Order-delivering Fscan cooperating with a filter-building Jscan."""
     ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="sorted")
     order = ctx.arrangement.order_index
     if order is None:
         raise ValueError("sorted tactic requires an order-needed index")
     outcome = TacticOutcome(description=f"sorted: fscan({order.index.name}) || jscan-filter")
-    fscan = FscanProcess(
+    fscan = ctx.spawn(FscanProcess(
         order.index, order.key_range, ctx.heap, ctx.schema, ctx.restriction,
         ctx.host_vars, ctx.sink, ctx.trace, ctx.config,
-    )
+    ))
     ctx.trace.emit(EventKind.SCAN_START, strategy="fscan", index=order.index.name)
     others = [
         candidate
@@ -378,7 +413,9 @@ def sorted_tactic(ctx: TacticContext) -> TacticOutcome:
     ]
     jscan: JscanProcess | None = None
     if others:
-        jscan = JscanProcess(others, ctx.heap, ctx.buffer_pool, ctx.trace, ctx.config)
+        jscan = ctx.spawn(
+            JscanProcess(others, ctx.heap, ctx.buffer_pool, ctx.trace, ctx.config)
+        )
         outcome.processes = [fscan, jscan]
     else:
         outcome.processes = [fscan]
@@ -410,6 +447,7 @@ def sorted_tactic(ctx: TacticContext) -> TacticOutcome:
             jscan.step()
         else:
             fscan.step()
+        yield
         if fscan.stopped_by_consumer:
             outcome.stopped_by_consumer = True
             ctx.trace.emit(EventKind.CONSUMER_STOPPED, by="foreground")
@@ -427,6 +465,11 @@ def sorted_tactic(ctx: TacticContext) -> TacticOutcome:
 
 
 def index_only(ctx: TacticContext) -> TacticOutcome:
+    """Synchronous wrapper over :func:`index_only_steps`."""
+    return drain(index_only_steps(ctx))
+
+
+def index_only_steps(ctx: TacticContext) -> StepOutcome:
     """Sscan (foreground) racing Jscan (background)."""
     ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="index-only")
     best = ctx.arrangement.best_sscan
@@ -444,17 +487,17 @@ def index_only(ctx: TacticContext) -> TacticOutcome:
         delivered_rids.append(rid)
         return ctx.sink(rid, row)
 
-    sscan = SscanProcess(
+    sscan = ctx.spawn(SscanProcess(
         best.index, best.key_range, ctx.schema, ctx.restriction, ctx.host_vars,
         recording_sink, ctx.trace, ctx.config,
-    )
+    ))
     ctx.trace.emit(EventKind.SCAN_START, strategy="sscan", index=best.index.name)
     jscan: JscanProcess | None = None
     if ctx.arrangement.jscan_candidates:
-        jscan = JscanProcess(
+        jscan = ctx.spawn(JscanProcess(
             ctx.arrangement.jscan_candidates, ctx.heap, ctx.buffer_pool,
             ctx.trace, ctx.config,
-        )
+        ))
         outcome.processes = [sscan, jscan]
     else:
         outcome.processes = [sscan]
@@ -488,7 +531,7 @@ def index_only(ctx: TacticContext) -> TacticOutcome:
                     )
                     ctx.trace.counters.strategy_switches += 1
                     skip = lambda rid: rid in fgr_buffer  # noqa: E731
-                    _finish_background(ctx, jscan, outcome, skip=skip)
+                    yield from _finish_background(ctx, jscan, outcome, skip=skip)
                     return outcome
             jscan = None  # tscan recommended or not competitive: sscan continues
         if jscan is not None and jscan.active and (
@@ -497,6 +540,7 @@ def index_only(ctx: TacticContext) -> TacticOutcome:
             jscan.step()
         else:
             sscan.step()
+        yield
         if sscan.stopped_by_consumer:
             outcome.stopped_by_consumer = True
             ctx.trace.emit(EventKind.CONSUMER_STOPPED, by="foreground")

@@ -68,3 +68,12 @@ class CompetitionError(ReproError):
 
 class RetrievalError(ReproError):
     """Errors raised by the single-table retrieval engine (Sections 4-7)."""
+
+
+class ServerError(ReproError):
+    """Errors raised by the multi-query scheduler (:mod:`repro.server`)."""
+
+
+class QueryCancelledError(ServerError):
+    """The query was cancelled (explicitly or by its deadline) before
+    producing a result."""

@@ -1,0 +1,29 @@
+"""Multi-query serving: cooperative scheduler + server-wide metrics.
+
+The paper's engine (Figure 4) already runs *within-query* concurrency — a
+foreground/background process pair competing over one buffer pool. This
+package scales the same cooperative machinery to *between-query*
+concurrency: a :class:`QueryServer` admits statements from many sessions
+and interleaves their engine steps, so the Section 3(c) cache interference
+emerges from real concurrent scans instead of simulated eviction.
+"""
+
+from repro.server.metrics import MetricsRegistry, SessionMetrics, add_counters
+from repro.server.scheduler import (
+    DEFAULT_GOAL_WEIGHTS,
+    QueryHandle,
+    QueryServer,
+    QueryState,
+    ServerSession,
+)
+
+__all__ = [
+    "DEFAULT_GOAL_WEIGHTS",
+    "MetricsRegistry",
+    "QueryHandle",
+    "QueryServer",
+    "QueryState",
+    "ServerSession",
+    "SessionMetrics",
+    "add_counters",
+]

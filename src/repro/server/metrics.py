@@ -1,0 +1,132 @@
+"""Server-wide aggregation of dynamic execution metrics.
+
+Every retrieval produces a :class:`~repro.engine.metrics.RetrievalTrace`;
+the paper exposes those per-retrieval "dynamic execution metrics" to the
+user. Once many sessions run concurrently, the interesting questions become
+engine-wide — how many scans did the whole server abandon, how often did
+strategies switch, what is each session's cache hit rate under contention —
+so the :class:`MetricsRegistry` folds every trace's counters into queryable
+totals and per-session breakdowns. The registry is pure accounting: it
+never touches the engine, and its totals reconcile exactly with the sum of
+the individual traces it recorded (asserted by tests and the concurrency
+benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.engine.metrics import RetrievalCounters, RetrievalTrace
+
+
+def add_counters(into: RetrievalCounters, other: RetrievalCounters) -> None:
+    """Fold ``other``'s counters into ``into`` field by field."""
+    for spec in fields(RetrievalCounters):
+        setattr(into, spec.name, getattr(into, spec.name) + getattr(other, spec.name))
+
+
+@dataclass
+class SessionMetrics:
+    """Aggregated metrics of one session (or of the whole server)."""
+
+    session_id: str
+    queries_completed: int = 0
+    queries_cancelled: int = 0
+    queries_failed: int = 0
+    #: retrievals whose traces were folded in (a statement may run several)
+    retrievals: int = 0
+    counters: RetrievalCounters = field(default_factory=RetrievalCounters)
+    #: buffer-pool accesses attributed to this session's query steps
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def queries(self) -> int:
+        """All queries that reached a terminal state."""
+        return self.queries_completed + self.queries_cancelled + self.queries_failed
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of attributed pool accesses served from cache."""
+        accesses = self.cache_hits + self.cache_misses
+        return self.cache_hits / accesses if accesses else 0.0
+
+
+class MetricsRegistry:
+    """Queryable totals and per-session breakdowns of engine activity."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, SessionMetrics] = {}
+
+    def session(self, session_id: str) -> SessionMetrics:
+        """The metrics of one session (created on demand)."""
+        metrics = self._sessions.get(session_id)
+        if metrics is None:
+            metrics = self._sessions[session_id] = SessionMetrics(session_id)
+        return metrics
+
+    def per_session(self) -> dict[str, SessionMetrics]:
+        """Breakdown by session id (live objects, do not mutate)."""
+        return dict(self._sessions)
+
+    # -- recording (called by the QueryServer) -----------------------------
+
+    def record_trace(self, session_id: str, trace: RetrievalTrace) -> None:
+        """Fold one retrieval's counters into the session's aggregate."""
+        metrics = self.session(session_id)
+        metrics.retrievals += 1
+        add_counters(metrics.counters, trace.counters)
+
+    def record_cache(self, session_id: str, hits: int, misses: int) -> None:
+        """Credit pool accesses a finished query caused to its session."""
+        metrics = self.session(session_id)
+        metrics.cache_hits += hits
+        metrics.cache_misses += misses
+
+    def record_outcome(self, session_id: str, outcome: str) -> None:
+        """Count one query reaching a terminal state
+        (``done``/``cancelled``/``failed``)."""
+        metrics = self.session(session_id)
+        if outcome == "done":
+            metrics.queries_completed += 1
+        elif outcome == "cancelled":
+            metrics.queries_cancelled += 1
+        elif outcome == "failed":
+            metrics.queries_failed += 1
+        else:  # pragma: no cover - programming error
+            raise ValueError(f"unknown outcome {outcome!r}")
+
+    # -- querying ----------------------------------------------------------
+
+    def totals(self) -> SessionMetrics:
+        """Server-wide aggregate across every session."""
+        total = SessionMetrics("<all>")
+        for metrics in self._sessions.values():
+            total.queries_completed += metrics.queries_completed
+            total.queries_cancelled += metrics.queries_cancelled
+            total.queries_failed += metrics.queries_failed
+            total.retrievals += metrics.retrievals
+            total.cache_hits += metrics.cache_hits
+            total.cache_misses += metrics.cache_misses
+            add_counters(total.counters, metrics.counters)
+        return total
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering (shell ``\\metrics``)."""
+        lines = []
+        for metrics in [self.totals()] + sorted(
+            self._sessions.values(), key=lambda m: m.session_id
+        ):
+            counters = metrics.counters
+            lines.append(
+                f"{metrics.session_id}: {metrics.queries} queries "
+                f"({metrics.queries_completed} done, "
+                f"{metrics.queries_cancelled} cancelled, "
+                f"{metrics.queries_failed} failed), "
+                f"{metrics.retrievals} retrievals, "
+                f"{counters.records_fetched} fetched, "
+                f"{counters.scans_abandoned} abandons, "
+                f"{counters.strategy_switches} switches, "
+                f"cache hit rate {metrics.cache_hit_ratio:.0%}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,405 @@
+"""The multi-query scheduler: N concurrent sessions, one buffer pool.
+
+The paper's Section 3(c) uncertainty — "the pattern of caching the disk
+pages is influenced by many asynchronous processes totally unrelated to a
+given retrieval" — presumes a server where retrievals never run alone.
+:class:`QueryServer` is that server in cooperative form: it admits
+statements from many sessions and interleaves their engine steps (the same
+step granularity at which one retrieval's foreground and background
+processes already compete) over the *shared* buffer pool. Cache
+interference between queries therefore emerges from real concurrent Tscans
+and Jscans instead of being injected by ``Database.interference_tick``.
+
+Scheduling generalizes the per-retrieval proportional-speed scheduler of
+:class:`repro.competition.scheduler.ProportionalScheduler` to whole
+queries: ``round-robin`` steps admitted queries in rotation, ``weighted``
+steps the query with the smallest virtual time ``steps / weight`` where the
+weight comes from its optimization goal (fast-first queries are
+latency-sensitive browsers, so they get a larger share, mirroring
+[Ant91B]'s "proportional speed" rule).
+
+Everything is deterministic: admission is FIFO, tie-breaks use submission
+tickets, and no wall clock is consulted — deadlines are budgets of engine
+steps. Cancellation closes the query's step generator, which propagates
+into the engine as ``GeneratorExit``: active scans are abandoned, spilled
+temp structures released, and the trace records ``SCAN_ABANDONED`` /
+``CONSUMER_STOPPED``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from typing import Any, Generator, Mapping
+
+from repro.db.session import Database
+from repro.engine.goals import OptimizationGoal
+from repro.errors import QueryCancelledError, ServerError
+from repro.server.metrics import MetricsRegistry
+from repro.sql.executor import RetrievalInfo, execute_sql_steps
+
+#: default virtual-time weights per optimization goal (``weighted`` mode)
+DEFAULT_GOAL_WEIGHTS: dict[OptimizationGoal, float] = {
+    OptimizationGoal.FAST_FIRST: 2.0,
+    OptimizationGoal.TOTAL_TIME: 1.0,
+    OptimizationGoal.DEFAULT: 1.0,
+}
+
+
+class QueryState(enum.Enum):
+    """Lifecycle of a submitted query."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+
+class QueryHandle:
+    """One submitted statement: its state, result, and per-query metrics."""
+
+    def __init__(
+        self,
+        server: "QueryServer",
+        session_id: str,
+        sql: str,
+        host_vars: Mapping[str, Any] | None,
+        goal: OptimizationGoal,
+        deadline: int | None,
+        ticket: int,
+    ) -> None:
+        if deadline is not None and deadline < 1:
+            raise ServerError("deadline must be a positive step budget")
+        self.server = server
+        self.session_id = session_id
+        self.sql = sql
+        self.host_vars = dict(host_vars or {})
+        self.goal = goal
+        #: budget of engine steps; exceeding it cancels the query
+        self.deadline = deadline
+        #: submission order — admission and tie-breaks are FIFO by ticket
+        self.ticket = ticket
+        self.state = QueryState.QUEUED
+        self.cancel_reason: str | None = None
+        self.error: BaseException | None = None
+        #: engine steps this query has consumed
+        self.steps = 0
+        #: buffer-pool accesses attributed to this query's steps
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: per-retrieval info, appended as each retrieval takes its first
+        #: step — populated even for queries later cancelled mid-flight
+        self.retrievals: list[RetrievalInfo] = []
+        #: server step count at which this query was admitted
+        self.admitted_at: int | None = None
+        self._gen: Generator[Any, None, Any] | None = None
+        self._result: Any = None
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once the query reached a terminal state."""
+        return self.state in (QueryState.DONE, QueryState.CANCELLED, QueryState.FAILED)
+
+    @property
+    def result(self) -> Any:
+        """The query's result; raises if it failed, was cancelled, or is
+        still in flight."""
+        if self.state is QueryState.FAILED:
+            assert self.error is not None
+            raise self.error
+        if self.state is QueryState.CANCELLED:
+            raise QueryCancelledError(
+                f"query cancelled ({self.cancel_reason}): {self.sql!r}"
+            )
+        if self.state is not QueryState.DONE:
+            raise ServerError(f"query not finished (state={self.state.value})")
+        return self._result
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Per-query buffer-pool hit rate (the benchmark's headline)."""
+        accesses = self.cache_hits + self.cache_misses
+        return self.cache_hits / accesses if accesses else 0.0
+
+    def cancel(self, reason: str = "client-cancel") -> None:
+        """Cancel the query; a running one abandons its scans mid-step."""
+        self.server._cancel(self, reason)
+
+    def wait(self) -> Any:
+        """Drive the server until this query finishes; return its result."""
+        return self.server.wait(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QueryHandle #{self.ticket} {self.session_id} "
+            f"{self.state.value} steps={self.steps} sql={self.sql[:40]!r}>"
+        )
+
+
+class ServerSession:
+    """One client session: a submission identity for metrics and fairness."""
+
+    def __init__(self, server: "QueryServer", session_id: str) -> None:
+        self.server = server
+        self.session_id = session_id
+
+    def submit(
+        self,
+        sql: str,
+        host_vars: Mapping[str, Any] | None = None,
+        goal: OptimizationGoal = OptimizationGoal.DEFAULT,
+        deadline: int | None = None,
+    ) -> QueryHandle:
+        """Queue a statement for execution; returns immediately."""
+        return self.server.submit(
+            sql, host_vars, goal=goal, deadline=deadline, session=self
+        )
+
+    def execute(
+        self,
+        sql: str,
+        host_vars: Mapping[str, Any] | None = None,
+        goal: OptimizationGoal = OptimizationGoal.DEFAULT,
+        deadline: int | None = None,
+    ) -> Any:
+        """Submit and run to completion (cooperatively driving the server,
+        so other admitted queries make proportional progress too)."""
+        return self.submit(sql, host_vars, goal=goal, deadline=deadline).wait()
+
+    def metrics(self):
+        """This session's aggregated metrics."""
+        return self.server.metrics.session(self.session_id)
+
+
+class QueryServer:
+    """Cooperative multi-query scheduler over one :class:`Database`.
+
+    ``max_concurrency`` bounds how many queries are admitted (RUNNING) at
+    once; excess submissions wait in a FIFO queue. ``scheduling`` is
+    ``"round-robin"`` or ``"weighted"`` (virtual time by optimization
+    goal).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        max_concurrency: int = 4,
+        scheduling: str = "round-robin",
+        goal_weights: Mapping[OptimizationGoal, float] | None = None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ServerError("max_concurrency must be >= 1")
+        if scheduling not in ("round-robin", "weighted"):
+            raise ServerError(
+                f"unknown scheduling policy {scheduling!r} "
+                "(expected 'round-robin' or 'weighted')"
+            )
+        self.db = db
+        self.max_concurrency = max_concurrency
+        self.scheduling = scheduling
+        self.goal_weights = dict(goal_weights or DEFAULT_GOAL_WEIGHTS)
+        self.metrics = MetricsRegistry()
+        #: total engine steps the server has executed (its logical clock)
+        self.total_steps = 0
+        self._running: list[QueryHandle] = []
+        self._queue: deque[QueryHandle] = deque()
+        self._rr = 0
+        self._tickets = itertools.count(1)
+        self._session_ids = itertools.count(1)
+
+    # -- sessions ----------------------------------------------------------
+
+    def session(self, name: str | None = None) -> ServerSession:
+        """Open a session (auto-named ``s<N>`` unless ``name`` is given)."""
+        return ServerSession(self, name or f"s{next(self._session_ids)}")
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        host_vars: Mapping[str, Any] | None = None,
+        goal: OptimizationGoal = OptimizationGoal.DEFAULT,
+        deadline: int | None = None,
+        session: ServerSession | str | None = None,
+    ) -> QueryHandle:
+        """Queue one statement; admits it immediately if a slot is free."""
+        if isinstance(session, ServerSession):
+            session_id = session.session_id
+        else:
+            session_id = session or "default"
+        handle = QueryHandle(
+            self, session_id, sql, host_vars, goal, deadline, next(self._tickets)
+        )
+        self._queue.append(handle)
+        self._admit()
+        return handle
+
+    def _admit(self) -> None:
+        while self._queue and len(self._running) < self.max_concurrency:
+            handle = self._queue.popleft()
+            handle._gen = execute_sql_steps(
+                self.db,
+                handle.sql,
+                handle.host_vars,
+                handle.goal,
+                retrievals=handle.retrievals,
+            )
+            handle.state = QueryState.RUNNING
+            handle.admitted_at = self.total_steps
+            self._running.append(handle)
+
+    # -- the scheduling step ----------------------------------------------
+
+    @property
+    def running(self) -> list[QueryHandle]:
+        """Currently admitted queries (copy)."""
+        return list(self._running)
+
+    @property
+    def queued(self) -> list[QueryHandle]:
+        """Queries waiting for admission (copy)."""
+        return list(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is running or queued."""
+        return not self._running and not self._queue
+
+    def _weight(self, handle: QueryHandle) -> float:
+        return self.goal_weights.get(handle.goal, 1.0)
+
+    def _pick(self) -> QueryHandle:
+        if self.scheduling == "weighted":
+            return min(
+                self._running,
+                key=lambda h: (h.steps / self._weight(h), h.ticket),
+            )
+        if self._rr >= len(self._running):
+            self._rr = 0
+        return self._running[self._rr]
+
+    def step(self) -> bool:
+        """Advance one engine step of one admitted query.
+
+        Returns False when the server is idle (nothing to step).
+        """
+        self._admit()
+        if not self._running:
+            return False
+        handle = self._pick()
+        self._step_handle(handle)
+        if handle.state is QueryState.RUNNING:
+            if self.scheduling == "round-robin":
+                self._rr += 1
+        elif handle in self._running:
+            # deadline cancellation retires inside _step_handle already
+            self._retire(handle)
+        return True
+
+    def _step_handle(self, handle: QueryHandle) -> None:
+        pool = self.db.buffer_pool
+        stats = pool.stats_for(handle.session_id)
+        hits_before, misses_before = stats.hits, stats.misses
+        pool.current_owner = handle.session_id
+        assert handle._gen is not None
+        try:
+            next(handle._gen)
+        except StopIteration as stop:
+            handle._result = stop.value
+            handle.state = QueryState.DONE
+        except Exception as error:  # noqa: BLE001 - failure belongs to the handle
+            handle.error = error
+            handle.state = QueryState.FAILED
+        else:
+            handle.steps += 1
+            self.total_steps += 1
+        finally:
+            pool.current_owner = None
+            handle.cache_hits += stats.hits - hits_before
+            handle.cache_misses += stats.misses - misses_before
+        if handle.state is QueryState.RUNNING and (
+            handle.deadline is not None and handle.steps >= handle.deadline
+        ):
+            self._cancel(handle, reason="deadline")
+
+    def _retire(self, handle: QueryHandle) -> None:
+        """Remove a terminal handle from the run list and record metrics."""
+        index = self._running.index(handle)
+        self._running.pop(index)
+        if index < self._rr:
+            self._rr -= 1
+        outcome = {
+            QueryState.DONE: "done",
+            QueryState.CANCELLED: "cancelled",
+            QueryState.FAILED: "failed",
+        }[handle.state]
+        self.metrics.record_outcome(handle.session_id, outcome)
+        self.metrics.record_cache(
+            handle.session_id, handle.cache_hits, handle.cache_misses
+        )
+        for info in handle.retrievals:
+            self.metrics.record_trace(handle.session_id, info.result.trace)
+        self._admit()
+
+    # -- cancellation ------------------------------------------------------
+
+    def _cancel(self, handle: QueryHandle, reason: str) -> None:
+        if handle.done:
+            return
+        if handle.state is QueryState.QUEUED:
+            self._queue.remove(handle)
+            handle.state = QueryState.CANCELLED
+            handle.cancel_reason = reason
+            self.metrics.record_outcome(handle.session_id, "cancelled")
+            self._admit()
+            return
+        # running: closing the generator raises GeneratorExit at the engine's
+        # current yield point — scans are abandoned, temp structures released
+        assert handle._gen is not None
+        handle._gen.close()
+        handle.state = QueryState.CANCELLED
+        handle.cancel_reason = reason
+        if handle in self._running:
+            self._retire(handle)
+
+    def cancel_session(self, session_id: str, reason: str = "session-closed") -> int:
+        """Cancel every queued/running query of one session."""
+        victims = [
+            handle
+            for handle in list(self._queue) + list(self._running)
+            if handle.session_id == session_id
+        ]
+        for handle in victims:
+            self._cancel(handle, reason)
+        return len(victims)
+
+    # -- driving -----------------------------------------------------------
+
+    def run_until_idle(self, max_steps: int = 50_000_000) -> int:
+        """Step until no query is running or queued; returns steps taken."""
+        steps = 0
+        while self.step():
+            steps += 1
+            if steps > max_steps:
+                raise ServerError("run_until_idle exceeded max_steps — runaway query?")
+        return steps
+
+    def wait(self, handle: QueryHandle, max_steps: int = 50_000_000) -> Any:
+        """Step the server until ``handle`` finishes; return its result.
+
+        Other admitted queries keep making proportional progress while the
+        caller waits — this is the cooperative equivalent of blocking.
+        """
+        steps = 0
+        while not handle.done:
+            if not self.step():
+                raise ServerError("server went idle before the query finished")
+            steps += 1
+            if steps > max_steps:
+                raise ServerError("wait exceeded max_steps — runaway query?")
+        return handle.result

@@ -8,6 +8,7 @@ benchmark scenarios). Statements end with ``;``. Meta commands:
 * ``\\trace on|off`` — print the dynamic execution trace after each SELECT
 * ``\\cold`` — drop the buffer cache (cold-start the next statement)
 * ``\\set NAME VALUE`` — bind a host variable (``:NAME`` in queries)
+* ``\\metrics`` — server-wide and per-session scheduler metrics
 * ``\\q`` — quit
 
 The shell exists so a downstream user can poke at strategy switching
@@ -20,16 +21,33 @@ from __future__ import annotations
 import sys
 from typing import Iterable, TextIO
 
+from repro.api import Connection, connect
 from repro.db.session import Database
 from repro.errors import ReproError
 from repro.sql.ddl import DdlResult
 
 
 class Shell:
-    """Line-oriented REPL state."""
+    """Line-oriented REPL state.
 
-    def __init__(self, db: Database | None = None, out: TextIO = sys.stdout) -> None:
-        self.db = db if db is not None else Database(buffer_capacity=128)
+    Statements run through the unified connection API (:func:`repro.connect`),
+    i.e. the multi-query scheduler. Accepts an existing :class:`Connection`
+    or, for back compatibility, a bare :class:`Database` (wrapped in its
+    default connection).
+    """
+
+    def __init__(
+        self,
+        db: Connection | Database | None = None,
+        out: TextIO = sys.stdout,
+    ) -> None:
+        if db is None:
+            self.conn = connect(buffer_capacity=128)
+        elif isinstance(db, Database):
+            self.conn = db.default_connection()
+        else:
+            self.conn = db
+        self.db = self.conn.db
         self.out = out
         self.host_vars: dict[str, object] = {}
         self.show_trace = False
@@ -113,15 +131,17 @@ class Shell:
                     value = raw.strip("'\"")
             self.host_vars[name] = value
             self._print(f":{name} = {value!r}")
+        elif head == "\\metrics":
+            self._print(self.conn.metrics.format())
         elif head == "\\explain":
             sql = command[len("\\explain"):].strip().rstrip(";")
             try:
-                self._print(self.db.explain(sql))
+                self._print(self.conn.explain(sql))
             except ReproError as error:
                 self._print(f"error: {error}")
         else:
             self._print(f"unknown meta command {head!r} (try \\d, \\trace, \\cold, "
-                        "\\set, \\explain, \\q)")
+                        "\\set, \\metrics, \\explain, \\q)")
 
     def _list_tables(self) -> None:
         if not self.db.tables:
@@ -147,7 +167,7 @@ class Shell:
 
     def _execute(self, sql: str) -> None:
         try:
-            result = self.db.execute(sql, self.host_vars)
+            result = self.conn.execute(sql, self.host_vars)
         except ReproError as error:
             self._print(f"error: {error}")
             return
@@ -180,7 +200,7 @@ def load_demo(db: Database) -> None:
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     argv = argv if argv is not None else sys.argv[1:]
-    shell = Shell()
+    shell = Shell(connect(buffer_capacity=128))
     if "--demo" in argv:
         load_demo(shell.db)
         print("demo tables loaded: FAMILIES, PARTS, ORDERS (try \\d)")

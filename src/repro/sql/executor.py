@@ -11,8 +11,9 @@ actually sees the early-termination opportunity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Generator, Mapping
 
+from repro.competition.process import drain
 from repro.db.session import Database
 from repro.db.table import Table
 from repro.engine.goals import OptimizationGoal, infer_goals
@@ -86,6 +87,25 @@ def execute_sql(
     SELECTs return a :class:`QueryResult`; DDL/DML statements return a
     :class:`repro.sql.ddl.DdlResult`.
     """
+    return drain(execute_sql_steps(db, sql, host_vars, goal))
+
+
+def execute_sql_steps(
+    db: Database,
+    sql: str,
+    host_vars: Mapping[str, Any] | None = None,
+    goal: OptimizationGoal = OptimizationGoal.DEFAULT,
+    retrievals: list[RetrievalInfo] | None = None,
+) -> Generator[RetrievalResult, None, Any]:
+    """:func:`execute_sql` as a step generator (one yield per engine step).
+
+    The multi-query scheduler drives whole statements through this
+    generator, interleaving their steps over the shared buffer pool. The
+    caller may pass its own ``retrievals`` list: each retrieval's
+    :class:`RetrievalInfo` is appended there as soon as the retrieval takes
+    its first step, so a cancelled statement still exposes the partial
+    traces of whatever it ran. DDL statements execute in a single step.
+    """
     from repro.sql.ddl import execute_ddl
     from repro.sql.parser import ParsedQuery, parse_any
 
@@ -95,8 +115,9 @@ def execute_sql(
     requested = parsed.goal if parsed.goal is not OptimizationGoal.DEFAULT else goal
     bind(db, parsed.plan)
     goals = infer_goals(parsed.plan, requested)
-    retrievals: list[RetrievalInfo] = []
-    columns, rows = _execute_block(
+    if retrievals is None:
+        retrievals = []
+    columns, rows = yield from _execute_block(
         db, parsed.plan, dict(host_vars or {}), goals, retrievals
     )
     return QueryResult(
@@ -144,6 +165,38 @@ def _unwrap(root: PlanNode) -> _Chain:
     return _Chain(project, limit, distinct, sort, aggregate, node)
 
 
+def _tracked(
+    gen: Generator[RetrievalResult, None, RetrievalResult],
+    retrievals: list[RetrievalInfo],
+    table_name: str,
+    goal: OptimizationGoal,
+) -> Generator[RetrievalResult, None, RetrievalResult]:
+    """Drive one retrieval's step generator, registering it as in-flight.
+
+    The engine yields (and finally returns) the *same* live
+    :class:`~repro.engine.retrieval.RetrievalResult` object, so appending
+    the :class:`RetrievalInfo` at the first step makes partial traces of a
+    later-cancelled retrieval visible to the server's metrics. The
+    ``finally`` close propagates cancellation into the engine, which
+    abandons its scans and releases temp structures.
+    """
+    registered = False
+    try:
+        while True:
+            try:
+                partial = next(gen)
+            except StopIteration as stop:
+                if not registered:
+                    retrievals.append(RetrievalInfo(table_name, goal, stop.value))
+                return stop.value
+            if not registered:
+                retrievals.append(RetrievalInfo(table_name, goal, partial))
+                registered = True
+            yield partial
+    finally:
+        gen.close()
+
+
 def _execute_block(
     db: Database,
     root: PlanNode,
@@ -151,10 +204,10 @@ def _execute_block(
     goals: dict[int, OptimizationGoal],
     retrievals: list[RetrievalInfo],
     forced_limit: int | None = None,
-) -> tuple[tuple[str, ...], list[tuple]]:
+) -> Generator[RetrievalResult, None, tuple[tuple[str, ...], list[tuple]]]:
     chain = _unwrap(root)
     table = db.table(chain.retrieve.table)
-    restriction = _resolve_subqueries(
+    restriction = yield from _resolve_subqueries(
         db, chain.retrieve.restriction or ALWAYS_TRUE, host_vars, goals, retrievals
     )
 
@@ -173,15 +226,19 @@ def _execute_block(
     ):
         push_limit = forced_limit
 
-    result = table.select(
-        where=restriction,
-        host_vars=host_vars,
-        columns=chain.retrieve.output_columns,
-        order_by=order_keys if ascending_only else (),
-        limit=push_limit,
-        optimize_for=goal,
+    result = yield from _tracked(
+        table.select_steps(
+            where=restriction,
+            host_vars=host_vars,
+            columns=chain.retrieve.output_columns,
+            order_by=order_keys if ascending_only else (),
+            limit=push_limit,
+            optimize_for=goal,
+        ),
+        retrievals,
+        chain.retrieve.table,
+        goal,
     )
-    retrievals.append(RetrievalInfo(table=chain.retrieve.table, goal=goal, result=result))
     rows = list(result.rows)
 
     if chain.sort is not None and not ascending_only:
@@ -261,33 +318,34 @@ def _resolve_subqueries(
     host_vars: dict[str, Any],
     goals: dict[int, OptimizationGoal],
     retrievals: list[RetrievalInfo],
-) -> Expr:
+) -> Generator[RetrievalResult, None, Expr]:
     if isinstance(expr, InSubquery):
-        _, rows = _execute_block(db, expr.plan, host_vars, goals, retrievals)
+        _, rows = yield from _execute_block(db, expr.plan, host_vars, goals, retrievals)
         values = sorted({row[0] for row in rows if row and row[0] is not None})
         if not values:
             return ALWAYS_FALSE
         return InList(expr.column, tuple(Literal(value) for value in values))
     if isinstance(expr, ExistsSubquery):
         subquery_root = expr.plan.children[0] if isinstance(expr.plan, Exists) else expr.plan
-        _, rows = _execute_block(
+        _, rows = yield from _execute_block(
             db, subquery_root, host_vars, goals, retrievals, forced_limit=1
         )
         return ALWAYS_TRUE if rows else ALWAYS_FALSE
     if isinstance(expr, And):
-        return And(
-            tuple(
-                _resolve_subqueries(db, child, host_vars, goals, retrievals)
-                for child in expr.children
+        children = []
+        for child in expr.children:
+            children.append(
+                (yield from _resolve_subqueries(db, child, host_vars, goals, retrievals))
             )
-        )
+        return And(tuple(children))
     if isinstance(expr, Or):
-        return Or(
-            tuple(
-                _resolve_subqueries(db, child, host_vars, goals, retrievals)
-                for child in expr.children
+        children = []
+        for child in expr.children:
+            children.append(
+                (yield from _resolve_subqueries(db, child, host_vars, goals, retrievals))
             )
-        )
+        return Or(tuple(children))
     if isinstance(expr, Not):
-        return Not(_resolve_subqueries(db, expr.child, host_vars, goals, retrievals))
+        child = yield from _resolve_subqueries(db, expr.child, host_vars, goals, retrievals)
+        return Not(child)
     return expr

@@ -79,6 +79,29 @@ class CostMeter:
 NULL_METER = CostMeter(name="<null>")
 
 
+@dataclass
+class OwnerCacheStats:
+    """Cumulative hit/miss counts attributed to one cache owner.
+
+    Owners are the multi-query server's sessions: the scheduler tags the
+    pool with the session whose query is about to step, so emergent cache
+    interference between concurrent sessions becomes measurable per session.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total attributed page reads."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of this owner's accesses served from cache."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
 class BufferPool:
     """A fixed-capacity LRU page cache over a :class:`Pager`.
 
@@ -95,12 +118,23 @@ class BufferPool:
         self._cache: OrderedDict[int, Page] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: accounting tag set by the scheduler around every query step;
+        #: ``None`` means unattributed (direct single-query use)
+        self.current_owner: str | None = None
+        self.owner_stats: dict[str, OwnerCacheStats] = {}
 
     def __contains__(self, page_id: int) -> bool:
         return page_id in self._cache
 
     def __len__(self) -> int:
         return len(self._cache)
+
+    def stats_for(self, owner: str) -> OwnerCacheStats:
+        """The (created-on-demand) hit/miss stats of one owner."""
+        stats = self.owner_stats.get(owner)
+        if stats is None:
+            stats = self.owner_stats[owner] = OwnerCacheStats()
+        return stats
 
     def get(self, page_id: int, meter: CostMeter = NULL_METER) -> Page:
         """Fetch a page, charging ``meter`` one read on a miss."""
@@ -109,11 +143,15 @@ class BufferPool:
             self._cache.move_to_end(page_id)
             self.hits += 1
             meter.buffer_hits += 1
+            if self.current_owner is not None:
+                self.stats_for(self.current_owner).hits += 1
             return page
         page = self.pager.read(page_id)
         self.misses += 1
         meter.io_reads += 1
         meter.reads_by_kind[page.kind] += 1
+        if self.current_owner is not None:
+            self.stats_for(self.current_owner).misses += 1
         self._admit(page)
         return page
 

@@ -104,7 +104,11 @@ class HybridRidList:
         self.allocations += 1
 
     def _spill(self, meter: CostMeter) -> None:
-        self._temp = TempTable(self.buffer_pool, f"{self.name}.spill")
+        self._temp = TempTable(
+            self.buffer_pool,
+            f"{self.name}.spill",
+            rids_per_page=self.config.temp_rids_per_page,
+        )
         self._bitmap = BitmapFilter(self.config.bitmap_bits)
         for rid in self._allocated:
             self._temp.append(rid, meter)

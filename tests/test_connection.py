@@ -1,0 +1,210 @@
+"""The repro.connect() facade, back-compat shims, and drop cleanup."""
+
+import io
+
+import pytest
+
+import repro
+from repro.engine.goals import OptimizationGoal
+from repro.errors import QueryCancelledError, ServerError
+from repro.shell import Shell
+from repro.sql.ddl import DdlResult
+from repro.sql.executor import QueryResult
+
+
+def populated(conn: repro.Connection) -> repro.Connection:
+    conn.execute("create table T (ID int, A int)")
+    conn.execute("create index IX_A on T (A)")
+    table = conn.table("T")
+    table.insert_many((i, i % 40) for i in range(400))
+    table.analyze()
+    return conn
+
+
+class TestConnect:
+    def test_connect_executes_ddl_and_queries(self):
+        conn = populated(repro.connect(buffer_capacity=64))
+        ddl = conn.execute("create table U (X int)")
+        assert isinstance(ddl, DdlResult)
+        result = conn.execute("select * from T where A >= :LO", {"LO": 38})
+        assert isinstance(result, QueryResult)
+        assert len(result.rows) == 20
+        assert result.retrievals
+
+    def test_execute_accepts_goal_and_routes_it(self):
+        conn = populated(repro.connect())
+        result = conn.execute(
+            "select * from T where A >= 38", goal=OptimizationGoal.FAST_FIRST
+        )
+        assert result.retrievals[0].goal is OptimizationGoal.FAST_FIRST
+
+    def test_execute_deadline_cancels(self):
+        conn = populated(repro.connect())
+        with pytest.raises(QueryCancelledError):
+            conn.execute("select * from T where A >= 0", deadline=3)
+        # the connection stays usable afterwards
+        assert conn.execute("select * from T where A = 1").rows
+
+    def test_explain_matches_database_explain(self):
+        conn = populated(repro.connect())
+        sql = "select * from T where A >= 10 optimize for total time"
+        assert conn.explain(sql) == conn.db.explain(sql)
+
+    def test_statements_route_through_scheduler(self):
+        conn = populated(repro.connect())
+        before = conn.metrics.totals().queries
+        conn.execute("select * from T where A = 5")
+        totals = conn.metrics.totals()
+        assert totals.queries == before + 1
+        assert conn.metrics.session("main").queries_completed >= 1
+
+    def test_connect_wraps_existing_database(self):
+        db = repro.Database(buffer_capacity=32)
+        conn = repro.connect(db=db)
+        assert conn.db is db
+        conn.execute("create table V (X int)")
+        assert "V" in db.tables
+
+    def test_concurrent_sessions_share_the_pool(self):
+        conn = populated(repro.connect(max_concurrency=4))
+        s1, s2 = conn.session("alpha"), conn.session("beta")
+        h1 = s1.submit("select * from T where A >= 20")
+        h2 = s2.submit("select * from T where A < 20")
+        conn.server.run_until_idle()
+        assert len(h1.result.rows) + len(h2.result.rows) == 400
+        per_session = conn.metrics.per_session()
+        assert per_session["alpha"].queries_completed == 1
+        assert per_session["beta"].queries_completed == 1
+
+    def test_close_cancels_and_rejects(self):
+        conn = populated(repro.connect(max_concurrency=1))
+        running = conn.submit("select * from T where A >= 0")
+        queued = conn.submit("select * from T where A >= 1")
+        conn.close()
+        assert running.state is repro.QueryState.CANCELLED
+        assert queued.state is repro.QueryState.CANCELLED
+        with pytest.raises(ServerError):
+            conn.execute("select * from T")
+        conn.close()  # idempotent
+
+    def test_context_manager_closes(self):
+        with repro.connect() as conn:
+            conn.execute("create table W (X int)")
+        with pytest.raises(ServerError):
+            conn.execute("select * from W")
+
+
+class TestBackCompatShims:
+    def test_database_execute_unchanged_results(self):
+        conn = populated(repro.connect())
+        db = repro.Database(buffer_capacity=64)
+        db.create_table("T", [("ID", "int"), ("A", "int")])
+        table = db.table("T")
+        table.insert_many((i, i % 40) for i in range(400))
+        table.create_index("IX_A", ["A"])
+        table.analyze()
+        sql = "select * from T where A >= :LO"
+        legacy = db.execute(sql, {"LO": 38})
+        unified = conn.execute(sql, {"LO": 38})
+        assert sorted(legacy.rows) == sorted(unified.rows)
+        assert legacy.columns == unified.columns
+
+    def test_database_execute_reuses_one_default_connection(self):
+        db = repro.Database()
+        db.create_table("T", [("ID", "int")])
+        db.execute("select * from T")
+        first = db.default_connection()
+        db.execute("select * from T")
+        assert db.default_connection() is first
+        assert first.metrics.session("main").queries_completed == 2
+
+    def test_database_execute_propagates_errors(self):
+        db = repro.Database()
+        with pytest.raises(repro.ReproError):
+            db.execute("select * from NOPE")
+        with pytest.raises(repro.ReproError):
+            db.execute("selec broken syntax")
+
+
+class TestDropCleanup:
+    def build(self):
+        db = repro.Database(buffer_capacity=32)
+        table = db.create_table("D", [("ID", "int"), ("A", "int")])
+        table.insert_many((i, i % 10) for i in range(300))
+        table.create_index("IX_A", ["A"])
+        return db, table
+
+    @staticmethod
+    def owners(db):
+        return {page.owner for page in db.pager._pages.values()}
+
+    def test_drop_table_releases_heap_and_index_pages(self):
+        db, table = self.build()
+        # touch pages so some sit in the buffer pool
+        db.execute("select * from D where A = 3")
+        assert {"D", "D.IX_A"} <= self.owners(db)
+        pages_before = len(db.pager._pages)
+        assert pages_before > 0
+        db.drop_table("D")
+        assert "D" not in db.tables
+        assert not {"D", "D.IX_A"} & self.owners(db)
+        # nothing of the dropped table lingers on disk
+        assert all(
+            db.pager._pages[pid].owner not in ("D", "D.IX_A")
+            for pid in db.pager._pages
+        )
+        assert len(db.buffer_pool) <= len(db.pager._pages)
+
+    def test_drop_table_via_sql_releases_pages(self):
+        db, table = self.build()
+        db.execute("select * from D where A = 3")
+        db.execute("drop table D")
+        assert not {"D", "D.IX_A"} & self.owners(db)
+
+    def test_drop_index_releases_its_pages_only(self):
+        db, table = self.build()
+        db.execute("select * from D where A = 3")
+        table.drop_index("IX_A")
+        owners = self.owners(db)
+        assert "D.IX_A" not in owners
+        assert "D" in owners  # the heap survives
+
+    def test_dropped_pages_leave_the_buffer_pool(self):
+        db, table = self.build()
+        db.execute("select * from D where A = 3")
+        cached_before = {
+            pid for pid in db.pager._pages
+            if pid in db.buffer_pool
+            and db.pager._pages[pid].owner in ("D", "D.IX_A")
+        }
+        assert cached_before, "expected dropped table pages in cache"
+        db.drop_table("D")
+        assert all(pid not in db.buffer_pool for pid in cached_before)
+
+
+class TestShellUsesConnection:
+    def run_shell(self, lines, conn=None):
+        out = io.StringIO()
+        shell = Shell(conn if conn is not None else repro.connect(), out=out)
+        shell.run(lines)
+        return out.getvalue()
+
+    def test_shell_metrics_command(self):
+        output = self.run_shell(
+            [
+                "create table S (X int);",
+                "insert into S values (1);",
+                "select * from S;",
+                "\\metrics",
+            ]
+        )
+        assert "<all>" in output
+        assert "cache hit rate" in output
+
+    def test_shell_accepts_database_for_back_compat(self):
+        db = repro.Database(buffer_capacity=64)
+        out = io.StringIO()
+        shell = Shell(db, out=out)
+        shell.feed("create table S (X int);")
+        assert "S" in db.tables
+        assert shell.conn is db.default_connection()
