@@ -64,8 +64,9 @@ class Connection:
 
         Returns the same :class:`~repro.sql.executor.QueryResult` (or
         :class:`~repro.sql.ddl.DdlResult`) as the legacy
-        ``Database.execute``. ``deadline`` is a budget of engine steps;
-        exceeding it cancels the query and raises
+        ``Database.execute``. ``deadline`` is a budget of scheduling quanta
+        (each up to ``config.batch_size`` engine steps); exceeding it
+        cancels the query and raises
         :class:`~repro.errors.QueryCancelledError`.
         """
         self._check_open()

@@ -423,3 +423,46 @@ class RangeCursor:
             self.meter.charge_cpu(0.0002)
             self.consumed += 1
             return entry
+
+    def next_entries(self, count: int) -> list[Entry]:
+        """Return up to ``count`` next entries in one call.
+
+        Accounting is identical to ``count`` repeated :meth:`next_entry`
+        calls: the same leaf reads hit the meter, ``consumed`` advances by
+        the number of entries returned, and each entry carries the same CPU
+        charge (applied per entry so float accumulation matches exactly).
+        A short list means the range is exhausted.
+        """
+        out: list[Entry] = []
+        if self.exhausted or count < 1:
+            return out
+        high = self._high
+        meter = self.meter
+        while len(out) < count:
+            leaf = self._leaf
+            assert leaf is not None
+            entries = leaf.entries
+            pos = self._pos
+            if pos >= len(entries):
+                if leaf.next_leaf is None:
+                    self.exhausted = True
+                    break
+                self._leaf = self.tree._node(leaf.next_leaf, meter)
+                self._pos = 0
+                continue
+            stop = min(len(entries), pos + count - len(out))
+            if high is None:
+                out.extend(entries[pos:stop])
+                self._pos = stop
+            else:
+                while pos < stop and entries[pos] <= high:
+                    out.append(entries[pos])
+                    pos += 1
+                self._pos = pos
+                if pos < stop:  # crossed the high bound
+                    self.exhausted = True
+                    break
+        self.consumed += len(out)
+        for _ in out:
+            meter.charge_cpu(0.0002)
+        return out

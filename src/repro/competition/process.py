@@ -33,13 +33,26 @@ def drain(gen: Generator[object, None, _R]) -> _R:
             return stop.value
 
 
-def advance(process: "Process") -> Generator[None, None, None]:
-    """Step ``process`` to completion, yielding control after every step."""
-    while process.active:
-        done = process.step()
-        yield
-        if done:
-            return
+def advance(process: "Process", quantum: int = 1) -> Generator[None, None, None]:
+    """Run ``process`` to completion, yielding control between quanta.
+
+    With ``quantum=1`` this is exact row-at-a-time stepping (one yield per
+    :meth:`Process.step`). Larger quanta run up to ``quantum`` steps in one
+    tight :meth:`Process.run_batch` call between yields — same work, same
+    cost accounting, ~``quantum``× fewer generator suspensions.
+    """
+    if quantum <= 1:
+        while process.active:
+            done = process.step()
+            yield
+            if done:
+                return
+    else:
+        while process.active:
+            _, done = process.run_batch(quantum)
+            yield
+            if done:
+                return
 
 
 class Process(abc.ABC):
@@ -67,9 +80,41 @@ class Process(abc.ABC):
             self.finished = True
         return done
 
+    def run_batch(self, max_steps: int) -> tuple[int, bool]:
+        """Perform up to ``max_steps`` units of work in one call.
+
+        Returns ``(steps_taken, done)``. Equivalent to calling :meth:`step`
+        ``steps_taken`` times — identical cost accounting and identical
+        completion point — but without per-step dispatch overhead, and
+        subclasses may override :meth:`_do_batch` to use bulk storage
+        operations (page-run reads, RID-list prefetch) internally.
+        """
+        if not self.active:
+            raise RuntimeError(f"run_batch() on inactive process {self.name!r}")
+        if max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        steps, done = self._do_batch(max_steps)
+        if done:
+            self.finished = True
+        return steps, done
+
     @abc.abstractmethod
     def _do_step(self) -> bool:
         """Advance one unit; return True when complete."""
+
+    def _do_batch(self, max_steps: int) -> tuple[int, bool]:
+        """Advance up to ``max_steps`` units; return ``(steps_taken, done)``.
+
+        The default implementation loops :meth:`_do_step`, so every process
+        is batchable; storage-aware subclasses override this to fetch page
+        runs in one buffer-pool call.
+        """
+        steps = 0
+        while steps < max_steps:
+            steps += 1
+            if self._do_step():
+                return steps, True
+        return steps, False
 
     def abandon(self) -> None:
         """Terminate the process, keeping its meter as sunk cost."""

@@ -69,6 +69,22 @@ class EngineConfig:
     foreground_speed: float = 1.0
     background_speed: float = 1.0
 
+    # --- batched execution -------------------------------------------------
+    #: Engine steps executed per scheduling quantum: step generators (tactics,
+    #: retrieval, SQL executor) yield control to the multi-query scheduler
+    #: once per ``batch_size`` steps instead of once per step, and solo scan
+    #: phases run ``batch_size`` steps in one tight ``Process.run_batch``
+    #: call. ``1`` restores exact row-at-a-time interleaving; cost accounting
+    #: in I/O units is identical at every setting for retrievals that run to
+    #: completion (see docs/performance.md).
+    batch_size: int = 64
+    #: Sequential read-ahead window: Tscan page runs and final-stage RID-list
+    #: probes fetch up to this many pages through one
+    #: ``BufferPool.get_many``/``prefetch`` call. A consumer that stops
+    #: mid-batch can leave at most ``read_ahead_window - 1`` speculative page
+    #: reads charged to the requesting meter.
+    read_ahead_window: int = 8
+
     # --- cost model --------------------------------------------------------
     #: CPU cost charged per record examined, in units of one page I/O.
     cpu_cost_per_record: float = 0.001

@@ -389,6 +389,35 @@ class JscanProcess(Process):
         if self._filter is not None and self._filter is not self.result_list:
             self._filter.discard()
 
+    def next_batch(self, max_rids: int) -> list[tuple[RID, int]]:
+        """Advance until up to ``max_rids`` new RIDs have been kept.
+
+        Returns the newly kept ``(rid, scan_position)`` pairs, in keep
+        order. Steps run through :meth:`run_batch`, so cost accounting and
+        the two-stage switch decisions are identical to repeated
+        :meth:`step` calls; an installed :attr:`on_keep` tap still fires for
+        every kept RID. An empty list means the joint scan ended (finished,
+        empty intersection, Tscan recommendation, or abandonment) without
+        keeping more RIDs.
+        """
+        if max_rids < 1:
+            raise ValueError("max_rids must be >= 1")
+        kept: list[tuple[RID, int]] = []
+        outer = self.on_keep
+
+        def capture(rid: RID, position: int) -> None:
+            kept.append((rid, position))
+            if outer is not None:
+                outer(rid, position)
+
+        self.on_keep = capture
+        try:
+            while self.active and len(kept) < max_rids:
+                self.run_batch(max_rids - len(kept))
+        finally:
+            self.on_keep = outer
+        return kept
+
     # -- consuming the result ------------------------------------------------------
 
     def sorted_result(self, meter: CostMeter | None = None) -> list[RID]:

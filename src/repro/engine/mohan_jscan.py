@@ -33,6 +33,19 @@ from repro.expr.ranges import extract_index_restriction
 from repro.storage.rid import RID
 
 
+def _run(process, batch_size: int) -> None:
+    """Drive a process to completion in ``batch_size``-step batches.
+
+    The baseline has no interleaving, so each process runs solo; batched
+    stepping changes only dispatch overhead, never its decisions (the
+    static threshold is evaluated inside ``_do_step``).
+    """
+    while process.active:
+        _, done = process.run_batch(max(1, batch_size))
+        if done:
+            return
+
+
 @dataclass
 class MohanExecution:
     """Outcome of one statically-thresholded Jscan retrieval."""
@@ -95,9 +108,7 @@ def run_static_jscan(
             simultaneous=False,
             name="static-jscan",
         )
-        while jscan.active:
-            if jscan.step():
-                break
+        _run(jscan, table.config.batch_size)
         processes.append(jscan)
         if jscan.empty:
             description += " -> empty"
@@ -106,27 +117,21 @@ def run_static_jscan(
             tscan = TscanProcess(
                 table.heap, table.schema, restriction, host_vars, sink, trace, table.config
             )
-            while tscan.active:
-                if tscan.step():
-                    break
+            _run(tscan, table.config.batch_size)
             processes.append(tscan)
         else:
             final = FinalStageProcess(
                 jscan.sorted_result(), table.heap, table.schema, restriction,
                 host_vars, sink, trace, table.config,
             )
-            while final.active:
-                if final.step():
-                    break
+            _run(final, table.config.batch_size)
             processes.append(final)
             description += f" -> final({len(final.rids)})"
     else:
         tscan = TscanProcess(
             table.heap, table.schema, restriction, host_vars, sink, trace, table.config
         )
-        while tscan.active:
-            if tscan.step():
-                break
+        _run(tscan, table.config.batch_size)
         processes.append(tscan)
         description += " -> tscan(no-candidates)"
 

@@ -134,12 +134,14 @@ class SingleTableRetrieval:
     ) -> Generator[RetrievalResult, None, RetrievalResult]:
         """Execute one retrieval as a step generator.
 
-        Yields the live (partially filled) :class:`RetrievalResult` after
-        every engine step so a server-level scheduler can interleave many
-        retrievals over the shared buffer pool. Closing the generator
-        mid-flight cancels the retrieval: every still-active process is
-        abandoned (releasing its buffers and temp structures) and the trace
-        records ``SCAN_ABANDONED`` / ``CONSUMER_STOPPED`` events.
+        Yields the live (partially filled) :class:`RetrievalResult` once per
+        scheduling quantum — up to ``config.batch_size`` engine steps — so a
+        server-level scheduler can interleave many retrievals over the
+        shared buffer pool without paying a generator suspension per step
+        (``batch_size=1`` restores one yield per step). Closing the
+        generator mid-flight cancels the retrieval: every still-active
+        process is abandoned (releasing its buffers and temp structures) and
+        the trace records ``SCAN_ABANDONED`` / ``CONSUMER_STOPPED`` events.
         """
         trace = RetrievalTrace()
         estimation_meter = CostMeter(name="initial-stage")
@@ -299,7 +301,7 @@ class SingleTableRetrieval:
             candidate.index, candidate.key_range, ctx.schema, ctx.restriction,
             ctx.host_vars, ctx.sink, ctx.trace, ctx.config,
         ))
-        yield from advance(sscan)
+        yield from advance(sscan, ctx.config.batch_size)
         label = "sorted-sscan" if ordered else "sscan"
         return TacticOutcome(
             processes=[sscan],
@@ -314,7 +316,7 @@ class SingleTableRetrieval:
             ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
             ctx.trace, ctx.config,
         ))
-        yield from advance(tscan)
+        yield from advance(tscan, ctx.config.batch_size)
         return TacticOutcome(
             processes=[tscan],
             description="tscan",

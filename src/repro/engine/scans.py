@@ -26,7 +26,7 @@ from repro.db.catalog import IndexInfo, TableSchema
 from repro.engine.metrics import RetrievalTrace
 from repro.errors import RetrievalError
 from repro.expr.ast import Expr
-from repro.expr.eval import evaluate
+from repro.expr.eval import compile_predicate, evaluate
 from repro.btree.tree import KeyRange, RangeCursor
 from repro.storage.heap import HeapFile
 from repro.storage.rid import RID
@@ -35,7 +35,55 @@ from repro.storage.rid import RID
 Sink = Callable[[RID, tuple], bool]
 
 
-class TscanProcess(Process):
+class BatchingSinkMixin:
+    """Pull-based batch API for sink-driven processes.
+
+    Every scan delivers rows by *pushing* into ``self.sink``. This mixin adds
+    the complementary *pull* API: :meth:`next_batch` steps the process (via
+    ``run_batch``, so batched storage paths are used) until up to
+    ``max_rows`` deliveries have accumulated and returns them as a list.
+    Deliveries still flow through the installed sink unchanged — the same
+    steps run, the same costs are charged, and a sink returning False stops
+    the scan exactly as in push mode — so batch and row consumption are
+    equivalent in row sequence and :class:`CostMeter` totals.
+
+    A step may deliver more rows than requested (Tscan steps whole pages);
+    the surplus is buffered and returned by the next call, never dropped.
+    """
+
+    sink: Sink
+    _pending_batch: list | None = None
+
+    def next_batch(self, max_rows: int) -> list[tuple[RID, tuple]]:
+        """Return up to ``max_rows`` delivered ``(rid, row)`` pairs.
+
+        An empty list means the process is exhausted (finished, abandoned,
+        or stopped by its consumer, with no buffered surplus left).
+        """
+        if max_rows < 1:
+            raise ValueError("max_rows must be >= 1")
+        pending = self._pending_batch
+        if pending is None:
+            pending = self._pending_batch = []
+        if self.active and len(pending) < max_rows:
+            outer = self.sink
+
+            def capture(rid: RID, row: tuple) -> bool:
+                pending.append((rid, row))
+                return outer(rid, row)
+
+            self.sink = capture
+            try:
+                while self.active and len(pending) < max_rows:
+                    self.run_batch(max_rows - len(pending))
+            finally:
+                self.sink = outer
+        batch = pending[:max_rows]
+        del pending[:max_rows]
+        return batch
+
+
+class TscanProcess(BatchingSinkMixin, Process):
     """Sequential full-table scan. One step == one heap page."""
 
     def __init__(
@@ -81,8 +129,46 @@ class TscanProcess(Process):
         self._next_page += 1
         return self._next_page >= self.heap.page_count
 
+    def _do_batch(self, max_steps: int) -> tuple[int, bool]:
+        """Scan up to ``max_steps`` pages using page-run reads.
 
-class SscanProcess(Process):
+        Pages are fetched in read-ahead-window-sized runs through one
+        ``get_many`` call each; hit/miss charges match ``_do_step`` exactly
+        for a scan that is not stopped mid-run. A consumer stop mid-run
+        leaves the run's already-fetched trailing pages charged (bounded by
+        ``read_ahead_window - 1`` speculative reads — see docs/performance.md).
+        """
+        heap = self.heap
+        steps = 0
+        while steps < max_steps:
+            if self._next_page >= heap.page_count:
+                return steps + 1, True
+            run = min(
+                max_steps - steps,
+                heap.page_count - self._next_page,
+                self.config.read_ahead_window,
+            )
+            for rows in heap.scan_page_run(self._next_page, run, self.meter):
+                steps += 1
+                for rid, row in rows:
+                    self.meter.charge_cpu(self.config.cpu_cost_per_record)
+                    if self.trace is not None:
+                        self.trace.counters.records_fetched += 1
+                    if self.skip_rids is not None and self.skip_rids(rid):
+                        continue
+                    if evaluate(
+                        self.restriction, row, self.schema.position, self.host_vars
+                    ):
+                        if self.trace is not None:
+                            self.trace.counters.records_delivered += 1
+                        if not self.sink(rid, row):
+                            self.stopped_by_consumer = True
+                            return steps, True
+                self._next_page += 1
+        return steps, self._next_page >= self.heap.page_count
+
+
+class SscanProcess(BatchingSinkMixin, Process):
     """Self-sufficient index scan: delivers straight from index entries.
 
     Requires every column the restriction and the output need to be present
@@ -114,6 +200,7 @@ class SscanProcess(Process):
         self.stopped_by_consumer = False
         self.cursor: RangeCursor = index.btree.range_cursor(key_range, self.meter)
         self.delivered = 0
+        self._compiled: Callable[[tuple], bool] | None = None
 
     def _row_from_key(self, key: tuple) -> tuple:
         row: list[Any] = [None] * len(self.schema)
@@ -138,8 +225,49 @@ class SscanProcess(Process):
                 return True
         return False
 
+    def _do_batch(self, max_steps: int) -> tuple[int, bool]:
+        """Scan up to ``max_steps`` index entries through one bulk cursor
+        pull, with the restriction compiled once per batch.
 
-class FscanProcess(Process):
+        Charges and delivered rows match ``_do_step`` exactly for a scan
+        that is not stopped mid-batch; a consumer stop leaves the batch's
+        already-pulled trailing entries charged (bounded by ``max_steps - 1``
+        entries' CPU — see docs/performance.md).
+        """
+        entries = self.cursor.next_entries(max_steps)
+        if not entries:
+            return 1, True
+        pred = self._compiled
+        if pred is None:
+            pred = self._compiled = compile_predicate(
+                self.restriction, self.schema.position, self.host_vars
+            )
+        sink = self.sink
+        positions = self.index.positions
+        scratch: list[Any] = [None] * len(self.schema)
+        steps = delivered = 0
+        try:
+            for key, rid in entries:
+                steps += 1
+                for value, position in zip(key, positions):
+                    scratch[position] = value
+                row = tuple(scratch)
+                if pred(row):
+                    delivered += 1
+                    if not sink(rid, row):
+                        self.stopped_by_consumer = True
+                        return steps, True
+        finally:
+            self.delivered += delivered
+            if self.trace is not None:
+                self.trace.counters.index_entries_scanned += steps
+                self.trace.counters.records_delivered += delivered
+        if len(entries) < max_steps:  # the range is exhausted
+            return steps + 1, True
+        return steps, False
+
+
+class FscanProcess(BatchingSinkMixin, Process):
     """Fetch-needed index scan with immediate record fetches.
 
     One step == one index entry (plus its record fetch). An optional

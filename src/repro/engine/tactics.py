@@ -14,12 +14,18 @@
   complete RID list kills Sscan.
 
 Each tactic is a *step generator* taking a :class:`TacticContext` and
-yielding control after every process step until it returns a
+yielding control once per *batch* of process steps
+(``config.batch_size``, default 64) until it returns a
 :class:`TacticOutcome` — the yield points are where the multi-query
 scheduler (:mod:`repro.server`) interleaves concurrent retrievals and where
-cancellation lands. The plain-named functions (``fast_first`` etc.) are
-synchronous wrappers that drain their ``*_steps`` generator; the dispatcher
-lives in :mod:`repro.engine.retrieval`.
+cancellation lands. Batching changes only the yield frequency: inside a
+batch the competition still interleaves foreground/background one step at
+a time and evaluates every switch criterion after every step, so switch
+points and cost accounting are identical at any batch size
+(``batch_size=1`` restores one yield per step exactly). The plain-named
+functions (``fast_first`` etc.) are synchronous wrappers that drain their
+``*_steps`` generator; the dispatcher lives in
+:mod:`repro.engine.retrieval`.
 """
 
 from __future__ import annotations
@@ -199,7 +205,7 @@ def _finish_background(
             ctx.trace, ctx.config, skip_rids=skip,
         ))
         ctx.trace.emit(EventKind.SCAN_START, strategy="tscan")
-        yield from advance(tscan)
+        yield from advance(tscan, ctx.config.batch_size)
         outcome.processes.append(tscan)
         outcome.stopped_by_consumer |= tscan.stopped_by_consumer
         outcome.description += " -> tscan"
@@ -210,7 +216,7 @@ def _finish_background(
         rids, ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
         ctx.trace, ctx.config, skip_rids=skip,
     ))
-    yield from advance(final)
+    yield from advance(final, ctx.config.batch_size)
     outcome.processes.append(final)
     outcome.stopped_by_consumer |= final.stopped_by_consumer
     outcome.description += f" -> final-stage({len(rids)} rids)"
@@ -240,7 +246,7 @@ def union_or_steps(ctx: TacticContext, covered) -> StepOutcome:
     union = ctx.spawn(
         UnionScanProcess(covered, ctx.heap, ctx.buffer_pool, ctx.trace, ctx.config)
     )
-    yield from advance(union)
+    yield from advance(union, ctx.config.batch_size)
     outcome.processes.append(union)
     if union.tscan_recommended:
         ctx.trace.emit(EventKind.STRATEGY_SWITCH, to="tscan", reason="union-too-big")
@@ -250,7 +256,7 @@ def union_or_steps(ctx: TacticContext, covered) -> StepOutcome:
             ctx.trace, ctx.config,
         ))
         ctx.trace.emit(EventKind.SCAN_START, strategy="tscan")
-        yield from advance(tscan)
+        yield from advance(tscan, ctx.config.batch_size)
         outcome.processes.append(tscan)
         outcome.stopped_by_consumer |= tscan.stopped_by_consumer
         outcome.description += " -> tscan"
@@ -264,7 +270,7 @@ def union_or_steps(ctx: TacticContext, covered) -> StepOutcome:
         rids, ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
         ctx.trace, ctx.config,
     ))
-    yield from advance(final)
+    yield from advance(final, ctx.config.batch_size)
     outcome.processes.append(final)
     outcome.stopped_by_consumer |= final.stopped_by_consumer
     outcome.description += f" -> final-stage({len(rids)} rids)"
@@ -288,7 +294,7 @@ def background_only_steps(ctx: TacticContext) -> StepOutcome:
     jscan = ctx.spawn(JscanProcess(
         ctx.arrangement.jscan_candidates, ctx.heap, ctx.buffer_pool, ctx.trace, ctx.config
     ))
-    yield from advance(jscan)
+    yield from advance(jscan, ctx.config.batch_size)
     outcome.processes.append(jscan)
     yield from _finish_background(ctx, jscan, outcome, skip=None)
     return outcome
@@ -326,6 +332,9 @@ def fast_first_steps(ctx: TacticContext) -> StepOutcome:
     outcome.processes = [jscan, fgr]
     fgr_weight = ctx.config.foreground_speed
     bgr_weight = ctx.config.background_speed
+    # competition checks run after every step; only the yield is batched
+    quantum = max(1, ctx.config.batch_size)
+    pending = 0
 
     while True:
         # consumer satisfied: the fast-first goal is met, stop everything
@@ -370,7 +379,10 @@ def fast_first_steps(ctx: TacticContext) -> StepOutcome:
             fgr.step()
         else:
             break
-        yield
+        pending += 1
+        if pending >= quantum:
+            pending = 0
+            yield
 
     if fgr.active:
         fgr.abandon()
@@ -378,7 +390,7 @@ def fast_first_steps(ctx: TacticContext) -> StepOutcome:
         # jscan was abandoned — nothing more to do
         return outcome
     if jscan.active:
-        yield from advance(jscan)
+        yield from advance(jscan, ctx.config.batch_size)
     skip = lambda rid: rid in fgr_buffer  # noqa: E731 - tiny closure
     yield from _finish_background(ctx, jscan, outcome, skip=skip)
     return outcome
@@ -423,6 +435,8 @@ def sorted_tactic_steps(ctx: TacticContext) -> StepOutcome:
     fgr_weight = ctx.config.foreground_speed
     bgr_weight = ctx.config.background_speed
     filter_installed = False
+    quantum = max(1, ctx.config.batch_size)
+    pending = 0
     while fscan.active:
         if jscan is not None and jscan.finished and not filter_installed:
             if jscan.empty:
@@ -447,7 +461,10 @@ def sorted_tactic_steps(ctx: TacticContext) -> StepOutcome:
             jscan.step()
         else:
             fscan.step()
-        yield
+        pending += 1
+        if pending >= quantum:
+            pending = 0
+            yield
         if fscan.stopped_by_consumer:
             outcome.stopped_by_consumer = True
             ctx.trace.emit(EventKind.CONSUMER_STOPPED, by="foreground")
@@ -504,6 +521,8 @@ def index_only_steps(ctx: TacticContext) -> StepOutcome:
 
     fgr_weight = ctx.config.foreground_speed
     bgr_weight = ctx.config.background_speed
+    quantum = max(1, ctx.config.batch_size)
+    pending = 0
     while sscan.active:
         if jscan is not None and len(fgr_buffer) >= fgr_buffer.capacity:
             # overflow: "Jscan terminates and Sscan continues because it is
@@ -540,7 +559,10 @@ def index_only_steps(ctx: TacticContext) -> StepOutcome:
             jscan.step()
         else:
             sscan.step()
-        yield
+        pending += 1
+        if pending >= quantum:
+            pending = 0
+            yield
         if sscan.stopped_by_consumer:
             outcome.stopped_by_consumer = True
             ctx.trace.emit(EventKind.CONSUMER_STOPPED, by="foreground")

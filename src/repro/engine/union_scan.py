@@ -21,6 +21,7 @@ Tscan recommendation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.btree.estimate import estimate_range
 from repro.btree.tree import RangeCursor
@@ -82,6 +83,9 @@ class UnionScanProcess(Process):
         self._scans.sort(key=lambda scan: scan.estimate)
         self._current = 0
         self._rids: set[RID] = set()
+        #: tap: called with each RID newly added to the union (duplicates
+        #: are skipped); :meth:`next_batch` captures through it
+        self.on_keep: "Callable[[RID], None] | None" = None
         self.duplicates_skipped = 0
         self.total_estimate = sum(scan.estimate for scan in self._scans)
         self.tscan_recommended = False
@@ -134,6 +138,8 @@ class UnionScanProcess(Process):
                 self.duplicates_skipped += 1
             else:
                 self._rids.add(rid)
+                if self.on_keep is not None:
+                    self.on_keep(rid)
             decision = self.criterion.evaluate(
                 self.projected_final_cost(), self.meter.total, self.tscan_cost()
             )
@@ -156,6 +162,32 @@ class UnionScanProcess(Process):
             return False
         self.trace.emit(EventKind.RID_LIST_COMPLETE, rids=len(self._rids), union=True)
         return True
+
+    def next_batch(self, max_rids: int) -> list[RID]:
+        """Advance until up to ``max_rids`` RIDs joined the union.
+
+        Returns the newly unioned RIDs in arrival order (duplicates never
+        appear). Steps run through :meth:`run_batch` with accounting and
+        switch decisions identical to repeated :meth:`step` calls. An empty
+        list means the scan ended (union complete or Tscan recommended).
+        """
+        if max_rids < 1:
+            raise ValueError("max_rids must be >= 1")
+        fresh: list[RID] = []
+        outer = self.on_keep
+
+        def capture(rid: RID) -> None:
+            fresh.append(rid)
+            if outer is not None:
+                outer(rid)
+
+        self.on_keep = capture
+        try:
+            while self.active and len(fresh) < max_rids:
+                self.run_batch(max_rids - len(fresh))
+        finally:
+            self.on_keep = outer
+        return fresh
 
     # -- result -------------------------------------------------------------------
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import re
 from functools import lru_cache
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import BindingError, ExpressionError
 from repro.expr.ast import (
@@ -121,6 +121,143 @@ def evaluate(
     if isinstance(expr, Not):
         return not evaluate(expr.child, row, schema, host_vars)
     raise ExpressionError(f"cannot evaluate {expr!r}")
+
+
+def compile_predicate(
+    expr: Expr, schema: SchemaMap, host_vars: HostVars = {}
+) -> "Callable[[Sequence], bool]":
+    """Compile a predicate into a ``row -> bool`` closure.
+
+    For a fixed schema and host-variable binding the closure returns exactly
+    what :func:`evaluate` would, but resolves column positions, host-variable
+    values, and dispatch once instead of per row — the batched scan loops
+    amortise this compile over whole batches. Falls back to an interpreted
+    closure for any shape it cannot specialise (including predicates whose
+    bindings would only fail lazily under short-circuit evaluation, which
+    must keep failing lazily).
+    """
+    try:
+        return _compile(expr, schema, host_vars)
+    except ExpressionError:
+        return lambda row: evaluate(expr, row, schema, host_vars)
+
+
+def _compile(expr, schema, host_vars):
+    def term(value_term):
+        if isinstance(value_term, Literal):
+            value = value_term.value
+            return lambda row: value
+        if isinstance(value_term, HostVar):
+            try:
+                value = host_vars[value_term.name]
+            except KeyError:
+                # evaluate() raises only if the term is actually reached;
+                # signal the caller to fall back to the interpreter
+                raise ExpressionError(value_term.name) from None
+            return lambda row: value
+        if isinstance(value_term, ColumnRef):
+            try:
+                position = schema[value_term.name]
+            except KeyError:
+                raise ExpressionError(value_term.name) from None
+            return lambda row: row[position]
+        raise ExpressionError(f"unknown value term {value_term!r}")
+
+    def const(value_term):
+        """(True, value) when the term is row-independent."""
+        if isinstance(value_term, Literal):
+            return True, value_term.value
+        if isinstance(value_term, HostVar):
+            try:
+                return True, host_vars[value_term.name]
+            except KeyError:
+                raise ExpressionError(value_term.name) from None
+        return False, None
+
+    def position_of(value_term):
+        if not isinstance(value_term, ColumnRef):
+            return None
+        try:
+            return schema[value_term.name]
+        except KeyError:
+            raise ExpressionError(value_term.name) from None
+
+    if isinstance(expr, TrueExpr):
+        return lambda row: True
+    if isinstance(expr, FalseExpr):
+        return lambda row: False
+    if isinstance(expr, Comparison):
+        # fold the hot shape — column <op> constant — into one closure
+        position = position_of(expr.left)
+        is_const, bound = const(expr.right) if position is not None else (False, None)
+        if position is not None and is_const:
+            if bound is None:
+                return lambda row: False
+            op = expr.op
+            if op == "=":
+                return lambda row: (v := row[position]) is not None and v == bound
+            if op == "<>":
+                return lambda row: (v := row[position]) is not None and v != bound
+            if op == "<":
+                return lambda row: (v := row[position]) is not None and v < bound
+            if op == "<=":
+                return lambda row: (v := row[position]) is not None and v <= bound
+            if op == ">":
+                return lambda row: (v := row[position]) is not None and v > bound
+            if op == ">=":
+                return lambda row: (v := row[position]) is not None and v >= bound
+        left, right, op = term(expr.left), term(expr.right), expr.op
+        return lambda row: _compare(op, left(row), right(row))
+    if isinstance(expr, Between):
+        position = position_of(expr.column)
+        lo_const, lo_value = const(expr.lo) if position is not None else (False, None)
+        hi_const, hi_value = const(expr.hi) if position is not None else (False, None)
+        if position is not None and lo_const and hi_const:
+            if lo_value is None or hi_value is None:
+                return lambda row: False
+            return (
+                lambda row: (v := row[position]) is not None
+                and lo_value <= v <= hi_value
+            )
+        value, lo, hi = term(expr.column), term(expr.lo), term(expr.hi)
+
+        def between(row):
+            v, l, h = value(row), lo(row), hi(row)
+            if v is None or l is None or h is None:
+                return False
+            return l <= v <= h
+
+        return between
+    if isinstance(expr, InList):
+        value = term(expr.column)
+        candidates = [term(child) for child in expr.values]
+
+        def in_list(row):
+            v = value(row)
+            if v is None:
+                return False
+            return any(v == candidate(row) for candidate in candidates)
+
+        return in_list
+    if isinstance(expr, Like):
+        value = term(expr.column)
+        regex = _like_regex(expr.pattern)
+
+        def like(row):
+            v = value(row)
+            return isinstance(v, str) and regex.match(v) is not None
+
+        return like
+    if isinstance(expr, And):
+        children = [_compile(child, schema, host_vars) for child in expr.children]
+        return lambda row: all(child(row) for child in children)
+    if isinstance(expr, Or):
+        children = [_compile(child, schema, host_vars) for child in expr.children]
+        return lambda row: any(child(row) for child in children)
+    if isinstance(expr, Not):
+        child = _compile(expr.child, schema, host_vars)
+        return lambda row: not child(row)
+    raise ExpressionError(f"cannot compile {expr!r}")
 
 
 def referenced_columns(expr: Expr) -> frozenset[str]:

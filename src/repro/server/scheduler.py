@@ -4,11 +4,19 @@ The paper's Section 3(c) uncertainty — "the pattern of caching the disk
 pages is influenced by many asynchronous processes totally unrelated to a
 given retrieval" — presumes a server where retrievals never run alone.
 :class:`QueryServer` is that server in cooperative form: it admits
-statements from many sessions and interleaves their engine steps (the same
-step granularity at which one retrieval's foreground and background
-processes already compete) over the *shared* buffer pool. Cache
-interference between queries therefore emerges from real concurrent Tscans
-and Jscans instead of being injected by ``Database.interference_tick``.
+statements from many sessions and interleaves their execution over the
+*shared* buffer pool. Cache interference between queries therefore emerges
+from real concurrent Tscans and Jscans instead of being injected by
+``Database.interference_tick``.
+
+The scheduling unit is a *quantum*: one resumption of the query's step
+generator, which executes up to ``config.batch_size`` engine steps in a
+tight loop before yielding back (inside a quantum, a retrieval's own
+foreground/background processes still interleave step by step — batching
+changes scheduler granularity, not competition granularity). With the
+default ``batch_size=64`` this is ~64× fewer generator suspensions per
+query than one-yield-per-step scheduling; setting ``batch_size=1`` in the
+engine config restores exact per-step interleaving.
 
 Scheduling generalizes the per-retrieval proportional-speed scheduler of
 :class:`repro.competition.scheduler.ProportionalScheduler` to whole
@@ -19,8 +27,8 @@ latency-sensitive browsers, so they get a larger share, mirroring
 [Ant91B]'s "proportional speed" rule).
 
 Everything is deterministic: admission is FIFO, tie-breaks use submission
-tickets, and no wall clock is consulted — deadlines are budgets of engine
-steps. Cancellation closes the query's step generator, which propagates
+tickets, and no wall clock is consulted — deadlines are budgets of
+scheduling quanta. Cancellation closes the query's step generator, which propagates
 into the engine as ``GeneratorExit``: active scans are abandoned, spilled
 temp structures released, and the trace records ``SCAN_ABANDONED`` /
 ``CONSUMER_STOPPED``.
@@ -77,14 +85,15 @@ class QueryHandle:
         self.sql = sql
         self.host_vars = dict(host_vars or {})
         self.goal = goal
-        #: budget of engine steps; exceeding it cancels the query
+        #: budget of scheduling quanta (generator resumptions, each up to
+        #: ``config.batch_size`` engine steps); exceeding it cancels the query
         self.deadline = deadline
         #: submission order — admission and tie-breaks are FIFO by ticket
         self.ticket = ticket
         self.state = QueryState.QUEUED
         self.cancel_reason: str | None = None
         self.error: BaseException | None = None
-        #: engine steps this query has consumed
+        #: scheduling quanta this query has consumed
         self.steps = 0
         #: buffer-pool accesses attributed to this query's steps
         self.cache_hits = 0
@@ -203,7 +212,7 @@ class QueryServer:
         self.scheduling = scheduling
         self.goal_weights = dict(goal_weights or DEFAULT_GOAL_WEIGHTS)
         self.metrics = MetricsRegistry()
-        #: total engine steps the server has executed (its logical clock)
+        #: total scheduling quanta the server has executed (its logical clock)
         self.total_steps = 0
         self._running: list[QueryHandle] = []
         self._queue: deque[QueryHandle] = deque()
@@ -284,9 +293,11 @@ class QueryServer:
         return self._running[self._rr]
 
     def step(self) -> bool:
-        """Advance one engine step of one admitted query.
+        """Advance one scheduling quantum of one admitted query.
 
-        Returns False when the server is idle (nothing to step).
+        A quantum resumes the query's step generator once, running up to
+        ``config.batch_size`` engine steps. Returns False when the server is
+        idle (nothing to step).
         """
         self._admit()
         if not self._running:

@@ -97,10 +97,11 @@ def execute_sql_steps(
     goal: OptimizationGoal = OptimizationGoal.DEFAULT,
     retrievals: list[RetrievalInfo] | None = None,
 ) -> Generator[RetrievalResult, None, Any]:
-    """:func:`execute_sql` as a step generator (one yield per engine step).
+    """:func:`execute_sql` as a step generator (one yield per scheduling
+    quantum — up to ``config.batch_size`` engine steps).
 
     The multi-query scheduler drives whole statements through this
-    generator, interleaving their steps over the shared buffer pool. The
+    generator, interleaving their quanta over the shared buffer pool. The
     caller may pass its own ``retrievals`` list: each retrieval's
     :class:`RetrievalInfo` is appended there as soon as the retrieval takes
     its first step, so a cancelled statement still exposes the partial

@@ -4,6 +4,13 @@ The paper's dynamic optimizer charges each competing strategy for the
 physical I/O it causes. The pool therefore takes a :class:`CostMeter` on
 every access: hits are (almost) free, misses charge one I/O to the meter.
 
+Batch execution adds two bulk entry points: :meth:`BufferPool.get_many`
+fetches a run of pages in one call with accounting identical to the same
+sequence of :meth:`BufferPool.get` calls, and :meth:`BufferPool.prefetch`
+is the sequential read-ahead path — it loads only the *uncached* pages of a
+run (bounded by a configurable window, default 8), charging the requesting
+meter and current owner for exactly the physical reads it performs.
+
 The pool also provides the *cache interference* hook the paper discusses in
 Section 3(c): "the pattern of caching the disk pages is influenced by many
 asynchronous processes totally unrelated to a given retrieval". Benchmarks
@@ -14,13 +21,14 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 import random
 
 from repro.storage.pager import Page, Pager, PageKind
 
 
-@dataclass
+@dataclass(slots=True)
 class CostMeter:
     """Accumulates the cost charged to one process/strategy.
 
@@ -49,6 +57,19 @@ class CostMeter:
         """Physical I/O count only (paper's headline metric)."""
         return self.io_reads + self.io_writes
 
+    def charge_read(self, kind: PageKind) -> None:
+        """Charge one physical page read of the given kind."""
+        self.io_reads += 1
+        self.reads_by_kind[kind] += 1
+
+    def charge_write(self) -> None:
+        """Charge one physical page write."""
+        self.io_writes += 1
+
+    def charge_hit(self) -> None:
+        """Record one buffer-pool hit (free in I/O units)."""
+        self.buffer_hits += 1
+
     def charge_cpu(self, amount: float) -> None:
         """Charge ``amount`` page-I/O-equivalents of CPU work."""
         self.cpu += amount
@@ -75,11 +96,40 @@ class CostMeter:
         )
 
 
-#: Meter used when the caller does not care about attribution.
-NULL_METER = CostMeter(name="<null>")
+class NullMeter(CostMeter):
+    """A meter that discards every charge.
+
+    Used where the caller does not care about attribution. A plain shared
+    :class:`CostMeter` would silently *accumulate* charges from every
+    unmetered call site for the life of the process — a hazard for any code
+    that later reads the shared instance — so the null object genuinely
+    drops charges instead: all its counters stay zero forever.
+    """
+
+    __slots__ = ()
+
+    def charge_read(self, kind: PageKind) -> None:
+        pass
+
+    def charge_write(self) -> None:
+        pass
+
+    def charge_hit(self) -> None:
+        pass
+
+    def charge_cpu(self, amount: float) -> None:
+        pass
+
+    def merge(self, other: "CostMeter") -> None:
+        pass
 
 
-@dataclass
+#: Meter used when the caller does not care about attribution. All charge
+#: methods are no-ops, so sharing one instance is safe.
+NULL_METER = NullMeter(name="<null>")
+
+
+@dataclass(slots=True)
 class OwnerCacheStats:
     """Cumulative hit/miss counts attributed to one cache owner.
 
@@ -105,19 +155,28 @@ class OwnerCacheStats:
 class BufferPool:
     """A fixed-capacity LRU page cache over a :class:`Pager`.
 
-    All engine page access goes through :meth:`get`. The pool is shared by
-    all processes of a retrieval (and between retrievals), so the cache state
-    itself is a source of the cost uncertainty the paper exploits.
+    All engine page access goes through :meth:`get` (or the batched
+    :meth:`get_many`/:meth:`prefetch`). The pool is shared by all processes
+    of a retrieval (and between retrievals), so the cache state itself is a
+    source of the cost uncertainty the paper exploits.
     """
 
-    def __init__(self, pager: Pager, capacity: int = 256) -> None:
+    def __init__(
+        self, pager: Pager, capacity: int = 256, read_ahead_window: int = 8
+    ) -> None:
         if capacity < 1:
             raise ValueError("buffer pool capacity must be >= 1")
+        if read_ahead_window < 1:
+            raise ValueError("read-ahead window must be >= 1")
         self.pager = pager
         self.capacity = capacity
+        #: default cap on physical reads per :meth:`prefetch` call
+        self.read_ahead_window = read_ahead_window
         self._cache: OrderedDict[int, Page] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: physical reads issued by the read-ahead path (subset of misses)
+        self.prefetched = 0
         #: accounting tag set by the scheduler around every query step;
         #: ``None`` means unattributed (direct single-query use)
         self.current_owner: str | None = None
@@ -142,23 +201,85 @@ class BufferPool:
         if page is not None:
             self._cache.move_to_end(page_id)
             self.hits += 1
-            meter.buffer_hits += 1
+            meter.charge_hit()
             if self.current_owner is not None:
                 self.stats_for(self.current_owner).hits += 1
             return page
         page = self.pager.read(page_id)
         self.misses += 1
-        meter.io_reads += 1
-        meter.reads_by_kind[page.kind] += 1
+        meter.charge_read(page.kind)
         if self.current_owner is not None:
             self.stats_for(self.current_owner).misses += 1
         self._admit(page)
         return page
 
+    def get_many(
+        self, page_ids: Sequence[int], meter: CostMeter = NULL_METER
+    ) -> list[Page]:
+        """Fetch a run of pages in one call.
+
+        Accounting is byte-identical to calling :meth:`get` once per page in
+        order — hits and misses are charged per page — so batched scans cost
+        exactly what their row-at-a-time equivalents would.
+        """
+        cache = self._cache
+        pages: list[Page] = []
+        for page_id in page_ids:
+            page = cache.get(page_id)
+            if page is not None:
+                cache.move_to_end(page_id)
+                self.hits += 1
+                meter.charge_hit()
+                if self.current_owner is not None:
+                    self.stats_for(self.current_owner).hits += 1
+            else:
+                page = self.pager.read(page_id)
+                self.misses += 1
+                meter.charge_read(page.kind)
+                if self.current_owner is not None:
+                    self.stats_for(self.current_owner).misses += 1
+                self._admit(page)
+            pages.append(page)
+        return pages
+
+    def prefetch(
+        self,
+        page_ids: Iterable[int],
+        meter: CostMeter = NULL_METER,
+        window: int | None = None,
+    ) -> int:
+        """Sequential read-ahead: load the uncached pages of a run.
+
+        Reads at most ``window`` (default: the pool's configured
+        ``read_ahead_window``) uncached pages, charging each physical read
+        to ``meter`` and to the current owner's miss count. Pages already
+        cached are left untouched — no hit is charged and their LRU recency
+        does not change, so a later :meth:`get` observes the same totals a
+        row-at-a-time access sequence would in I/O units (buffer *hits* may
+        be higher, since prefetched pages hit on their subsequent get).
+        Returns the number of pages physically read.
+        """
+        cap = self.read_ahead_window if window is None else window
+        loaded = 0
+        for page_id in page_ids:
+            if loaded >= cap:
+                break
+            if page_id in self._cache:
+                continue
+            page = self.pager.read(page_id)
+            self.misses += 1
+            self.prefetched += 1
+            meter.charge_read(page.kind)
+            if self.current_owner is not None:
+                self.stats_for(self.current_owner).misses += 1
+            self._admit(page)
+            loaded += 1
+        return loaded
+
     def put(self, page: Page, meter: CostMeter = NULL_METER) -> None:
         """Write a page through the cache, charging one write."""
         self.pager.write(page)
-        meter.io_writes += 1
+        meter.charge_write()
         self._admit(page)
 
     def allocate(
@@ -170,7 +291,7 @@ class BufferPool:
     ) -> Page:
         """Allocate a new page through the cache, charging one write."""
         page = self.pager.allocate(kind, owner=owner, payload=payload)
-        meter.io_writes += 1
+        meter.charge_write()
         self._admit(page)
         return page
 
@@ -194,12 +315,21 @@ class BufferPool:
         """Simulate cache interference from unrelated queries.
 
         Evicts roughly ``fraction`` of cached pages chosen uniformly at
-        random. Returns the number of evicted pages.
+        random. Returns the number of evicted pages. Victims are chosen by
+        *index* into the cache's iteration order, so no copy of the full
+        key list is materialized per call (this runs inside benchmark
+        interference loops, once per engine step).
         """
         if not self._cache or fraction <= 0:
             return 0
-        count = max(1, int(len(self._cache) * min(fraction, 1.0)))
-        victims = rng.sample(list(self._cache.keys()), count)
+        size = len(self._cache)
+        count = max(1, int(size * min(fraction, 1.0)))
+        wanted = set(rng.sample(range(size), count))
+        victims = [
+            page_id
+            for position, page_id in enumerate(self._cache)
+            if position in wanted
+        ]
         for page_id in victims:
             del self._cache[page_id]
         return count

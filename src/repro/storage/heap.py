@@ -110,6 +110,57 @@ class HeapFile:
             if row is not None:
                 yield RID(page_no, slot), row
 
+    def scan_page_run(
+        self, start: int, count: int, meter: CostMeter = NULL_METER
+    ) -> list[list[tuple[RID, Row]]]:
+        """Scan a run of pages fetched in one buffer-pool call.
+
+        Returns one list of live ``(RID, row)`` pairs per page in the run
+        ``[start, min(start+count, page_count))`` — empty pages contribute an
+        empty list, so callers can count page-granular steps. The pages are
+        pulled through :meth:`BufferPool.get_many`, so hits and misses are
+        charged exactly as ``count`` successive :meth:`scan_page` calls would
+        charge them, without per-page buffer-pool dispatch. Used by Tscan's
+        batched ``_do_batch`` path.
+        """
+        if start < 0 or start >= len(self._page_ids):
+            raise StorageError(f"heap {self.name!r} has no page {start}")
+        stop = min(start + max(count, 1), len(self._page_ids))
+        pages = self.buffer_pool.get_many(self._page_ids[start:stop], meter)
+        return [
+            [
+                (RID(page_no, slot), row)
+                for slot, row in enumerate(page.payload)
+                if row is not None
+            ]
+            for page_no, page in zip(range(start, stop), pages)
+        ]
+
+    def prefetch(
+        self,
+        rids: Iterable[RID],
+        meter: CostMeter = NULL_METER,
+        window: int | None = None,
+    ) -> int:
+        """Read ahead the distinct heap pages referenced by a RID run.
+
+        Maps RIDs to their pages (dropping duplicates while preserving first
+        occurrence order, and silently skipping out-of-range pages so a later
+        :meth:`fetch` still raises the proper error) and hands the run to
+        :meth:`BufferPool.prefetch`. Returns the number of pages physically
+        read — each charged to ``meter`` as a normal miss.
+        """
+        seen: set[int] = set()
+        page_ids: list[int] = []
+        limit = len(self._page_ids)
+        for rid in rids:
+            page_no = rid.page
+            if page_no < 0 or page_no >= limit or page_no in seen:
+                continue
+            seen.add(page_no)
+            page_ids.append(self._page_ids[page_no])
+        return self.buffer_pool.prefetch(page_ids, meter, window)
+
     def fetch_sorted(
         self,
         rids: Sequence[RID],

@@ -24,7 +24,7 @@ class PageKind(enum.Enum):
     TEMP = "temp"
 
 
-@dataclass
+@dataclass(slots=True)
 class Page:
     """A simulated disk page.
 

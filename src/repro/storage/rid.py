@@ -37,6 +37,8 @@ class SortedRidBuffer:
     the final fetch stage can walk pages monotonically without a sort.
     """
 
+    __slots__ = ("_rids",)
+
     def __init__(self, rids: Iterable[RID] = ()) -> None:
         self._rids: list[RID] = sorted(rids)
 

@@ -65,10 +65,19 @@ class TempTable:
         self._write_buffer.clear()
 
     def scan(self, meter: CostMeter = NULL_METER) -> Iterator[RID]:
-        """Read back all RIDs in insertion order (charges page reads)."""
-        for page_id in self._page_ids:
-            page = self.buffer_pool.get(page_id, meter)
-            yield from page.payload
+        """Read back all RIDs in insertion order (charges page reads).
+
+        Pages are read in read-ahead-window-sized runs through one
+        :meth:`BufferPool.get_many` call each; hit/miss charges are
+        identical to reading them one at a time.
+        """
+        window = max(1, self.buffer_pool.read_ahead_window)
+        for start in range(0, len(self._page_ids), window):
+            run = self.buffer_pool.get_many(
+                self._page_ids[start : start + window], meter
+            )
+            for page in run:
+                yield from page.payload
         yield from self._write_buffer
 
     def sorted_rids(self, meter: CostMeter = NULL_METER) -> list[RID]:

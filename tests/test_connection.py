@@ -39,11 +39,21 @@ class TestConnect:
         assert result.retrievals[0].goal is OptimizationGoal.FAST_FIRST
 
     def test_execute_deadline_cancels(self):
-        conn = populated(repro.connect())
+        # deadlines are budgets of scheduling quanta; batch_size=1 makes one
+        # quantum equal one engine step, so a 3-step budget must cancel
+        conn = populated(
+            repro.connect(config=repro.DEFAULT_CONFIG.with_(batch_size=1))
+        )
         with pytest.raises(QueryCancelledError):
             conn.execute("select * from T where A >= 0", deadline=3)
         # the connection stays usable afterwards
         assert conn.execute("select * from T where A = 1").rows
+
+    def test_execute_deadline_counts_quanta(self):
+        # at the default batch size a 3-quantum budget covers ~192 engine
+        # steps — enough to finish this scan, so no cancellation occurs
+        conn = populated(repro.connect())
+        assert conn.execute("select * from T where A >= 0", deadline=3).rows
 
     def test_explain_matches_database_explain(self):
         conn = populated(repro.connect())

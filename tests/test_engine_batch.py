@@ -1,0 +1,327 @@
+"""Batch-vs-row equivalence suite.
+
+The batching layer (``next_batch`` on every scan strategy, batched tactic
+generators, buffer-pool read-ahead) must be an *accounting-transparent*
+optimisation: for any retrieval that runs to completion it delivers the
+same row sequence, the same ``CostMeter`` totals in physical-I/O units,
+and the same competition switch decisions as repeated single ``step``
+calls. ``buffer_hits`` is the one documented exception where read-ahead
+is involved: a prefetched page charges its miss at prefetch time and a
+hit at fetch time (see docs/performance.md).
+"""
+
+import pytest
+
+from repro.btree.tree import KeyRange
+from repro.config import DEFAULT_CONFIG
+from repro.db.session import Database
+from repro.engine.initial import run_initial_stage
+from repro.engine.jscan import JscanProcess
+from repro.engine.metrics import RetrievalTrace
+from repro.engine.scans import FscanProcess, SscanProcess, TscanProcess
+from repro.engine.union_scan import UnionScanProcess
+from repro.expr.ast import ALWAYS_TRUE, col
+from repro.expr.disjunction import cover_disjuncts
+from repro.storage.buffer_pool import CostMeter
+
+BATCH_SIZES = [1, 2, 64]
+
+
+class Collector:
+    def __init__(self, stop_after=None):
+        self.rows = []
+        self.rids = []
+        self.stop_after = stop_after
+
+    def __call__(self, rid, row):
+        self.rids.append(rid)
+        self.rows.append(row)
+        return self.stop_after is None or len(self.rows) < self.stop_after
+
+
+def run_steps(process):
+    while process.active:
+        if process.step():
+            break
+    return process
+
+
+def drain_batches(process, batch_size):
+    delivered = []
+    while True:
+        batch = process.next_batch(batch_size)
+        if not batch:
+            break
+        delivered.extend(batch)
+    return delivered
+
+
+def meter_totals(meter: CostMeter) -> dict:
+    return {
+        "io_reads": meter.io_reads,
+        "io_writes": meter.io_writes,
+        "cpu": meter.cpu,
+        "io_total": meter.io_total,
+        "total": meter.total,
+    }
+
+
+def build_db():
+    db = Database(buffer_capacity=48)
+    table = db.create_table(
+        "T", [("A", "int"), ("B", "int"), ("C", "int")],
+        rows_per_page=8, index_order=6,
+    )
+    for i in range(400):
+        table.insert((i % 30, (i * 7) % 90, i))
+    table.create_index("IX_A", ["A"])
+    table.create_index("IX_B", ["B"])
+    table.analyze()
+    return db, table
+
+
+# -- per-strategy next_batch equivalence -------------------------------------
+
+
+class TestNextBatchMatchesSteps:
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_tscan(self, batch_size):
+        db, table = build_db()
+        make = lambda sink: TscanProcess(  # noqa: E731
+            table.heap, table.schema, col("B") < 40, {}, sink, RetrievalTrace(),
+            config=table.config,
+        )
+        db.cold_cache()
+        reference = run_steps(make(Collector()))
+        db.cold_cache()
+        batched = make(lambda rid, row: True)
+        delivered = drain_batches(batched, batch_size)
+        assert [rid for rid, _ in delivered] == reference.sink.rids
+        assert [row for _, row in delivered] == reference.sink.rows
+        assert meter_totals(batched.meter) == meter_totals(reference.meter)
+        assert batched.finished and not batched.stopped_by_consumer
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_sscan(self, batch_size):
+        db, table = build_db()
+        index = table.indexes["IX_A"]
+        make = lambda sink: SscanProcess(  # noqa: E731
+            index, KeyRange(lo=(5,), hi=None), table.schema,
+            col("A") >= 5, {}, sink, RetrievalTrace(), config=table.config,
+        )
+        db.cold_cache()
+        reference = run_steps(make(Collector()))
+        db.cold_cache()
+        batched = make(lambda rid, row: True)
+        delivered = drain_batches(batched, batch_size)
+        assert [row for _, row in delivered] == reference.sink.rows
+        assert meter_totals(batched.meter) == meter_totals(reference.meter)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_fscan(self, batch_size):
+        db, table = build_db()
+        index = table.indexes["IX_B"]
+        make = lambda sink: FscanProcess(  # noqa: E731
+            index, KeyRange(lo=(60,), hi=None), table.heap, table.schema,
+            col("B") >= 60, {}, sink, RetrievalTrace(), config=table.config,
+        )
+        db.cold_cache()
+        reference = run_steps(make(Collector()))
+        db.cold_cache()
+        batched = make(lambda rid, row: True)
+        delivered = drain_batches(batched, batch_size)
+        assert [row for _, row in delivered] == reference.sink.rows
+        assert [rid for rid, _ in delivered] == reference.sink.rids
+        assert meter_totals(batched.meter) == meter_totals(reference.meter)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_jscan(self, batch_size):
+        db, table = build_db()
+        expr = (col("A").eq(3)) & (col("B") < 40)
+
+        def make(on_keep=None):
+            trace = RetrievalTrace()
+            arrangement = run_initial_stage(
+                list(table.indexes.values()), expr, {},
+                frozenset(table.schema.names), (), CostMeter(), trace,
+                table.config,
+            )
+            return JscanProcess(
+                arrangement.jscan_candidates, table.heap, table.buffer_pool,
+                trace, table.config, on_keep=on_keep,
+            )
+
+        # the on_keep tap fires once per kept RID at every scan stage;
+        # batch mode must replay the exact same (rid, position) sequence
+        reference_kept = []
+        db.cold_cache()
+        reference = run_steps(
+            make(on_keep=lambda rid, pos: reference_kept.append((rid, pos)))
+        )
+        db.cold_cache()
+        batched = make()
+        kept = drain_batches(batched, batch_size)
+        assert batched.sorted_result() == reference.sorted_result()
+        assert kept == reference_kept
+        assert meter_totals(batched.meter) == meter_totals(reference.meter)
+        assert batched.tscan_recommended == reference.tscan_recommended
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_union_scan(self, batch_size):
+        db, table = build_db()
+        expr = (col("A").eq(3)) | (col("B").eq(70))
+        covered = cover_disjuncts(expr, list(table.indexes.values()))
+        assert covered is not None
+
+        def make():
+            return UnionScanProcess(
+                covered, table.heap, table.buffer_pool, RetrievalTrace(),
+                table.config,
+            )
+
+        db.cold_cache()
+        reference = run_steps(make())
+        db.cold_cache()
+        batched = make()
+        unioned = drain_batches(batched, batch_size)
+        assert batched.sorted_result() == reference.sorted_result()
+        assert sorted(unioned) == reference.sorted_result()
+        assert meter_totals(batched.meter) == meter_totals(reference.meter)
+
+    def test_next_batch_rejects_non_positive(self):
+        db, table = build_db()
+        process = TscanProcess(
+            table.heap, table.schema, ALWAYS_TRUE, {}, lambda r, w: True,
+            RetrievalTrace(), config=table.config,
+        )
+        with pytest.raises(ValueError):
+            process.next_batch(0)
+
+    def test_partial_batches_do_not_lose_overshoot(self):
+        # asking for fewer rows than a page holds must buffer the overshoot,
+        # not drop it, and must not advance the scan further than needed
+        db, table = build_db()
+        process = TscanProcess(
+            table.heap, table.schema, ALWAYS_TRUE, {}, lambda r, w: True,
+            RetrievalTrace(), config=table.config,
+        )
+        first = process.next_batch(3)
+        second = process.next_batch(3)
+        assert len(first) == len(second) == 3
+        all_rows = [row for _, row in table.heap.scan()]
+        assert [row for _, row in first + second] == all_rows[:6]
+
+
+# -- full-retrieval equivalence across batch sizes ---------------------------
+
+
+PREDICATES = [
+    ALWAYS_TRUE,
+    col("A").eq(5),
+    (col("A").eq(5)) & (col("B") < 40),
+    (col("A") >= 25) & (col("B").between(10, 60)),
+    (col("A") < 2) | (col("A") > 28),
+    col("B") >= 85,
+]
+
+
+def run_retrieval(batch_size, expr, **select_kwargs):
+    db = Database(
+        buffer_capacity=48, config=DEFAULT_CONFIG.with_(batch_size=batch_size)
+    )
+    table = db.create_table(
+        "T", [("A", "int"), ("B", "int"), ("C", "int")],
+        rows_per_page=8, index_order=6,
+    )
+    for i in range(400):
+        table.insert((i % 30, (i * 7) % 90, i))
+    table.create_index("IX_A", ["A"])
+    table.create_index("IX_B", ["B"])
+    table.analyze()
+    db.cold_cache()
+    return table.select(where=expr, **select_kwargs)
+
+
+class TestRetrievalEquivalence:
+    @pytest.mark.parametrize("expr", PREDICATES)
+    def test_rows_costs_and_switches_match_across_batch_sizes(self, expr):
+        reference = run_retrieval(1, expr)
+        for batch_size in BATCH_SIZES[1:]:
+            result = run_retrieval(batch_size, expr)
+            assert result.rows == reference.rows, f"batch={batch_size}"
+            assert result.rids == reference.rids
+            assert result.execution_io == reference.execution_io
+            assert result.execution_cost == pytest.approx(reference.execution_cost)
+            assert result.description == reference.description
+            switches = result.trace.counters.strategy_switches
+            assert switches == reference.trace.counters.strategy_switches
+            kinds = [event.kind for event in result.trace.events]
+            assert kinds == [event.kind for event in reference.trace.events]
+
+    @pytest.mark.parametrize("expr", PREDICATES)
+    def test_fast_first_goal_matches_across_batch_sizes(self, expr):
+        from repro.engine.goals import OptimizationGoal
+
+        reference = run_retrieval(1, expr, optimize_for=OptimizationGoal.FAST_FIRST)
+        for batch_size in BATCH_SIZES[1:]:
+            result = run_retrieval(
+                batch_size, expr, optimize_for=OptimizationGoal.FAST_FIRST
+            )
+            assert result.rows == reference.rows
+            assert result.execution_io == reference.execution_io
+            assert result.description == reference.description
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_limit_stops_mid_batch(self, batch_size):
+        # a limit that lands inside a batch must deliver exactly the same
+        # prefix in every batch mode
+        reference = run_retrieval(1, col("A") < 20, limit=7)
+        result = run_retrieval(batch_size, col("A") < 20, limit=7)
+        assert result.rows == reference.rows
+        assert len(result.rows) == 7
+        assert result.stopped_early == reference.stopped_early
+
+
+# -- mid-batch cancellation through the scheduler ----------------------------
+
+
+class TestMidBatchCancellation:
+    def _connect(self, batch_size):
+        import repro
+
+        conn = repro.connect(
+            buffer_capacity=48,
+            config=DEFAULT_CONFIG.with_(batch_size=batch_size),
+        )
+        conn.execute("create table T (ID int, A int)")
+        table = conn.table("T")
+        table.insert_many((i, i % 40) for i in range(400))
+        table.analyze()
+        return conn
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_cancel_mid_query_leaves_engine_consistent(self, batch_size):
+        conn = self._connect(batch_size)
+        handle = conn.submit("select * from T where A >= 0")
+        conn.server.step()  # run one quantum (up to batch_size steps)
+        handle.cancel(reason="test")
+        # the connection answers fresh queries correctly afterwards
+        result = conn.execute("select * from T where A = 1")
+        assert len(result.rows) == 10
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_deadline_cancellation_by_quanta(self, batch_size):
+        from repro.errors import QueryCancelledError
+
+        conn = self._connect(batch_size)
+        try:
+            conn.execute("select * from T where A >= 0", deadline=2)
+            completed = True
+        except QueryCancelledError:
+            completed = False
+        # larger batches finish within the same quantum budget;
+        # batch_size=1 cannot cover 400 rows in 2 steps
+        if batch_size == 1:
+            assert not completed
+        # either way the connection stays usable
+        assert conn.execute("select * from T where A = 2").rows

@@ -11,7 +11,14 @@ from repro.server import QueryServer, QueryState
 from repro.storage.pager import PageKind
 
 
-def build_db(buffer_capacity: int = 64, config=DEFAULT_CONFIG) -> Database:
+# These tests pin batch_size=1 so one scheduling quantum == one engine step,
+# preserving the fine-grained interleaving/deadline semantics they assert
+# (batch_size=1 is byte-identical to the original one-yield-per-step
+# behaviour). Batched-quanta behaviour is covered by TestBatchedQuanta.
+STEP_CONFIG = DEFAULT_CONFIG.with_(batch_size=1)
+
+
+def build_db(buffer_capacity: int = 64, config=STEP_CONFIG) -> Database:
     db = Database(buffer_capacity=buffer_capacity, config=config)
     table = db.create_table("T", [("ID", "int"), ("A", "int"), ("B", "int")])
     for i in range(600):
@@ -147,7 +154,7 @@ class TestCancellation:
     def spilling_db(self) -> Database:
         # tiny RID buffers force every Jscan list through a TEMP spill, and
         # tiny TEMP pages make the spill hit the pager immediately
-        config = DEFAULT_CONFIG.with_(
+        config = STEP_CONFIG.with_(
             static_rid_buffer_size=2,
             allocated_rid_buffer_size=8,
             temp_rids_per_page=4,
@@ -279,6 +286,76 @@ class TestMetricsRegistry:
         server, _ = run_workload("round-robin")
         text = server.metrics.format()
         assert "<all>" in text and "s0" in text and "cache hit rate" in text
+
+
+class TestBatchedQuanta:
+    """Scheduler behaviour at the default (batched) quantum size."""
+
+    def test_batched_results_match_per_step_results(self):
+        expected = [build_db().execute(sql).rows for sql in QUERIES]
+        db = build_db(config=DEFAULT_CONFIG)
+        server = QueryServer(db, max_concurrency=4)
+        handles = [
+            server.session(f"s{k}").submit(sql) for k, sql in enumerate(QUERIES)
+        ]
+        server.run_until_idle()
+        for handle, rows in zip(handles, expected):
+            assert handle.state is QueryState.DONE
+            assert sorted(handle.result.rows) == sorted(rows)
+
+    def test_batching_cuts_scheduler_quanta(self):
+        batch = DEFAULT_CONFIG.batch_size
+        assert batch >= 8
+
+        def total_quanta(config):
+            db = build_db(config=config)
+            server = QueryServer(db, max_concurrency=4)
+            for k, sql in enumerate(QUERIES):
+                server.session(f"s{k}").submit(sql)
+            server.run_until_idle()
+            return server.total_steps
+
+        stepwise = total_quanta(STEP_CONFIG)
+        batched = total_quanta(DEFAULT_CONFIG)
+        # ~batch_size x fewer generator resumptions (ceil effects per phase)
+        assert batched <= stepwise // (batch // 2)
+
+    def test_batched_interleaving_is_deterministic(self):
+        def run():
+            db = build_db(config=DEFAULT_CONFIG)
+            server = QueryServer(db, max_concurrency=4, scheduling="weighted")
+            handles = [
+                server.session(f"s{k}").submit(sql)
+                for k, sql in enumerate(QUERIES)
+            ]
+            server.run_until_idle()
+            return server, handles
+
+        server_a, handles_a = run()
+        server_b, handles_b = run()
+        assert [h.steps for h in handles_a] == [h.steps for h in handles_b]
+        assert server_a.total_steps == server_b.total_steps
+        totals_a, totals_b = server_a.metrics.totals(), server_b.metrics.totals()
+        assert totals_a.counters == totals_b.counters
+        assert totals_a.cache_hits == totals_b.cache_hits
+
+    def test_cancellation_lands_between_batched_quanta(self):
+        config = DEFAULT_CONFIG.with_(
+            static_rid_buffer_size=2,
+            allocated_rid_buffer_size=8,
+            temp_rids_per_page=4,
+        )
+        db = build_db(config=config)
+        server = QueryServer(db)
+        handle = server.submit("select * from T where A >= 5 and B >= 4")
+        server.step()
+        assert handle.state is QueryState.RUNNING
+        handle.cancel()
+        assert handle.state is QueryState.CANCELLED
+        temp = [
+            page for page in db.pager._pages.values() if page.kind is PageKind.TEMP
+        ]
+        assert temp == [], "cancelled query leaked TEMP pages"
 
 
 class TestOwnerAttribution:

@@ -124,3 +124,102 @@ def test_meter_total_mixes_io_and_cpu():
     meter.charge_cpu(0.25)
     assert meter.total == pytest.approx(2.25)
     assert meter.io_total == 2
+
+
+# -- NullMeter ---------------------------------------------------------------
+
+
+def test_null_meter_counters_stay_zero(pager, buffer_pool):
+    from repro.storage.buffer_pool import NULL_METER
+
+    ids = _fill(pager, 8)
+    buffer_pool.clear()
+    for page_id in ids:
+        buffer_pool.get(page_id)          # miss, default NULL_METER
+        buffer_pool.get(page_id)          # hit
+    buffer_pool.allocate(PageKind.TEMP)   # write
+    NULL_METER.charge_cpu(1.0)
+    NULL_METER.merge(CostMeter(io_reads=5))
+    assert NULL_METER.io_reads == 0
+    assert NULL_METER.io_writes == 0
+    assert NULL_METER.buffer_hits == 0
+    assert NULL_METER.cpu == 0.0
+    assert all(count == 0 for count in NULL_METER.reads_by_kind.values())
+    assert NULL_METER.total == 0.0
+
+
+def test_null_meter_is_a_cost_meter():
+    from repro.storage.buffer_pool import NULL_METER, NullMeter
+
+    assert isinstance(NULL_METER, CostMeter)
+    assert isinstance(NULL_METER, NullMeter)
+
+
+# -- get_many / prefetch ------------------------------------------------------
+
+
+def test_get_many_matches_sequential_gets(pager):
+    ids = _fill(pager, 12)
+    pool_a = BufferPool(pager, capacity=8)
+    pool_b = BufferPool(pager, capacity=8)
+    meter_a, meter_b = CostMeter(), CostMeter()
+    # same access pattern with a repeat: hits and misses must match exactly
+    pattern = ids[:6] + ids[2:8]
+    for page_id in pattern:
+        pool_a.get(page_id, meter_a)
+    pages = pool_b.get_many(pattern, meter_b)
+    assert [page.page_id for page in pages] == pattern
+    assert meter_b.io_reads == meter_a.io_reads
+    assert meter_b.buffer_hits == meter_a.buffer_hits
+    assert meter_b.reads_by_kind == meter_a.reads_by_kind
+    assert (pool_b.hits, pool_b.misses) == (pool_a.hits, pool_a.misses)
+
+
+def test_prefetch_loads_only_uncached_pages(pager, buffer_pool, meter):
+    ids = _fill(pager, 6)
+    buffer_pool.clear()
+    buffer_pool.get(ids[1])
+    buffer_pool.get(ids[3])
+    loaded = buffer_pool.prefetch(ids, meter)
+    assert loaded == 4
+    assert meter.io_reads == 4
+    assert meter.buffer_hits == 0  # cached pages charge nothing
+    assert all(page_id in buffer_pool for page_id in ids)
+    assert buffer_pool.prefetched == 4
+
+
+def test_prefetch_respects_window(pager, buffer_pool, meter):
+    ids = _fill(pager, 10)
+    buffer_pool.clear()
+    assert buffer_pool.prefetch(ids, meter, window=3) == 3
+    assert meter.io_reads == 3
+    assert sum(1 for page_id in ids if page_id in buffer_pool) == 3
+
+
+def test_prefetch_default_window_is_configurable(pager):
+    pool = BufferPool(pager, capacity=32, read_ahead_window=2)
+    ids = _fill(pager, 5)
+    pool.clear()
+    assert pool.prefetch(ids) == 2
+
+
+def test_prefetched_page_hits_on_subsequent_get(pager, buffer_pool, meter):
+    (page_id,) = _fill(pager, 1)
+    buffer_pool.clear()
+    buffer_pool.prefetch([page_id], meter)
+    buffer_pool.get(page_id, meter)
+    assert meter.io_reads == 1
+    assert meter.buffer_hits == 1
+
+
+def test_evict_random_is_uniform_without_key_copy(pager, buffer_pool):
+    ids = _fill(pager, 40)
+    buffer_pool.clear()
+    for page_id in ids:
+        buffer_pool.get(page_id)
+    rng = random.Random(11)
+    evicted = buffer_pool.evict_random(0.25, rng)
+    assert evicted == 10
+    assert len(buffer_pool) == 30
+    survivors = {page_id for page_id in ids if page_id in buffer_pool}
+    assert len(survivors) == 30
