@@ -37,6 +37,15 @@ from repro.engine.goals import OptimizationGoal, infer_goals
 from repro.engine.retrieval import RetrievalRequest, RetrievalResult
 from repro.errors import QueryCancelledError, ReproError, ServerError
 from repro.expr.ast import col, lit, var
+from repro.obs import (
+    JsonlSink,
+    LogHistogram,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    should_sample,
+)
 from repro.server import (
     MetricsRegistry,
     QueryHandle,
@@ -54,7 +63,11 @@ __all__ = [
     "Database",
     "DEFAULT_CONFIG",
     "EngineConfig",
+    "JsonlSink",
+    "LogHistogram",
     "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
     "OptimizationGoal",
     "QueryCancelledError",
     "QueryHandle",
@@ -66,11 +79,14 @@ __all__ = [
     "ServerError",
     "ServerSession",
     "SessionMetrics",
+    "Span",
     "Table",
+    "Tracer",
     "col",
     "connect",
     "infer_goals",
     "lit",
+    "should_sample",
     "var",
     "__version__",
 ]

@@ -43,10 +43,14 @@ class Connection:
         db: Database,
         max_concurrency: int = 4,
         scheduling: str = "round-robin",
+        trace_sink: Any | None = None,
     ) -> None:
         self.db = db
         self.server = QueryServer(
-            db, max_concurrency=max_concurrency, scheduling=scheduling
+            db,
+            max_concurrency=max_concurrency,
+            scheduling=scheduling,
+            trace_sink=trace_sink,
         )
         self._main = self.server.session("main")
         self._closed = False
@@ -84,9 +88,23 @@ class Connection:
         self._check_open()
         return self._main.submit(sql, host_vars, goal=goal, deadline=deadline)
 
-    def explain(self, sql: str) -> str:
-        """Render the logical plan with inferred per-retrieval goals."""
+    def explain(
+        self,
+        sql: str,
+        host_vars: Mapping[str, Any] | None = None,
+        analyze: bool = False,
+    ) -> str:
+        """Render the logical plan with inferred per-retrieval goals.
+
+        With ``analyze=True`` the statement is *executed* through the
+        scheduler under a forced tracer and the plan is rendered next to the
+        recorded span timeline (actual rows, fetches, switches, abandons,
+        per-strategy time) — the API form of ``EXPLAIN ANALYZE <sql>``.
+        """
         self._check_open()
+        if analyze:
+            result = self._main.execute(f"explain analyze {sql}", host_vars)
+            return result.text
         from repro.sql.executor import explain_sql
 
         return explain_sql(self.db, sql)
@@ -146,13 +164,23 @@ def connect(
     max_concurrency: int = 4,
     scheduling: str = "round-robin",
     db: Database | None = None,
+    trace_sink: Any | None = None,
 ) -> Connection:
     """Open a :class:`Connection` — the package's front door.
 
     Creates a fresh in-memory :class:`~repro.db.session.Database` (or wraps
     the one passed via ``db``) and fronts it with a multi-query scheduler.
-    ``scheduling`` is ``"round-robin"`` or ``"weighted"``.
+    ``scheduling`` is ``"round-robin"`` or ``"weighted"``. ``trace_sink``
+    receives the finished span tree of every traced query (anything with
+    ``write(tree_dict)``, e.g. :class:`repro.obs.JsonlSink`); queries are
+    traced when sampled by ``config.trace_sample_rate`` or run via
+    EXPLAIN ANALYZE.
     """
     if db is None:
         db = Database(buffer_capacity=buffer_capacity, config=config)
-    return Connection(db, max_concurrency=max_concurrency, scheduling=scheduling)
+    return Connection(
+        db,
+        max_concurrency=max_concurrency,
+        scheduling=scheduling,
+        trace_sink=trace_sink,
+    )

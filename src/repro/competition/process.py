@@ -63,6 +63,11 @@ class Process(abc.ABC):
         self.meter = CostMeter(name=name)
         self.finished = False
         self.abandoned = False
+        #: engine steps this process has executed (span instrumentation)
+        self.steps_taken = 0
+        #: timeline span opened by trace-carrying subclasses; closed here
+        #: on completion/abandonment with steps and cost-meter totals
+        self.span = None
 
     @property
     def active(self) -> bool:
@@ -76,8 +81,10 @@ class Process(abc.ABC):
         if not self.active:
             raise RuntimeError(f"step() on inactive process {self.name!r}")
         done = self._do_step()
+        self.steps_taken += 1
         if done:
             self.finished = True
+            self._close_span()
         return done
 
     def run_batch(self, max_steps: int) -> tuple[int, bool]:
@@ -94,8 +101,10 @@ class Process(abc.ABC):
         if max_steps < 1:
             raise ValueError("max_steps must be >= 1")
         steps, done = self._do_batch(max_steps)
+        self.steps_taken += steps
         if done:
             self.finished = True
+            self._close_span()
         return steps, done
 
     @abc.abstractmethod
@@ -122,9 +131,21 @@ class Process(abc.ABC):
             return
         self.abandoned = True
         self._on_abandon()
+        self._close_span(abandoned=True)
 
     def _on_abandon(self) -> None:
         """Hook for subclasses to release resources (buffers, temp tables)."""
+
+    def _close_span(self, **attrs) -> None:
+        """Finish the process's timeline span with its final accounting."""
+        if self.span is not None:
+            self.span.finish(
+                steps=self.steps_taken,
+                cost=round(self.meter.total, 3),
+                io=self.meter.io_total,
+                **attrs,
+            )
+            self.span = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finished" if self.finished else "abandoned" if self.abandoned else "active"

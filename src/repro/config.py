@@ -85,6 +85,14 @@ class EngineConfig:
     #: reads charged to the requesting meter.
     read_ahead_window: int = 8
 
+    # --- observability ------------------------------------------------------
+    #: Fraction of queries traced with a full span timeline (0.0 = tracing
+    #: off, 1.0 = every query). Sampling is deterministic by submission
+    #: ticket (see :func:`repro.obs.should_sample`); EXPLAIN ANALYZE forces
+    #: a trace regardless of the rate. The disabled path is held to a <2%
+    #: throughput budget by ``benchmarks/bench_trace_overhead.py``.
+    trace_sample_rate: float = 0.0
+
     # --- cost model --------------------------------------------------------
     #: CPU cost charged per record examined, in units of one page I/O.
     cpu_cost_per_record: float = 0.001

@@ -29,6 +29,7 @@ from repro.engine.retrieval import (
 )
 from repro.errors import CatalogError
 from repro.expr.ast import ALWAYS_TRUE, Expr
+from repro.obs.trace import Tracer
 from repro.storage.buffer_pool import BufferPool, CostMeter, NULL_METER
 from repro.storage.heap import HeapFile
 from repro.storage.rid import RID
@@ -177,6 +178,7 @@ class Table:
         limit: int | None = None,
         optimize_for: OptimizationGoal = OptimizationGoal.DEFAULT,
         context_key: Any = None,
+        tracer: Tracer | None = None,
     ) -> RetrievalResult:
         """Run one dynamic retrieval.
 
@@ -193,6 +195,7 @@ class Table:
                 limit=limit,
                 optimize_for=optimize_for,
                 context_key=context_key,
+                tracer=tracer,
             )
         )
 
@@ -205,6 +208,7 @@ class Table:
         limit: int | None = None,
         optimize_for: OptimizationGoal = OptimizationGoal.DEFAULT,
         context_key: Any = None,
+        tracer: Tracer | None = None,
     ) -> Generator[RetrievalResult, None, RetrievalResult]:
         """:meth:`select` as a step generator.
 
@@ -212,6 +216,7 @@ class Table:
         the multi-query scheduler (:mod:`repro.server`) can interleave this
         retrieval with others over the shared buffer pool; closing the
         generator cancels the retrieval and releases its temp structures.
+        ``tracer`` attaches the retrieval to a query-level span timeline.
         """
         request = RetrievalRequest(
             restriction=where,
@@ -222,4 +227,4 @@ class Table:
             goal=optimize_for,
         )
         context = self.context_for(context_key) if context_key is not None else None
-        return self.retrieval_engine().run_steps(request, context)
+        return self.retrieval_engine().run_steps(request, context, tracer)

@@ -57,6 +57,8 @@ class FinalStageProcess(BatchingSinkMixin, Process):
         self.delivered = 0
         self.rejected = 0
         self.skipped = 0
+        if trace is not None:
+            self.span = trace.tracer.open("final-stage", rids=len(self.rids))
 
     def _do_step(self) -> bool:
         if self._next >= len(self.rids):

@@ -120,6 +120,11 @@ class JscanProcess(Process):
         self.result_list: HybridRidList | None = None
         self.tscan_recommended = False
         self.empty = False
+        self.span = trace.tracer.open(
+            "scan",
+            strategy="jscan",
+            indexes=[candidate.index.name for candidate in candidates],
+        )
 
     # -- cost model -----------------------------------------------------------
 
@@ -328,7 +333,15 @@ class JscanProcess(Process):
         if self._filter is not None and not self._filter.may_contain(rid):
             self.trace.counters.rids_filtered_out += 1
         else:
+            spills_before = scan.rid_list.spills
             scan.rid_list.add(rid, self.meter)
+            if scan.rid_list.spills != spills_before:
+                self.trace.emit(
+                    EventKind.SPILL,
+                    index=scan.name,
+                    rids=len(scan.rid_list),
+                    region=scan.rid_list.region.value,
+                )
             scan.kept += 1
             if self.on_keep is not None:
                 self.on_keep(rid, scan.position)

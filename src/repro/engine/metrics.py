@@ -14,6 +14,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.obs.trace import NULL_TRACER, Tracer
+
 
 class EventKind(enum.Enum):
     """Kinds of trace events emitted by the engine."""
@@ -51,6 +53,21 @@ class TraceEvent:
         parts = " ".join(f"{key}={value}" for key, value in self.detail.items())
         return f"{self.kind.value}({parts})"
 
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable rendering (span export, JSONL sinks).
+
+        Detail values are JSON-safe by construction for every kind the
+        engine emits (strings, numbers, bools, lists of strings); anything
+        exotic degrades to ``str`` rather than failing the export.
+        """
+        detail = {
+            key: value
+            if isinstance(value, (str, int, float, bool, type(None), list, tuple))
+            else str(value)
+            for key, value in self.detail.items()
+        }
+        return {"kind": self.kind.value, **detail}
+
 
 @dataclass
 class RetrievalCounters:
@@ -67,15 +84,29 @@ class RetrievalCounters:
 
 
 class RetrievalTrace:
-    """Ordered event log plus counters for one retrieval execution."""
+    """Ordered event log plus counters for one retrieval execution.
 
-    def __init__(self) -> None:
+    When a :class:`~repro.obs.trace.Tracer` is attached, every emitted
+    event also lands on the tracer's current span, so the flat event log
+    and the span timeline stay two views of one stream. Untraced
+    retrievals share :data:`~repro.obs.trace.NULL_TRACER` (no-op spans).
+    """
+
+    def __init__(self, tracer: Tracer | None = None) -> None:
         self.events: list[TraceEvent] = []
         self.counters = RetrievalCounters()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def emit(self, kind: EventKind, **detail: Any) -> None:
-        """Record one event."""
-        self.events.append(TraceEvent(kind, detail))
+        """Record one event (and attach it to the current span)."""
+        event = TraceEvent(kind, detail)
+        self.events.append(event)
+        self.tracer.event(event)
+        if kind is EventKind.STRATEGY_SWITCH:
+            # a switch is a span boundary in the timeline, not just a log
+            # line: EXPLAIN ANALYZE renders it between the strategies it
+            # separates
+            self.tracer.mark("strategy-switch", **detail)
 
     def of_kind(self, kind: EventKind) -> list[TraceEvent]:
         """All events of one kind, in order."""

@@ -38,6 +38,7 @@ from repro.expr.disjunction import cover_disjuncts
 from repro.errors import RetrievalError
 from repro.expr.ast import ALWAYS_TRUE, Expr
 from repro.expr.eval import referenced_columns
+from repro.obs.trace import Tracer
 from repro.storage.buffer_pool import BufferPool, CostMeter
 from repro.storage.heap import HeapFile
 from repro.storage.rid import RID
@@ -123,14 +124,16 @@ class SingleTableRetrieval:
         self,
         request: RetrievalRequest,
         context: IterationContext | None = None,
+        tracer: "Tracer | None" = None,
     ) -> RetrievalResult:
         """Execute one retrieval, dynamically choosing/racing strategies."""
-        return drain(self.run_steps(request, context))
+        return drain(self.run_steps(request, context, tracer))
 
     def run_steps(
         self,
         request: RetrievalRequest,
         context: IterationContext | None = None,
+        tracer: "Tracer | None" = None,
     ) -> Generator[RetrievalResult, None, RetrievalResult]:
         """Execute one retrieval as a step generator.
 
@@ -142,8 +145,15 @@ class SingleTableRetrieval:
         generator mid-flight cancels the retrieval: every still-active
         process is abandoned (releasing its buffers and temp structures) and
         the trace records ``SCAN_ABANDONED`` / ``CONSUMER_STOPPED`` events.
+
+        When a :class:`~repro.obs.trace.Tracer` is supplied, the whole
+        retrieval runs inside a ``retrieval`` span: initial-stage events,
+        tactic spans, and scan spans all nest under it in the timeline.
         """
-        trace = RetrievalTrace()
+        trace = RetrievalTrace(tracer)
+        span = trace.tracer.begin(
+            "retrieval", table=self.heap.name, goal=request.goal.value
+        )
         estimation_meter = CostMeter(name="initial-stage")
         goal = request.goal
         if goal is OptimizationGoal.DEFAULT:
@@ -197,6 +207,7 @@ class SingleTableRetrieval:
             result.description = "shortcut: provably empty result"
             trace.emit(EventKind.RETRIEVAL_COMPLETE, rows=0)
             self._record_context(context, arrangement)
+            trace.tracer.end(span, rows=0, shortcut="empty")
             return result
 
         ctx = TacticContext(
@@ -220,9 +231,11 @@ class SingleTableRetrieval:
                     break
                 yield result
         except GeneratorExit:
-            # cancellation: the scheduler closed us mid-retrieval
+            # cancellation: the scheduler closed us mid-retrieval; closing
+            # ``inner`` ends the tactic span first, keeping strict nesting
             inner.close()
             self._abandon_spawned(ctx, trace)
+            trace.tracer.end(span, cancelled=True)
             raise
 
         result.description = outcome.description
@@ -238,6 +251,13 @@ class SingleTableRetrieval:
             result.description += " -> sort"
         trace.emit(EventKind.RETRIEVAL_COMPLETE, rows=len(rows))
         self._record_context(context, arrangement)
+        trace.tracer.end(
+            span,
+            rows=len(rows),
+            cost=round(result.total_cost, 3),
+            io=result.execution_io,
+            strategy=result.description,
+        )
         return result
 
     # -- dispatch ---------------------------------------------------------------
@@ -291,18 +311,24 @@ class SingleTableRetrieval:
     def _run_sscan_steps(
         self, ctx: TacticContext, candidate, ordered: bool = False
     ) -> StepOutcome:
-        ctx.trace.emit(
-            EventKind.TACTIC_SELECTED,
-            tactic="sorted-sscan" if ordered else "sscan",
-            index=candidate.index.name,
-        )
-        ctx.trace.emit(EventKind.SCAN_START, strategy="sscan", index=candidate.index.name)
-        sscan = ctx.spawn(SscanProcess(
-            candidate.index, candidate.key_range, ctx.schema, ctx.restriction,
-            ctx.host_vars, ctx.sink, ctx.trace, ctx.config,
-        ))
-        yield from advance(sscan, ctx.config.batch_size)
         label = "sorted-sscan" if ordered else "sscan"
+        span = ctx.trace.tracer.begin("tactic", tactic=label)
+        try:
+            ctx.trace.emit(
+                EventKind.TACTIC_SELECTED,
+                tactic=label,
+                index=candidate.index.name,
+            )
+            ctx.trace.emit(
+                EventKind.SCAN_START, strategy="sscan", index=candidate.index.name
+            )
+            sscan = ctx.spawn(SscanProcess(
+                candidate.index, candidate.key_range, ctx.schema, ctx.restriction,
+                ctx.host_vars, ctx.sink, ctx.trace, ctx.config,
+            ))
+            yield from advance(sscan, ctx.config.batch_size)
+        finally:
+            ctx.trace.tracer.end(span)
         return TacticOutcome(
             processes=[sscan],
             description=f"{label}({candidate.index.name})",
@@ -310,13 +336,17 @@ class SingleTableRetrieval:
         )
 
     def _run_tscan_steps(self, ctx: TacticContext) -> StepOutcome:
-        ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="tscan")
-        ctx.trace.emit(EventKind.SCAN_START, strategy="tscan")
-        tscan = ctx.spawn(TscanProcess(
-            ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
-            ctx.trace, ctx.config,
-        ))
-        yield from advance(tscan, ctx.config.batch_size)
+        span = ctx.trace.tracer.begin("tactic", tactic="tscan")
+        try:
+            ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="tscan")
+            ctx.trace.emit(EventKind.SCAN_START, strategy="tscan")
+            tscan = ctx.spawn(TscanProcess(
+                ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
+                ctx.trace, ctx.config,
+            ))
+            yield from advance(tscan, ctx.config.batch_size)
+        finally:
+            ctx.trace.tracer.end(span)
         return TacticOutcome(
             processes=[tscan],
             description="tscan",

@@ -110,6 +110,10 @@ class TscanProcess(BatchingSinkMixin, Process):
         self.skip_rids = skip_rids
         self.stopped_by_consumer = False
         self._next_page = 0
+        if trace is not None:
+            self.span = trace.tracer.open(
+                "scan", strategy="tscan", pages=heap.page_count
+            )
 
     def _do_step(self) -> bool:
         if self._next_page >= self.heap.page_count:
@@ -201,6 +205,10 @@ class SscanProcess(BatchingSinkMixin, Process):
         self.cursor: RangeCursor = index.btree.range_cursor(key_range, self.meter)
         self.delivered = 0
         self._compiled: Callable[[tuple], bool] | None = None
+        if trace is not None:
+            self.span = trace.tracer.open(
+                "scan", strategy="sscan", index=index.name
+            )
 
     def _row_from_key(self, key: tuple) -> tuple:
         row: list[Any] = [None] * len(self.schema)
@@ -306,6 +314,10 @@ class FscanProcess(BatchingSinkMixin, Process):
         self.rejected = 0
         self.filtered_out = 0
         self.delivered = 0
+        if trace is not None:
+            self.span = trace.tracer.open(
+                "scan", strategy="fscan", index=index.name
+            )
 
     def _do_step(self) -> bool:
         entry = self.cursor.next_entry()

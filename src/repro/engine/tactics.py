@@ -30,6 +30,7 @@ functions (``fast_first`` etc.) are synchronous wrappers that drain their
 
 from __future__ import annotations
 
+import functools
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Mapping
@@ -154,6 +155,7 @@ class BorrowingFetchProcess(Process):
         self.buffer_overflow = False
         self.delivered = 0
         self.rejected = 0
+        self.span = trace.tracer.open("scan", strategy="foreground-borrow")
 
     @property
     def has_work(self) -> bool:
@@ -185,6 +187,34 @@ class BorrowingFetchProcess(Process):
 #: a tactic written as a step generator: yields after every process step,
 #: returns the outcome when the retrieval is resolved
 StepOutcome = Generator[None, None, TacticOutcome]
+
+
+def _traced(name: str):
+    """Wrap a tactic step generator in a ``tactic`` timeline span.
+
+    The span opens when the tactic generator first runs and closes in a
+    ``finally`` — so cancellation (GeneratorExit) still closes it, keeping
+    the tracer's span stack strictly nested. An abandoned tactic is marked
+    ``abandoned``; a completed one records its outcome description.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(ctx: TacticContext, *args: Any, **kwargs: Any) -> StepOutcome:
+            span = ctx.trace.tracer.begin("tactic", tactic=name)
+            outcome: TacticOutcome | None = None
+            try:
+                outcome = yield from fn(ctx, *args, **kwargs)
+                return outcome
+            finally:
+                if outcome is not None:
+                    ctx.trace.tracer.end(span, outcome=outcome.description)
+                else:
+                    ctx.trace.tracer.end(span, abandoned=True)
+
+        return wrapper
+
+    return decorate
 
 
 def _finish_background(
@@ -232,6 +262,7 @@ def union_or(ctx: TacticContext, covered) -> TacticOutcome:
     return drain(union_or_steps(ctx, covered))
 
 
+@_traced("union-or")
 def union_or_steps(ctx: TacticContext, covered) -> StepOutcome:
     """Union joint scan over covered disjuncts, then the final stage.
 
@@ -287,6 +318,7 @@ def background_only(ctx: TacticContext) -> TacticOutcome:
     return drain(background_only_steps(ctx))
 
 
+@_traced("background-only")
 def background_only_steps(ctx: TacticContext) -> StepOutcome:
     """Jscan to completion, then the final stage (Section 7)."""
     ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="background-only")
@@ -310,6 +342,7 @@ def fast_first(ctx: TacticContext) -> TacticOutcome:
     return drain(fast_first_steps(ctx))
 
 
+@_traced("fast-first")
 def fast_first_steps(ctx: TacticContext) -> StepOutcome:
     """Jscan in background; foreground borrows, fetches, delivers (Section 7)."""
     ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="fast-first")
@@ -406,6 +439,7 @@ def sorted_tactic(ctx: TacticContext) -> TacticOutcome:
     return drain(sorted_tactic_steps(ctx))
 
 
+@_traced("sorted")
 def sorted_tactic_steps(ctx: TacticContext) -> StepOutcome:
     """Order-delivering Fscan cooperating with a filter-building Jscan."""
     ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="sorted")
@@ -486,6 +520,7 @@ def index_only(ctx: TacticContext) -> TacticOutcome:
     return drain(index_only_steps(ctx))
 
 
+@_traced("index-only")
 def index_only_steps(ctx: TacticContext) -> StepOutcome:
     """Sscan (foreground) racing Jscan (background)."""
     ctx.trace.emit(EventKind.TACTIC_SELECTED, tactic="index-only")

@@ -89,6 +89,11 @@ class UnionScanProcess(Process):
         self.duplicates_skipped = 0
         self.total_estimate = sum(scan.estimate for scan in self._scans)
         self.tscan_recommended = False
+        self.span = trace.tracer.open(
+            "scan",
+            strategy="union",
+            disjuncts=len(self._scans),
+        )
         trace.emit(
             EventKind.SCAN_START,
             strategy="union-scan",

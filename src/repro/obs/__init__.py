@@ -1,0 +1,37 @@
+"""Observability: span tracing, log2 histograms, metrics exposition.
+
+The paper notes that its "dynamic execution metrics have been available to
+the user community since version 4.0" — observability of the competition's
+decisions is part of the artifact. This package provides the three
+surfaces layered on top of the flat per-retrieval counters:
+
+* :mod:`repro.obs.trace` — the span timeline (query → retrieval → tactic →
+  scan / final-stage / strategy-switch), its JSON export, sampling, and the
+  :class:`JsonlSink`;
+* :mod:`repro.obs.hist` — fixed-bucket log2 histograms with exact sums and
+  p50/p95/p99 accessors;
+* :mod:`repro.obs.export` — Prometheus-text-format rendering used by
+  :meth:`repro.server.MetricsRegistry.expose_text`;
+* :mod:`repro.obs.explain` — the EXPLAIN ANALYZE report combining plan,
+  estimate-vs-actual, and the span tree.
+"""
+
+from repro.obs.hist import LogHistogram
+from repro.obs.trace import (
+    NULL_TRACER,
+    JsonlSink,
+    NullTracer,
+    Span,
+    Tracer,
+    should_sample,
+)
+
+__all__ = [
+    "JsonlSink",
+    "LogHistogram",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "should_sample",
+]

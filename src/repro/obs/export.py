@@ -1,0 +1,123 @@
+"""Prometheus-text-format exposition helpers.
+
+Renders gauges/counters/histograms in the Prometheus exposition format
+(version 0.0.4): ``# HELP`` / ``# TYPE`` headers, label sets, and the
+``_bucket``/``_sum``/``_count`` triplet with cumulative ``le`` buckets for
+histograms. :meth:`repro.server.MetricsRegistry.expose_text` composes
+these into the full scrape payload; the shell's ``\\metrics prom`` view
+and any scraper consume it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.obs.hist import LogHistogram
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _format_labels(labels: Mapping[str, str] | None) -> str:
+    if not labels:
+        return ""
+    escaped = ",".join(
+        f'{key}="{str(value).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for key, value in labels.items()
+    )
+    return "{" + escaped + "}"
+
+
+class PrometheusText:
+    """Accumulates one exposition payload, deduplicating metric headers."""
+
+    def __init__(self, prefix: str = "repro") -> None:
+        self.prefix = prefix
+        self._lines: list[str] = []
+        self._declared: set[str] = set()
+
+    def _declare(self, name: str, kind: str, help_text: str) -> str:
+        full = f"{self.prefix}_{name}"
+        if full not in self._declared:
+            self._lines.append(f"# HELP {full} {help_text}")
+            self._lines.append(f"# TYPE {full} {kind}")
+            self._declared.add(full)
+        return full
+
+    def counter(
+        self,
+        name: str,
+        value: float,
+        help_text: str,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        """Emit one counter sample."""
+        full = self._declare(name, "counter", help_text)
+        self._lines.append(f"{full}{_format_labels(labels)} {_format_value(value)}")
+
+    def gauge(
+        self,
+        name: str,
+        value: float,
+        help_text: str,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        """Emit one gauge sample."""
+        full = self._declare(name, "gauge", help_text)
+        self._lines.append(f"{full}{_format_labels(labels)} {_format_value(value)}")
+
+    def histogram(
+        self,
+        name: str,
+        hist: LogHistogram,
+        help_text: str,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        """Emit one histogram: cumulative ``le`` buckets, sum, and count.
+
+        Only non-empty buckets are materialized (plus the mandatory
+        ``+Inf`` bucket), keeping the payload proportional to the data
+        rather than to the fixed 52-bucket layout.
+        """
+        full = self._declare(name, "histogram", help_text)
+        base = dict(labels or {})
+        cumulative = 0
+        for bound, count in hist.buckets():
+            if bound == math.inf:
+                continue
+            cumulative += count
+            bucket_labels = dict(base, le=_format_value(bound))
+            self._lines.append(
+                f"{full}_bucket{_format_labels(bucket_labels)} {cumulative}"
+            )
+        inf_labels = dict(base, le="+Inf")
+        self._lines.append(f"{full}_bucket{_format_labels(inf_labels)} {hist.count}")
+        self._lines.append(f"{full}_sum{_format_labels(base)} {_format_value(hist.sum)}")
+        self._lines.append(f"{full}_count{_format_labels(base)} {hist.count}")
+
+    def quantiles(
+        self,
+        name: str,
+        hist: LogHistogram,
+        help_text: str,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        """Emit p50/p95/p99 gauges derived from a histogram, so percentile
+        latency is directly visible in the scrape without PromQL."""
+        base = dict(labels or {})
+        for quantile, value in (
+            ("0.5", hist.p50),
+            ("0.95", hist.p95),
+            ("0.99", hist.p99),
+        ):
+            self.gauge(name, value, help_text, dict(base, quantile=quantile))
+
+    def render(self) -> str:
+        """The complete exposition payload."""
+        return "\n".join(self._lines) + ("\n" if self._lines else "")

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 
 from repro.engine.metrics import RetrievalCounters, RetrievalTrace
+from repro.obs.export import PrometheusText
+from repro.obs.hist import LogHistogram
 
 
 def add_counters(into: RetrievalCounters, other: RetrievalCounters) -> None:
@@ -39,6 +41,21 @@ class SessionMetrics:
     #: buffer-pool accesses attributed to this session's query steps
     cache_hits: int = 0
     cache_misses: int = 0
+    #: scheduling quanta consumed by this session's retired queries; the
+    #: :attr:`steps_per_query` histogram's ``sum`` reconciles exactly with it
+    quanta: int = 0
+    #: wall-clock latency (admission → retirement) per retired query, seconds
+    latency: LogHistogram = field(
+        default_factory=lambda: LogHistogram("query_latency_seconds")
+    )
+    #: scheduling quanta spent waiting in the admission queue per query
+    queue_wait: LogHistogram = field(
+        default_factory=lambda: LogHistogram("queue_wait_quanta")
+    )
+    #: scheduling quanta executed per retired query
+    steps_per_query: LogHistogram = field(
+        default_factory=lambda: LogHistogram("steps_per_query")
+    )
 
     @property
     def queries(self) -> int:
@@ -51,12 +68,35 @@ class SessionMetrics:
         accesses = self.cache_hits + self.cache_misses
         return self.cache_hits / accesses if accesses else 0.0
 
+    def merge(self, other: "SessionMetrics") -> None:
+        """Fold another session's metrics into this aggregate."""
+        self.queries_completed += other.queries_completed
+        self.queries_cancelled += other.queries_cancelled
+        self.queries_failed += other.queries_failed
+        self.retrievals += other.retrievals
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.quanta += other.quanta
+        add_counters(self.counters, other.counters)
+        self.latency.merge(other.latency)
+        self.queue_wait.merge(other.queue_wait)
+        self.steps_per_query.merge(other.steps_per_query)
+
+    def snapshot(self) -> "SessionMetrics":
+        """An independent deep copy — safe to hold across later queries."""
+        copy = SessionMetrics(self.session_id)
+        copy.merge(self)
+        return copy
+
 
 class MetricsRegistry:
     """Queryable totals and per-session breakdowns of engine activity."""
 
     def __init__(self) -> None:
         self._sessions: dict[str, SessionMetrics] = {}
+        #: server-wide buffer-pool read-ahead run lengths (pages loaded per
+        #: prefetch call); its ``sum`` reconciles with ``pool.prefetched``
+        self.fetch_runs = LogHistogram("fetch_run_length")
 
     def session(self, session_id: str) -> SessionMetrics:
         """The metrics of one session (created on demand)."""
@@ -66,8 +106,20 @@ class MetricsRegistry:
         return metrics
 
     def per_session(self) -> dict[str, SessionMetrics]:
-        """Breakdown by session id (live objects, do not mutate)."""
-        return dict(self._sessions)
+        """Breakdown by session id, as independent deep snapshots.
+
+        Earlier revisions handed out the live mutable objects, so a caller
+        holding the dict across later queries silently saw its numbers
+        drift. Callers needing the live object use :meth:`session`.
+        """
+        return self.snapshot()
+
+    def snapshot(self) -> dict[str, SessionMetrics]:
+        """Deep point-in-time copies of every session's metrics."""
+        return {
+            session_id: metrics.snapshot()
+            for session_id, metrics in self._sessions.items()
+        }
 
     # -- recording (called by the QueryServer) -----------------------------
 
@@ -96,19 +148,36 @@ class MetricsRegistry:
         else:  # pragma: no cover - programming error
             raise ValueError(f"unknown outcome {outcome!r}")
 
+    def record_completion(
+        self,
+        session_id: str,
+        latency_seconds: float,
+        queue_wait_quanta: int,
+        quanta: int,
+    ) -> None:
+        """Record the latency/wait/step distributions of one retired query.
+
+        ``quanta`` is both added to the session's flat counter and recorded
+        in the steps-per-query histogram, so the histogram's ``sum``
+        reconciles exactly with the counter total.
+        """
+        metrics = self.session(session_id)
+        metrics.quanta += quanta
+        metrics.latency.record(latency_seconds)
+        metrics.queue_wait.record(queue_wait_quanta)
+        metrics.steps_per_query.record(quanta)
+
+    def record_fetch_run(self, pages_loaded: int) -> None:
+        """Record one buffer-pool read-ahead run (pages loaded at once)."""
+        self.fetch_runs.record(pages_loaded)
+
     # -- querying ----------------------------------------------------------
 
     def totals(self) -> SessionMetrics:
-        """Server-wide aggregate across every session."""
+        """Server-wide aggregate across every session (a fresh snapshot)."""
         total = SessionMetrics("<all>")
         for metrics in self._sessions.values():
-            total.queries_completed += metrics.queries_completed
-            total.queries_cancelled += metrics.queries_cancelled
-            total.queries_failed += metrics.queries_failed
-            total.retrievals += metrics.retrievals
-            total.cache_hits += metrics.cache_hits
-            total.cache_misses += metrics.cache_misses
-            add_counters(total.counters, metrics.counters)
+            total.merge(metrics)
         return total
 
     def format(self) -> str:
@@ -130,3 +199,79 @@ class MetricsRegistry:
                 f"cache hit rate {metrics.cache_hit_ratio:.0%}"
             )
         return "\n".join(lines)
+
+    def expose_text(self) -> str:
+        """The full Prometheus text-format scrape payload.
+
+        Counters are labelled per session; the latency / queue-wait /
+        steps-per-query histograms are exposed per session *and* merged
+        server-wide (``session="<all>"``) with p50/p95/p99 quantile gauges,
+        and the buffer-pool fetch-run-length histogram is server-wide.
+        """
+        out = PrometheusText()
+        everyone = [self.totals()] + sorted(
+            self._sessions.values(), key=lambda m: m.session_id
+        )
+        for metrics in everyone:
+            base = {"session": metrics.session_id}
+            for outcome, value in (
+                ("done", metrics.queries_completed),
+                ("cancelled", metrics.queries_cancelled),
+                ("failed", metrics.queries_failed),
+            ):
+                out.counter(
+                    "queries_total", value,
+                    "Queries retired, by terminal state.",
+                    dict(base, outcome=outcome),
+                )
+            out.counter(
+                "retrievals_total", metrics.retrievals,
+                "Engine retrievals whose traces were recorded.", base,
+            )
+            out.counter(
+                "query_quanta_total", metrics.quanta,
+                "Scheduling quanta consumed by retired queries.", base,
+            )
+            out.counter(
+                "cache_hits_total", metrics.cache_hits,
+                "Buffer-pool hits attributed to the session.", base,
+            )
+            out.counter(
+                "cache_misses_total", metrics.cache_misses,
+                "Buffer-pool misses attributed to the session.", base,
+            )
+            for spec in fields(RetrievalCounters):
+                out.counter(
+                    f"engine_{spec.name}_total",
+                    getattr(metrics.counters, spec.name),
+                    f"Engine counter: {spec.name.replace('_', ' ')}.", base,
+                )
+            out.histogram(
+                "query_latency_seconds", metrics.latency,
+                "Wall-clock latency from admission to retirement.", base,
+            )
+            out.quantiles(
+                "query_latency_seconds_quantile", metrics.latency,
+                "Query latency percentile (bucket upper bound).", base,
+            )
+            out.histogram(
+                "queue_wait_quanta", metrics.queue_wait,
+                "Scheduling quanta spent waiting for admission.", base,
+            )
+            out.quantiles(
+                "queue_wait_quanta_quantile", metrics.queue_wait,
+                "Queue wait percentile (bucket upper bound).", base,
+            )
+            out.histogram(
+                "steps_per_query", metrics.steps_per_query,
+                "Scheduling quanta executed per retired query.", base,
+            )
+            out.quantiles(
+                "steps_per_query_quantile", metrics.steps_per_query,
+                "Steps-per-query percentile (bucket upper bound).", base,
+            )
+        out.histogram(
+            "fetch_run_length", self.fetch_runs,
+            "Pages loaded per buffer-pool read-ahead run.",
+        )
+        return out.render()

@@ -38,14 +38,16 @@ from __future__ import annotations
 
 import enum
 import itertools
+import time
 from collections import deque
 from typing import Any, Generator, Mapping
 
 from repro.db.session import Database
 from repro.engine.goals import OptimizationGoal
 from repro.errors import QueryCancelledError, ServerError
+from repro.obs.trace import Span, Tracer, should_sample
 from repro.server.metrics import MetricsRegistry
-from repro.sql.executor import RetrievalInfo, execute_sql_steps
+from repro.sql.executor import RetrievalInfo, execute_sql_steps, is_explain_analyze
 
 #: default virtual-time weights per optimization goal (``weighted`` mode)
 DEFAULT_GOAL_WEIGHTS: dict[OptimizationGoal, float] = {
@@ -103,6 +105,15 @@ class QueryHandle:
         self.retrievals: list[RetrievalInfo] = []
         #: server step count at which this query was admitted
         self.admitted_at: int | None = None
+        #: server step count at submission (queue wait = admitted_at - this)
+        self.submitted_at_steps = server.total_steps
+        #: wall-clock admission time (latency measurement only — scheduling
+        #: decisions never consult the clock)
+        self.admitted_wall: float | None = None
+        #: span timeline, present when this query was sampled for tracing
+        #: (``config.trace_sample_rate``) or is an EXPLAIN ANALYZE
+        self.tracer: Tracer | None = None
+        self._wait_span: Span | None = None
         self._gen: Generator[Any, None, Any] | None = None
         self._result: Any = None
 
@@ -199,6 +210,7 @@ class QueryServer:
         max_concurrency: int = 4,
         scheduling: str = "round-robin",
         goal_weights: Mapping[OptimizationGoal, float] | None = None,
+        trace_sink: Any | None = None,
     ) -> None:
         if max_concurrency < 1:
             raise ServerError("max_concurrency must be >= 1")
@@ -212,6 +224,11 @@ class QueryServer:
         self.scheduling = scheduling
         self.goal_weights = dict(goal_weights or DEFAULT_GOAL_WEIGHTS)
         self.metrics = MetricsRegistry()
+        #: finished span trees of traced queries go here — anything with
+        #: ``write(tree_dict)``, e.g. :class:`repro.obs.JsonlSink`
+        self.trace_sink = trace_sink
+        # the registry observes every read-ahead run the shared pool issues
+        db.buffer_pool.run_hist = self.metrics.fetch_runs
         #: total scheduling quanta the server has executed (its logical clock)
         self.total_steps = 0
         self._running: list[QueryHandle] = []
@@ -244,6 +261,14 @@ class QueryServer:
         handle = QueryHandle(
             self, session_id, sql, host_vars, goal, deadline, next(self._tickets)
         )
+        # deterministic sampling by submission ticket; EXPLAIN ANALYZE is
+        # always traced (the rendered report *is* the span timeline)
+        rate = self.db.config.trace_sample_rate
+        if should_sample(handle.ticket, rate) or is_explain_analyze(sql):
+            handle.tracer = Tracer(
+                "query", session=session_id, ticket=handle.ticket, sql=sql
+            )
+            handle._wait_span = handle.tracer.open("admission-wait")
         self._queue.append(handle)
         self._admit()
         return handle
@@ -257,9 +282,15 @@ class QueryServer:
                 handle.host_vars,
                 handle.goal,
                 retrievals=handle.retrievals,
+                tracer=handle.tracer,
             )
             handle.state = QueryState.RUNNING
             handle.admitted_at = self.total_steps
+            handle.admitted_wall = time.perf_counter()
+            if handle._wait_span is not None:
+                handle._wait_span.finish(
+                    quanta=self.total_steps - handle.submitted_at_steps
+                )
             self._running.append(handle)
 
     # -- the scheduling step ----------------------------------------------
@@ -317,6 +348,13 @@ class QueryServer:
         stats = pool.stats_for(handle.session_id)
         hits_before, misses_before = stats.hits, stats.misses
         pool.current_owner = handle.session_id
+        quantum_span = None
+        if handle.tracer is not None:
+            # scheduler quanta overlap the engine's own span stack, so they
+            # attach directly under the root, not under the current span
+            quantum_span = handle.tracer.open(
+                "quantum", parent=handle.tracer.root, seq=handle.steps
+            )
         assert handle._gen is not None
         try:
             next(handle._gen)
@@ -331,8 +369,12 @@ class QueryServer:
             self.total_steps += 1
         finally:
             pool.current_owner = None
-            handle.cache_hits += stats.hits - hits_before
-            handle.cache_misses += stats.misses - misses_before
+            hits = stats.hits - hits_before
+            misses = stats.misses - misses_before
+            handle.cache_hits += hits
+            handle.cache_misses += misses
+            if quantum_span is not None:
+                quantum_span.finish(hits=hits, misses=misses)
         if handle.state is QueryState.RUNNING and (
             handle.deadline is not None and handle.steps >= handle.deadline
         ):
@@ -353,8 +395,19 @@ class QueryServer:
         self.metrics.record_cache(
             handle.session_id, handle.cache_hits, handle.cache_misses
         )
+        assert handle.admitted_at is not None and handle.admitted_wall is not None
+        self.metrics.record_completion(
+            handle.session_id,
+            latency_seconds=time.perf_counter() - handle.admitted_wall,
+            queue_wait_quanta=handle.admitted_at - handle.submitted_at_steps,
+            quanta=handle.steps,
+        )
         for info in handle.retrievals:
             self.metrics.record_trace(handle.session_id, info.result.trace)
+        if handle.tracer is not None:
+            handle.tracer.finish(outcome=outcome, quanta=handle.steps)
+            if self.trace_sink is not None:
+                self.trace_sink.write(handle.tracer.to_dict())
         self._admit()
 
     # -- cancellation ------------------------------------------------------

@@ -8,8 +8,13 @@ benchmark scenarios). Statements end with ``;``. Meta commands:
 * ``\\trace on|off`` — print the dynamic execution trace after each SELECT
 * ``\\cold`` — drop the buffer cache (cold-start the next statement)
 * ``\\set NAME VALUE`` — bind a host variable (``:NAME`` in queries)
-* ``\\metrics`` — server-wide and per-session scheduler metrics
+* ``\\metrics`` — server-wide and per-session scheduler metrics;
+  ``\\metrics prom`` — the same registry in Prometheus text format
 * ``\\q`` — quit
+
+``EXPLAIN <select ...>`` and ``EXPLAIN ANALYZE <select ...>`` are regular
+statements: the first prints the static plan, the second executes the query
+and prints the plan annotated with the recorded span timeline.
 
 The shell exists so a downstream user can poke at strategy switching
 interactively — run the same parameterized query with different bindings
@@ -25,6 +30,7 @@ from repro.api import Connection, connect
 from repro.db.session import Database
 from repro.errors import ReproError
 from repro.sql.ddl import DdlResult
+from repro.sql.executor import ExplainResult
 
 
 class Shell:
@@ -132,7 +138,10 @@ class Shell:
             self.host_vars[name] = value
             self._print(f":{name} = {value!r}")
         elif head == "\\metrics":
-            self._print(self.conn.metrics.format())
+            if len(parts) > 1 and parts[1].lower() == "prom":
+                self._print(self.conn.metrics.expose_text())
+            else:
+                self._print(self.conn.metrics.format())
         elif head == "\\explain":
             sql = command[len("\\explain"):].strip().rstrip(";")
             try:
@@ -173,6 +182,9 @@ class Shell:
             return
         if isinstance(result, DdlResult):
             self._print(result.message)
+            return
+        if isinstance(result, ExplainResult):
+            self._print(result.text)
             return
         self._print_rows(result.columns, result.rows)
         for info in result.retrievals:

@@ -29,6 +29,7 @@ from repro.expr.ast import (
     Not,
     Or,
 )
+from repro.obs.trace import Tracer
 from repro.sql.binder import bind
 from repro.sql.parser import parse
 from repro.sql.plan import (
@@ -76,18 +77,61 @@ class QueryResult:
         return sum(info.result.total_cost for info in self.retrievals)
 
 
+@dataclass
+class ExplainResult:
+    """Rendered ``EXPLAIN`` output.
+
+    For a static ``EXPLAIN`` only the plan text is present; for
+    ``EXPLAIN ANALYZE`` the statement actually ran and ``text`` carries the
+    plan annotated with the execution timeline, with the underlying
+    :class:`QueryResult` attached.
+    """
+
+    text: str
+    analyze: bool = False
+    result: QueryResult | None = None
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def is_explain_analyze(sql: str) -> bool:
+    """True when ``sql`` is an ``EXPLAIN ANALYZE`` statement.
+
+    Used by the server to force a tracer for the statement before parsing
+    it in earnest (the sampling decision happens at submission time). The
+    prefix check keeps the common case — every non-EXPLAIN submission —
+    free of a full tokenize.
+    """
+    if not sql.lstrip()[:7].lower().startswith("explain"):
+        return False
+    from repro.sql.tokenizer import tokenize
+
+    try:
+        tokens = tokenize(sql)
+    except Exception:
+        return False
+    return (
+        len(tokens) >= 2
+        and tokens[0].is_keyword("explain")
+        and tokens[1].is_keyword("analyze")
+    )
+
+
 def execute_sql(
     db: Database,
     sql: str,
     host_vars: Mapping[str, Any] | None = None,
     goal: OptimizationGoal = OptimizationGoal.DEFAULT,
+    tracer: Tracer | None = None,
 ):
     """Parse, bind, infer goals, and execute one statement.
 
-    SELECTs return a :class:`QueryResult`; DDL/DML statements return a
+    SELECTs return a :class:`QueryResult`; ``EXPLAIN [ANALYZE]`` returns an
+    :class:`ExplainResult`; DDL/DML statements return a
     :class:`repro.sql.ddl.DdlResult`.
     """
-    return drain(execute_sql_steps(db, sql, host_vars, goal))
+    return drain(execute_sql_steps(db, sql, host_vars, goal, tracer=tracer))
 
 
 def execute_sql_steps(
@@ -96,6 +140,7 @@ def execute_sql_steps(
     host_vars: Mapping[str, Any] | None = None,
     goal: OptimizationGoal = OptimizationGoal.DEFAULT,
     retrievals: list[RetrievalInfo] | None = None,
+    tracer: Tracer | None = None,
 ) -> Generator[RetrievalResult, None, Any]:
     """:func:`execute_sql` as a step generator (one yield per scheduling
     quantum — up to ``config.batch_size`` engine steps).
@@ -106,11 +151,17 @@ def execute_sql_steps(
     :class:`RetrievalInfo` is appended there as soon as the retrieval takes
     its first step, so a cancelled statement still exposes the partial
     traces of whatever it ran. DDL statements execute in a single step.
+    A ``tracer`` threads every retrieval of the statement (subqueries
+    included) onto one query-level span timeline.
     """
     from repro.sql.ddl import execute_ddl
-    from repro.sql.parser import ParsedQuery, parse_any
+    from repro.sql.parser import ExplainQuery, ParsedQuery, parse_any
 
     parsed = parse_any(sql)
+    if isinstance(parsed, ExplainQuery):
+        return (
+            yield from _execute_explain(db, parsed, host_vars, goal, retrievals, tracer)
+        )
     if not isinstance(parsed, ParsedQuery):
         return execute_ddl(db, parsed)
     requested = parsed.goal if parsed.goal is not OptimizationGoal.DEFAULT else goal
@@ -119,11 +170,48 @@ def execute_sql_steps(
     if retrievals is None:
         retrievals = []
     columns, rows = yield from _execute_block(
-        db, parsed.plan, dict(host_vars or {}), goals, retrievals
+        db, parsed.plan, dict(host_vars or {}), goals, retrievals, tracer=tracer
     )
     return QueryResult(
         columns=columns, rows=rows, plan=parsed.plan, goals=goals, retrievals=retrievals
     )
+
+
+def _execute_explain(
+    db: Database,
+    parsed: "ExplainQuery",
+    host_vars: Mapping[str, Any] | None,
+    goal: OptimizationGoal,
+    retrievals: list[RetrievalInfo] | None,
+    tracer: Tracer | None,
+) -> Generator[RetrievalResult, None, ExplainResult]:
+    """Render a plan (``EXPLAIN``) or run-and-render it (``EXPLAIN ANALYZE``).
+
+    ANALYZE always executes under a live tracer — one is created on the
+    spot when the caller did not force one — so the rendered report can lay
+    the span timeline next to the static plan.
+    """
+    from repro.obs.explain import render_analyze
+
+    query = parsed.query
+    requested = query.goal if query.goal is not OptimizationGoal.DEFAULT else goal
+    bind(db, query.plan)
+    goals = infer_goals(query.plan, requested)
+    if not parsed.analyze:
+        return ExplainResult(text=format_plan(query.plan, goals), analyze=False)
+    if tracer is None or not tracer.enabled:
+        tracer = Tracer("explain-analyze")
+    if retrievals is None:
+        retrievals = []
+    columns, rows = yield from _execute_block(
+        db, query.plan, dict(host_vars or {}), goals, retrievals, tracer=tracer
+    )
+    tracer.finish(rows=len(rows))
+    text = render_analyze(query.plan, goals, retrievals, tracer, len(rows))
+    result = QueryResult(
+        columns=columns, rows=rows, plan=query.plan, goals=goals, retrievals=retrievals
+    )
+    return ExplainResult(text=text, analyze=True, result=result)
 
 
 def explain_sql(db: Database, sql: str) -> str:
@@ -205,11 +293,13 @@ def _execute_block(
     goals: dict[int, OptimizationGoal],
     retrievals: list[RetrievalInfo],
     forced_limit: int | None = None,
+    tracer: Tracer | None = None,
 ) -> Generator[RetrievalResult, None, tuple[tuple[str, ...], list[tuple]]]:
     chain = _unwrap(root)
     table = db.table(chain.retrieve.table)
     restriction = yield from _resolve_subqueries(
-        db, chain.retrieve.restriction or ALWAYS_TRUE, host_vars, goals, retrievals
+        db, chain.retrieve.restriction or ALWAYS_TRUE, host_vars, goals, retrievals,
+        tracer,
     )
 
     goal = goals.get(id(chain.retrieve), OptimizationGoal.DEFAULT)
@@ -235,6 +325,7 @@ def _execute_block(
             order_by=order_keys if ascending_only else (),
             limit=push_limit,
             optimize_for=goal,
+            tracer=tracer,
         ),
         retrievals,
         chain.retrieve.table,
@@ -319,9 +410,12 @@ def _resolve_subqueries(
     host_vars: dict[str, Any],
     goals: dict[int, OptimizationGoal],
     retrievals: list[RetrievalInfo],
+    tracer: Tracer | None = None,
 ) -> Generator[RetrievalResult, None, Expr]:
     if isinstance(expr, InSubquery):
-        _, rows = yield from _execute_block(db, expr.plan, host_vars, goals, retrievals)
+        _, rows = yield from _execute_block(
+            db, expr.plan, host_vars, goals, retrievals, tracer=tracer
+        )
         values = sorted({row[0] for row in rows if row and row[0] is not None})
         if not values:
             return ALWAYS_FALSE
@@ -329,24 +423,31 @@ def _resolve_subqueries(
     if isinstance(expr, ExistsSubquery):
         subquery_root = expr.plan.children[0] if isinstance(expr.plan, Exists) else expr.plan
         _, rows = yield from _execute_block(
-            db, subquery_root, host_vars, goals, retrievals, forced_limit=1
+            db, subquery_root, host_vars, goals, retrievals, forced_limit=1,
+            tracer=tracer,
         )
         return ALWAYS_TRUE if rows else ALWAYS_FALSE
     if isinstance(expr, And):
         children = []
         for child in expr.children:
             children.append(
-                (yield from _resolve_subqueries(db, child, host_vars, goals, retrievals))
+                (yield from _resolve_subqueries(
+                    db, child, host_vars, goals, retrievals, tracer
+                ))
             )
         return And(tuple(children))
     if isinstance(expr, Or):
         children = []
         for child in expr.children:
             children.append(
-                (yield from _resolve_subqueries(db, child, host_vars, goals, retrievals))
+                (yield from _resolve_subqueries(
+                    db, child, host_vars, goals, retrievals, tracer
+                ))
             )
         return Or(tuple(children))
     if isinstance(expr, Not):
-        child = yield from _resolve_subqueries(db, expr.child, host_vars, goals, retrievals)
+        child = yield from _resolve_subqueries(
+            db, expr.child, host_vars, goals, retrievals, tracer
+        )
         return Not(child)
     return expr

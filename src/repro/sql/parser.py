@@ -53,6 +53,14 @@ class ParsedQuery:
     goal: OptimizationGoal
 
 
+@dataclass
+class ExplainQuery:
+    """``EXPLAIN [ANALYZE] <select>``: render (and optionally run) a plan."""
+
+    query: ParsedQuery
+    analyze: bool
+
+
 def parse(sql: str) -> ParsedQuery:
     """Parse one SELECT statement."""
     parser = _Parser(tokenize(sql))
@@ -63,9 +71,16 @@ def parse(sql: str) -> ParsedQuery:
 
 def parse_any(sql: str):
     """Parse any supported statement: a SELECT (returns
-    :class:`ParsedQuery`) or a DDL/DML statement (returns a
+    :class:`ParsedQuery`), ``EXPLAIN [ANALYZE] <select>`` (returns
+    :class:`ExplainQuery`), or a DDL/DML statement (returns a
     :mod:`repro.sql.ddl` statement object)."""
     parser = _Parser(tokenize(sql))
+    if parser.current.is_keyword("explain"):
+        parser.advance()
+        analyze = parser.accept_keyword("analyze")
+        query = parser.select_statement()
+        parser.expect_end()
+        return ExplainQuery(query=query, analyze=analyze)
     if parser.current.is_keyword("select"):
         query = parser.select_statement()
         parser.expect_end()

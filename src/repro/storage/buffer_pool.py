@@ -177,6 +177,11 @@ class BufferPool:
         self.misses = 0
         #: physical reads issued by the read-ahead path (subset of misses)
         self.prefetched = 0
+        #: optional histogram recording each read-ahead run's loaded page
+        #: count (anything with ``record(value)``); installed by the
+        #: server's metrics registry so run-length distributions are
+        #: observable without the pool importing the metrics layer
+        self.run_hist = None
         #: accounting tag set by the scheduler around every query step;
         #: ``None`` means unattributed (direct single-query use)
         self.current_owner: str | None = None
@@ -274,6 +279,8 @@ class BufferPool:
                 self.stats_for(self.current_owner).misses += 1
             self._admit(page)
             loaded += 1
+        if loaded and self.run_hist is not None:
+            self.run_hist.record(loaded)
         return loaded
 
     def put(self, page: Page, meter: CostMeter = NULL_METER) -> None:

@@ -1,0 +1,180 @@
+"""EXPLAIN / EXPLAIN ANALYZE: parsing, execution, rendering, shell view.
+
+EXPLAIN ANALYZE is the user-facing join of the two observability halves:
+it *executes* the statement under a forced tracer and renders the static
+plan next to the recorded timeline. The tests pin that the analyze form
+really executes (actual rows appear), that the plain form really doesn't,
+and that both surface identically through SQL, ``Connection.explain``,
+and the shell.
+"""
+
+import io
+
+import pytest
+
+import repro
+from repro.config import EngineConfig
+from repro.expr.ast import col
+from repro.shell import Shell
+from repro.sql.executor import (
+    ExplainResult,
+    execute_sql,
+    explain_sql,
+    is_explain_analyze,
+)
+from repro.sql.parser import ExplainQuery, parse_any
+
+
+def build_parts(db, rows=600):
+    table = db.create_table(
+        "P", [("PNO", "int"), ("COLOR", "int"), ("WEIGHT", "int"), ("SIZE", "int")],
+        rows_per_page=8, index_order=8,
+    )
+    for i in range(rows):
+        table.insert((i, i % 10, (i * 7) % 100, (i * 13) % 50))
+    table.create_index("IX_COLOR", ["COLOR"])
+    table.create_index("IX_WEIGHT", ["WEIGHT"])
+    return table
+
+
+SQL = "select * from P where COLOR = 3 or WEIGHT < 10"
+
+
+# -- parsing -----------------------------------------------------------------
+
+
+class TestParsing:
+    def test_explain_parses_to_wrapper(self):
+        parsed = parse_any("explain select * from P where COLOR = 3")
+        assert isinstance(parsed, ExplainQuery)
+        assert parsed.analyze is False
+
+    def test_explain_analyze_sets_flag(self):
+        parsed = parse_any("EXPLAIN ANALYZE select * from P")
+        assert isinstance(parsed, ExplainQuery)
+        assert parsed.analyze is True
+
+    def test_is_explain_analyze_sniff(self):
+        assert is_explain_analyze("explain analyze select * from P")
+        assert is_explain_analyze("  EXPLAIN   ANALYZE select 1")
+        assert not is_explain_analyze("explain select * from P")
+        assert not is_explain_analyze("select * from P")
+        assert not is_explain_analyze("not even ( sql")
+
+
+# -- execution ---------------------------------------------------------------
+
+
+class TestExplainExecution:
+    def test_plain_explain_does_not_execute(self, db):
+        build_parts(db)
+        result = execute_sql(db, "explain " + SQL)
+        assert isinstance(result, ExplainResult)
+        assert result.analyze is False
+        assert result.result is None  # nothing ran
+        assert "retrieve P" in result.text
+        assert "-- execution" not in result.text
+        # matches the long-standing explain_sql rendering
+        assert result.text == explain_sql(db, SQL)
+        assert str(result) == result.text
+
+    def test_explain_analyze_executes_and_annotates(self, db):
+        table = build_parts(db)
+        result = execute_sql(db, "explain analyze " + SQL)
+        assert isinstance(result, ExplainResult)
+        assert result.analyze is True
+        plain = table.select(where=(col("COLOR").eq(3)) | (col("WEIGHT") < 10))
+        assert result.result is not None
+        assert len(result.result.rows) == len(plain.rows)
+        text = result.text
+        for section in ("-- plan", "-- execution", "-- timeline"):
+            assert section in text
+        assert f"rows returned: {len(plain.rows)}" in text
+        assert "retrieval #1 on P" in text
+        assert "actual   :" in text and "estimated:" in text
+        assert "explain-analyze" in text and "retrieval [" in text
+
+    def test_explain_analyze_timeline_has_strategy_spans(self, db):
+        build_parts(db)
+        result = execute_sql(db, "explain analyze select * from P where WEIGHT >= 0")
+        # the unselective query switches: both the mark and the scans show
+        assert "strategy-switch" in result.text
+        assert "scan [strategy=" in result.text
+
+
+# -- through the connection / server -----------------------------------------
+
+
+class TestConnectionExplain:
+    @pytest.fixture
+    def conn(self):
+        conn = repro.connect(buffer_capacity=64)
+        build_parts(conn.db)
+        return conn
+
+    def test_explain_static(self, conn):
+        text = conn.explain(SQL)
+        assert "retrieve P" in text and "-- timeline" not in text
+
+    def test_explain_analyze_via_api(self, conn):
+        text = conn.explain(SQL, analyze=True)
+        assert isinstance(text, str)
+        for section in ("-- plan", "-- execution", "-- timeline"):
+            assert section in text
+        # ran through the scheduler: quantum spans collapse into a summary
+        assert "(scheduling:" in text and "quanta" in text
+        assert "quantum [" not in text  # pruned from the rendered tree
+
+    def test_explain_analyze_traced_even_at_zero_sample_rate(self):
+        conn = repro.connect(
+            buffer_capacity=64, config=EngineConfig(trace_sample_rate=0.0)
+        )
+        build_parts(conn.db)
+        plain = conn.submit("select * from P where COLOR = 3")
+        analyze = conn.submit("explain analyze select * from P where COLOR = 3")
+        conn.server.run_until_idle()
+        assert plain.tracer is None  # sampling off
+        assert analyze.tracer is not None  # forced by EXPLAIN ANALYZE
+        assert "-- timeline" in analyze.result.text
+
+    def test_sql_explain_analyze_result_through_execute(self, conn):
+        result = conn.execute("explain analyze " + SQL)
+        assert isinstance(result, ExplainResult)
+        assert result.result is not None and result.result.rows
+
+
+# -- shell -------------------------------------------------------------------
+
+
+class TestShell:
+    @pytest.fixture
+    def shell(self):
+        conn = repro.connect(buffer_capacity=64)
+        build_parts(conn.db)
+        out = io.StringIO()
+        return Shell(conn, out=out), out
+
+    def test_explain_analyze_statement_prints_report(self, shell):
+        sh, out = shell
+        sh.feed("explain analyze select * from P where COLOR = 3;")
+        text = out.getvalue()
+        assert "-- plan" in text and "-- timeline" in text
+
+    def test_plain_explain_statement_prints_plan_only(self, shell):
+        sh, out = shell
+        sh.feed("explain select * from P where COLOR = 3;")
+        text = out.getvalue()
+        assert "retrieve P" in text and "-- timeline" not in text
+
+    def test_metrics_prom_meta_command(self, shell):
+        sh, out = shell
+        sh.feed("select * from P where COLOR = 3;")
+        sh.feed("\\metrics prom")
+        text = out.getvalue()
+        assert "# TYPE repro_queries_total counter" in text
+        assert 'repro_queries_total{session="<all>",outcome="done"} 1' in text
+
+    def test_metrics_meta_command_unchanged(self, shell):
+        sh, out = shell
+        sh.feed("\\metrics")
+        assert "<all>: 0 queries" in out.getvalue()
