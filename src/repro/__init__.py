@@ -29,6 +29,7 @@ Quick start::
 """
 
 from repro.api import Connection, connect
+from repro.cache import FeedbackStore, PlanCache, PreparedStatement
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.db.catalog import Column
 from repro.db.session import Database
@@ -63,12 +64,15 @@ __all__ = [
     "Database",
     "DEFAULT_CONFIG",
     "EngineConfig",
+    "FeedbackStore",
     "JsonlSink",
     "LogHistogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "OptimizationGoal",
+    "PlanCache",
+    "PreparedStatement",
     "QueryCancelledError",
     "QueryHandle",
     "QueryServer",

@@ -88,6 +88,27 @@ class Connection:
         self._check_open()
         return self._main.submit(sql, host_vars, goal=goal, deadline=deadline)
 
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Parse and bind a SELECT once; returns a reusable
+        :class:`~repro.cache.PreparedStatement`.
+
+        Use ``?`` placeholders (bound positionally) or ``:name`` host
+        variables (bound by mapping)::
+
+            stmt = conn.prepare("select * from T where AGE >= ?")
+            young = stmt.execute([30])
+            old = stmt.execute([60])
+
+        The compiled plan lives in the server-wide plan cache (when
+        enabled), shared with every session and with ad-hoc executions of
+        the same normalized SQL; DDL invalidates it and the next execution
+        transparently re-prepares (or fails safe with a binding error).
+        """
+        self._check_open()
+        from repro.cache.prepared import PreparedStatement
+
+        return PreparedStatement(self._main, sql)
+
     def explain(
         self,
         sql: str,

@@ -1,0 +1,35 @@
+"""Query preparation and caching.
+
+Three cooperating pieces give the engine a cheap prepare-once /
+execute-many path:
+
+* :class:`PlanCache` — a server-wide, size-bounded LRU of parsed-and-bound
+  statements keyed by normalized SQL text, shared across sessions the same
+  way the buffer pool is, and invalidated by DDL through the database's
+  schema version.
+* :class:`PredicateCache` — per-plan memoisation of
+  :func:`repro.expr.eval.compile_predicate`, so a statement compiles its
+  restriction once per (schema, host-variable binding) instead of once per
+  scan instance.
+* :class:`FeedbackStore` — adaptive selectivity feedback: observed
+  estimated-vs-actual cardinalities per (table, index, predicate
+  signature), folded back into the next execution's initial estimates.
+
+:class:`PreparedStatement` is the user-facing handle returned by
+:meth:`repro.api.Connection.prepare`.
+"""
+
+from repro.cache.feedback import FeedbackStore, predicate_signature
+from repro.cache.plan_cache import CachedPlan, PlanCache, normalize_sql
+from repro.cache.predicates import PredicateCache
+from repro.cache.prepared import PreparedStatement
+
+__all__ = [
+    "CachedPlan",
+    "FeedbackStore",
+    "PlanCache",
+    "PredicateCache",
+    "PreparedStatement",
+    "normalize_sql",
+    "predicate_signature",
+]

@@ -1,0 +1,85 @@
+"""Per-plan compiled-predicate cache.
+
+Every scan strategy evaluates the statement's restriction row by row;
+:func:`repro.expr.eval.compile_predicate` specialises it into a
+``row -> bool`` closure. Before this cache, Sscan compiled lazily per scan
+*instance* (once per batch entry point) and the other strategies fell back
+to the interpreter per row. Now the retrieval compiles once per statement
+execution and hands the same callable to every scan — and across
+executions of a cached plan, recompilation happens only when a referenced
+host variable's value actually changed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.expr.ast import Expr
+from repro.expr.eval import compile_predicate, referenced_host_vars
+
+#: sentinel distinguishing "variable absent" from "variable bound to None"
+_MISSING = object()
+
+
+class PredicateCache:
+    """Memoises ``compile_predicate`` per (expr, schema, referenced binding).
+
+    The key restricts the host-variable binding to the variables the
+    expression actually references (via
+    :func:`~repro.expr.eval.referenced_host_vars`), so re-executing a
+    prepared statement with unrelated variables changed still hits. The
+    expression is keyed by *identity*, not value — entries hold a strong
+    reference to their expression (pinning its id), and a hit verifies the
+    stored object is the one asked about, so re-hashing the whole tree on
+    every execution is avoided. Unhashable bound values fall back to a
+    direct compile — the cache is an optimisation, never a requirement.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self._compiled: OrderedDict[
+            Any, tuple[Expr, Callable[[Sequence], bool]]
+        ] = OrderedDict()
+        self._vars: dict[int, tuple[Expr, tuple[str, ...]]] = {}
+        self.hits = 0
+        self.compiles = 0
+
+    def __len__(self) -> int:
+        return len(self._compiled)
+
+    def get(
+        self,
+        expr: Expr,
+        schema: Mapping[str, int],
+        host_vars: Mapping[str, Any],
+    ) -> Callable[[Sequence], bool]:
+        """The compiled predicate for ``expr`` under this binding."""
+        vars_entry = self._vars.get(id(expr))
+        if vars_entry is not None and vars_entry[0] is expr:
+            names = vars_entry[1]
+        else:
+            names = tuple(sorted(referenced_host_vars(expr)))
+            if len(self._vars) >= 4 * self.capacity:
+                self._vars.clear()
+            self._vars[id(expr)] = (expr, names)
+        try:
+            key = (
+                id(expr),
+                id(schema),
+                tuple((name, host_vars.get(name, _MISSING)) for name in names),
+            )
+            cached = self._compiled.get(key)
+        except TypeError:  # unhashable bound value
+            self.compiles += 1
+            return compile_predicate(expr, schema, host_vars)
+        if cached is not None and cached[0] is expr:
+            self._compiled.move_to_end(key)
+            self.hits += 1
+            return cached[1]
+        self.compiles += 1
+        compiled = compile_predicate(expr, schema, host_vars)
+        self._compiled[key] = (expr, compiled)
+        while len(self._compiled) > self.capacity:
+            self._compiled.popitem(last=False)
+        return compiled

@@ -85,6 +85,25 @@ class EngineConfig:
     #: reads charged to the requesting meter.
     read_ahead_window: int = 8
 
+    # --- prepared statements / plan cache -----------------------------------
+    #: Capacity (entries) of the server-wide LRU plan cache shared by every
+    #: session of a :class:`~repro.db.session.Database`. A cached entry skips
+    #: tokenize/parse/bind on re-execution and carries the statement's
+    #: compiled-predicate cache. ``0`` disables plan caching *and* the
+    #: adaptive selectivity feedback below, restoring plan-per-execution
+    #: behaviour exactly.
+    plan_cache_size: int = 64
+    #: Record estimated-vs-actual cardinality per (table, index,
+    #: predicate-signature) after each retrieval and use the learned
+    #: correction to sharpen the next execution's initial estimates (tactic
+    #: choice, shortcut tests, and Jscan stage-switch projections). Only
+    #: inexact (descent-truncated) estimates are ever adjusted; exact counts
+    #: are already ground truth. Ignored when ``plan_cache_size`` is 0.
+    selectivity_feedback: bool = True
+    #: EWMA weight of the newest actual/estimated observation when updating
+    #: a feedback entry (1.0 = always trust the latest run).
+    feedback_alpha: float = 0.5
+
     # --- observability ------------------------------------------------------
     #: Fraction of queries traced with a full span timeline (0.0 = tracing
     #: off, 1.0 = every query). Sampling is deterministic by submission

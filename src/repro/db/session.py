@@ -11,6 +11,8 @@ from __future__ import annotations
 import random
 from typing import Any, Mapping, Sequence
 
+from repro.cache.feedback import FeedbackStore
+from repro.cache.plan_cache import PlanCache
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.db.catalog import Column
 from repro.db.table import Table
@@ -32,12 +34,38 @@ class Database:
         self.buffer_pool = BufferPool(self.pager, buffer_capacity)
         self.config = config
         self.tables: dict[str, Table] = {}
+        #: monotone counter bumped by every DDL statement; plan-cache
+        #: entries carry the version they were built under, so any DDL
+        #: implicitly invalidates every previously cached plan
+        self.schema_version = 0
+        #: server-wide LRU plan cache, shared by every session like the
+        #: buffer pool (``config.plan_cache_size == 0`` disables it)
+        self.plan_cache = PlanCache(config.plan_cache_size)
+        #: adaptive selectivity feedback (estimated-vs-actual cardinality
+        #: corrections); active only while the plan cache is enabled
+        self.feedback = FeedbackStore(
+            alpha=config.feedback_alpha,
+            enabled=config.plan_cache_size > 0 and config.selectivity_feedback,
+        )
+        #: SQL-level ``PREPARE name AS ...`` registry (name -> CachedPlan)
+        self.prepared: dict[str, Any] = {}
         #: cache-interference knob: fraction of cache randomly evicted per
         #: interference tick (0 = a quiet system)
         self.interference_rate = 0.0
         self._interference_rng = random.Random(0xD1CE)
         #: lazily-created Connection backing the execute()/explain() shims
         self._default_connection = None
+
+    def schema_changed(self, table: str | None = None) -> None:
+        """Note a DDL change: bump the schema version and eagerly drop the
+        dependent cached plans and feedback entries."""
+        self.schema_version += 1
+        if table is None:
+            self.plan_cache.clear()
+            self.feedback.clear()
+        else:
+            self.plan_cache.invalidate_table(table)
+            self.feedback.invalidate_table(table)
 
     # -- DDL -------------------------------------------------------------------
 
@@ -65,6 +93,9 @@ class Database:
             rows_per_page=rows_per_page, index_order=index_order, config=self.config,
         )
         self.tables[name] = table
+        # index DDL on the table must invalidate cached plans too
+        table.on_schema_change = lambda: self.schema_changed(name)
+        self.schema_changed(name)
         return table
 
     def table(self, name: str) -> Table:
@@ -87,6 +118,7 @@ class Database:
         self._release_pages(table.heap.name)
         for info in table.indexes.values():
             self._release_pages(info.btree.name)
+        self.schema_changed(name)
 
     def _release_pages(self, owner: str) -> None:
         """Evict and free every page belonging to ``owner``."""

@@ -58,6 +58,9 @@ class Table:
         self.stats: TableStats | None = None
         #: per-query-shape iteration contexts (Section 5 order reuse)
         self._contexts: dict[Any, IterationContext] = {}
+        #: DDL notification hook, set by the owning Database so index
+        #: create/drop invalidates cached plans (None for standalone tables)
+        self.on_schema_change: Any | None = None
 
     # -- data definition ------------------------------------------------------
 
@@ -87,6 +90,8 @@ class Table:
         for rid, row in self.heap.scan():
             btree.insert(info.key_for(row), rid)
         self.indexes[name] = info
+        if self.on_schema_change is not None:
+            self.on_schema_change()
         return info
 
     def drop_index(self, name: str) -> None:
@@ -98,6 +103,8 @@ class Table:
         for page in list(pager.pages_of(info.btree.name)):
             self.buffer_pool.evict(page.page_id)
             pager.free(page.page_id)
+        if self.on_schema_change is not None:
+            self.on_schema_change()
 
     # -- data manipulation -------------------------------------------------------
 
@@ -209,6 +216,8 @@ class Table:
         optimize_for: OptimizationGoal = OptimizationGoal.DEFAULT,
         context_key: Any = None,
         tracer: Tracer | None = None,
+        predicate_cache: Any | None = None,
+        feedback: Any | None = None,
     ) -> Generator[RetrievalResult, None, RetrievalResult]:
         """:meth:`select` as a step generator.
 
@@ -217,6 +226,11 @@ class Table:
         retrieval with others over the shared buffer pool; closing the
         generator cancels the retrieval and releases its temp structures.
         ``tracer`` attaches the retrieval to a query-level span timeline.
+        ``predicate_cache`` (a :class:`repro.cache.PredicateCache`) reuses
+        compiled predicates across executions of a cached plan;
+        ``feedback`` (a :class:`repro.cache.FeedbackStore`) sharpens
+        initial estimates from previously observed cardinalities and
+        records this retrieval's observations back.
         """
         request = RetrievalRequest(
             restriction=where,
@@ -225,6 +239,8 @@ class Table:
             order_by=tuple(order_by),
             limit=limit,
             goal=optimize_for,
+            predicate_cache=predicate_cache,
+            feedback=feedback,
         )
         context = self.context_for(context_key) if context_key is not None else None
         return self.retrieval_engine().run_steps(request, context, tracer)

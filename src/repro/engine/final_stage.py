@@ -19,9 +19,9 @@ from repro.competition.process import Process
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.db.catalog import TableSchema
 from repro.engine.metrics import RetrievalTrace
-from repro.engine.scans import BatchingSinkMixin, Sink
+from repro.engine.scans import BatchingSinkMixin, Predicate, Sink
 from repro.expr.ast import Expr
-from repro.expr.eval import evaluate
+from repro.expr.eval import compile_predicate
 from repro.storage.heap import HeapFile
 from repro.storage.rid import RID
 
@@ -41,6 +41,7 @@ class FinalStageProcess(BatchingSinkMixin, Process):
         config: EngineConfig = DEFAULT_CONFIG,
         skip_rids: Callable[[RID], bool] | None = None,
         name: str = "final-stage",
+        predicate: Predicate | None = None,
     ) -> None:
         super().__init__(name)
         self.rids = sorted(rids)
@@ -51,6 +52,9 @@ class FinalStageProcess(BatchingSinkMixin, Process):
         self.sink = sink
         self.trace = trace
         self.config = config
+        self.predicate = predicate if predicate is not None else compile_predicate(
+            restriction, schema.position, self.host_vars
+        )
         self.skip_rids = skip_rids
         self.stopped_by_consumer = False
         self._next = 0
@@ -72,7 +76,7 @@ class FinalStageProcess(BatchingSinkMixin, Process):
         self.meter.charge_cpu(self.config.cpu_cost_per_record)
         if self.trace is not None:
             self.trace.counters.records_fetched += 1
-        if evaluate(self.restriction, row, self.schema.position, self.host_vars):
+        if self.predicate(row):
             self.delivered += 1
             if self.trace is not None:
                 self.trace.counters.records_delivered += 1

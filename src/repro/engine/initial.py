@@ -58,10 +58,20 @@ class JscanCandidate:
     key_range: KeyRange
     #: descent-to-split estimate; None when estimation was shortcut
     estimate: RangeEstimate | None = None
+    #: feedback-corrected RID count (None = no correction known); when set
+    #: it overrides the raw estimate everywhere a tactic or Jscan projection
+    #: reads :attr:`estimated_rids`
+    adjusted_rids: float | None = None
+    #: entries the executed scan actually found in this range (recorded
+    #: back into the feedback store after the retrieval)
+    observed: int | None = None
 
     @property
     def estimated_rids(self) -> float | None:
-        """Estimated RID count (None when not estimated)."""
+        """Effective RID count: feedback-adjusted when known, the raw
+        descent estimate otherwise (None when not estimated)."""
+        if self.adjusted_rids is not None:
+            return self.adjusted_rids
         return self.estimate.rids if self.estimate is not None else None
 
 
@@ -72,6 +82,17 @@ class SscanCandidate:
     index: IndexInfo
     key_range: KeyRange
     estimate: RangeEstimate | None = None
+    #: feedback-corrected RID count (see :class:`JscanCandidate`)
+    adjusted_rids: float | None = None
+    #: entries the executed scan actually consumed (completed scans only)
+    observed: int | None = None
+
+    @property
+    def estimated_rids(self) -> float | None:
+        """Effective RID count (feedback-adjusted when known)."""
+        if self.adjusted_rids is not None:
+            return self.adjusted_rids
+        return self.estimate.rids if self.estimate is not None else None
 
 
 @dataclass
@@ -134,6 +155,29 @@ def _context_preorder(
     )
 
 
+def _apply_feedback(
+    candidate: JscanCandidate | SscanCandidate,
+    feedback: Any,
+    table_name: str,
+    restriction: Expr,
+) -> None:
+    """Sharpen one inexact estimate from previously observed cardinality.
+
+    Exact estimates (descent reached the range on one split level) are
+    already the truth and are never second-guessed; the raw estimate stays
+    in ``candidate.estimate`` so the correction never compounds across
+    executions.
+    """
+    estimate = candidate.estimate
+    if feedback is None or estimate is None or estimate.exact:
+        return
+    adjusted = feedback.adjust(
+        table_name, candidate.index.name, restriction, estimate.rids
+    )
+    if adjusted is not None:
+        candidate.adjusted_rids = float(adjusted)
+
+
 def run_initial_stage(
     indexes: Sequence[IndexInfo],
     restriction: Expr,
@@ -144,6 +188,8 @@ def run_initial_stage(
     trace: RetrievalTrace,
     config: EngineConfig = DEFAULT_CONFIG,
     context: IterationContext | None = None,
+    feedback: Any = None,
+    table_name: str = "",
 ) -> InitialArrangement:
     """Classify, estimate, and arrange the available indexes."""
     terms = conjunction_terms(restriction)
@@ -175,23 +221,26 @@ def run_initial_stage(
             candidate.estimate = estimate_range(
                 candidate.index.btree, candidate.key_range, meter
             )
-            trace.emit(
-                EventKind.INITIAL_ESTIMATE,
+            _apply_feedback(candidate, feedback, table_name, restriction)
+            detail: dict[str, Any] = dict(
                 index=candidate.index.name,
                 range=candidate.key_range.describe(),
                 rids=round(candidate.estimate.rids, 1),
                 exact=candidate.estimate.exact,
             )
+            if candidate.adjusted_rids is not None:
+                detail["feedback_rids"] = round(candidate.adjusted_rids, 1)
+            trace.emit(EventKind.INITIAL_ESTIMATE, **detail)
             if candidate.estimate.is_empty:
                 trace.emit(EventKind.SHORTCUT_EMPTY, index=candidate.index.name)
                 arrangement.empty = True
                 arrangement.estimation_cost = meter.total - before
                 return arrangement
-            if candidate.estimate.rids <= config.shortcut_rid_count:
+            if candidate.estimated_rids <= config.shortcut_rid_count:
                 trace.emit(
                     EventKind.SHORTCUT_SMALL_RANGE,
                     index=candidate.index.name,
-                    rids=round(candidate.estimate.rids, 1),
+                    rids=round(candidate.estimated_rids, 1),
                     skipped_estimates=len(fetch_needed) - position - 1,
                 )
                 arrangement.shortcut = True
@@ -201,7 +250,7 @@ def run_initial_stage(
     # prearranged order
     estimated = [c for c in fetch_needed if c.estimate is not None]
     unestimated = [c for c in fetch_needed if c.estimate is None]
-    estimated.sort(key=lambda candidate: candidate.estimate.rids)
+    estimated.sort(key=lambda candidate: candidate.estimated_rids)
     arrangement.jscan_candidates = estimated + unestimated
     trace.emit(
         EventKind.INDEXES_ORDERED,
@@ -214,9 +263,12 @@ def run_initial_stage(
             candidate.estimate = estimate_range(
                 candidate.index.btree, candidate.key_range, meter
             )
+            _apply_feedback(candidate, feedback, table_name, restriction)
     arrangement.sscan_candidates.sort(
         key=lambda candidate: (
-            candidate.estimate.rids if candidate.estimate is not None else float("inf")
+            candidate.estimated_rids
+            if candidate.estimate is not None
+            else float("inf")
         )
     )
     if arrangement.sscan_candidates:

@@ -240,6 +240,9 @@ class JscanProcess(Process):
             self._partner = None
             return
         self.completed_scans += 1
+        # the exhausted cursor walked its whole range: record the true
+        # cardinality so selectivity feedback can sharpen later estimates
+        scan.candidate.observed = scan.scanned
         self.trace.emit(
             EventKind.SCAN_COMPLETE,
             index=scan.name,

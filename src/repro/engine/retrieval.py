@@ -37,7 +37,7 @@ from repro.engine.tactics import (
 from repro.expr.disjunction import cover_disjuncts
 from repro.errors import RetrievalError
 from repro.expr.ast import ALWAYS_TRUE, Expr
-from repro.expr.eval import referenced_columns
+from repro.expr.eval import compile_predicate, referenced_columns
 from repro.obs.trace import Tracer
 from repro.storage.buffer_pool import BufferPool, CostMeter
 from repro.storage.heap import HeapFile
@@ -57,6 +57,12 @@ class RetrievalRequest:
     #: stop after this many delivered records (None = all)
     limit: int | None = None
     goal: OptimizationGoal = OptimizationGoal.DEFAULT
+    #: per-plan compiled-predicate cache (``repro.cache.PredicateCache``);
+    #: None compiles the restriction once for this retrieval only
+    predicate_cache: Any | None = None
+    #: adaptive selectivity feedback store (``repro.cache.FeedbackStore``);
+    #: None leaves raw descent estimates untouched
+    feedback: Any | None = None
 
 
 @dataclass
@@ -182,6 +188,8 @@ class SingleTableRetrieval:
             trace,
             self.config,
             context,
+            feedback=request.feedback,
+            table_name=self.heap.name,
         )
         if arrangement.order_index is not None and request.order_by:
             needs_post_sort = False
@@ -210,6 +218,17 @@ class SingleTableRetrieval:
             trace.tracer.end(span, rows=0, shortcut="empty")
             return result
 
+        # compile the restriction once for the whole retrieval — or fetch
+        # the plan's cached compilation when executing a cached plan
+        if request.predicate_cache is not None:
+            predicate = request.predicate_cache.get(
+                request.restriction, self.schema.position, request.host_vars
+            )
+        else:
+            predicate = compile_predicate(
+                request.restriction, self.schema.position, request.host_vars
+            )
+
         ctx = TacticContext(
             heap=self.heap,
             schema=self.schema,
@@ -220,6 +239,7 @@ class SingleTableRetrieval:
             sink=sink,
             trace=trace,
             config=self.config,
+            predicate=predicate,
         )
         inner = self._dispatch_steps(ctx, arrangement, goal, bool(request.order_by))
         try:
@@ -251,6 +271,7 @@ class SingleTableRetrieval:
             result.description += " -> sort"
         trace.emit(EventKind.RETRIEVAL_COMPLETE, rows=len(rows))
         self._record_context(context, arrangement)
+        self._record_feedback(request, arrangement)
         trace.tracer.end(
             span,
             rows=len(rows),
@@ -325,8 +346,12 @@ class SingleTableRetrieval:
             sscan = ctx.spawn(SscanProcess(
                 candidate.index, candidate.key_range, ctx.schema, ctx.restriction,
                 ctx.host_vars, ctx.sink, ctx.trace, ctx.config,
+                predicate=ctx.predicate,
             ))
             yield from advance(sscan, ctx.config.batch_size)
+            if sscan.finished and not sscan.stopped_by_consumer:
+                # whole range walked: true cardinality for the feedback loop
+                candidate.observed = sscan.cursor.consumed
         finally:
             ctx.trace.tracer.end(span)
         return TacticOutcome(
@@ -342,7 +367,7 @@ class SingleTableRetrieval:
             ctx.trace.emit(EventKind.SCAN_START, strategy="tscan")
             tscan = ctx.spawn(TscanProcess(
                 ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
-                ctx.trace, ctx.config,
+                ctx.trace, ctx.config, predicate=ctx.predicate,
             ))
             yield from advance(tscan, ctx.config.batch_size)
         finally:
@@ -382,6 +407,34 @@ class SingleTableRetrieval:
         )
         rows[:] = [row for row, _ in paired]
         rids[:] = [rid for _, rid in paired]
+
+    def _record_feedback(
+        self, request: RetrievalRequest, arrangement: InitialArrangement
+    ) -> None:
+        """Record estimated-vs-actual cardinality for every completed scan.
+
+        The raw descent estimate (never the adjusted one) is compared to
+        the observed entry count, so corrections converge instead of
+        compounding across executions. Exact estimates are already the
+        truth and produce no feedback.
+        """
+        feedback = request.feedback
+        if feedback is None:
+            return
+        candidates = list(arrangement.jscan_candidates) + list(
+            arrangement.sscan_candidates
+        )
+        for candidate in candidates:
+            estimate = candidate.estimate
+            if estimate is None or estimate.exact or candidate.observed is None:
+                continue
+            feedback.record(
+                self.heap.name,
+                candidate.index.name,
+                request.restriction,
+                estimate.rids,
+                candidate.observed,
+            )
 
     def _record_context(
         self, context: IterationContext | None, arrangement: InitialArrangement

@@ -26,13 +26,16 @@ from repro.db.catalog import IndexInfo, TableSchema
 from repro.engine.metrics import RetrievalTrace
 from repro.errors import RetrievalError
 from repro.expr.ast import Expr
-from repro.expr.eval import compile_predicate, evaluate
+from repro.expr.eval import compile_predicate
 from repro.btree.tree import KeyRange, RangeCursor
 from repro.storage.heap import HeapFile
 from repro.storage.rid import RID
 
 #: a delivery sink; False return requests retrieval stop
 Sink = Callable[[RID, tuple], bool]
+
+#: a compiled restriction: row -> bool (see repro.expr.eval.compile_predicate)
+Predicate = Callable[[tuple], bool]
 
 
 class BatchingSinkMixin:
@@ -97,6 +100,7 @@ class TscanProcess(BatchingSinkMixin, Process):
         config: EngineConfig = DEFAULT_CONFIG,
         skip_rids: Callable[[RID], bool] | None = None,
         name: str = "tscan",
+        predicate: Predicate | None = None,
     ) -> None:
         super().__init__(name)
         self.heap = heap
@@ -106,6 +110,11 @@ class TscanProcess(BatchingSinkMixin, Process):
         self.sink = sink
         self.trace = trace
         self.config = config
+        #: restriction compiled once per scan — or shared across the whole
+        #: plan when the caller passes a cached predicate
+        self.predicate = predicate if predicate is not None else compile_predicate(
+            restriction, schema.position, self.host_vars
+        )
         #: RIDs to suppress (already delivered by a foreground process)
         self.skip_rids = skip_rids
         self.stopped_by_consumer = False
@@ -124,7 +133,7 @@ class TscanProcess(BatchingSinkMixin, Process):
                 self.trace.counters.records_fetched += 1
             if self.skip_rids is not None and self.skip_rids(rid):
                 continue
-            if evaluate(self.restriction, row, self.schema.position, self.host_vars):
+            if self.predicate(row):
                 if self.trace is not None:
                     self.trace.counters.records_delivered += 1
                 if not self.sink(rid, row):
@@ -160,9 +169,7 @@ class TscanProcess(BatchingSinkMixin, Process):
                         self.trace.counters.records_fetched += 1
                     if self.skip_rids is not None and self.skip_rids(rid):
                         continue
-                    if evaluate(
-                        self.restriction, row, self.schema.position, self.host_vars
-                    ):
+                    if self.predicate(row):
                         if self.trace is not None:
                             self.trace.counters.records_delivered += 1
                         if not self.sink(rid, row):
@@ -192,6 +199,7 @@ class SscanProcess(BatchingSinkMixin, Process):
         trace: RetrievalTrace | None = None,
         config: EngineConfig = DEFAULT_CONFIG,
         name: str | None = None,
+        predicate: Predicate | None = None,
     ) -> None:
         super().__init__(name or f"sscan:{index.name}")
         self.index = index
@@ -204,7 +212,12 @@ class SscanProcess(BatchingSinkMixin, Process):
         self.stopped_by_consumer = False
         self.cursor: RangeCursor = index.btree.range_cursor(key_range, self.meter)
         self.delivered = 0
-        self._compiled: Callable[[tuple], bool] | None = None
+        #: restriction compiled once per scan (shared when plan-cached), so
+        #: the batch and single-step paths use one callable instead of
+        #: re-compiling per scan instance
+        self.predicate = predicate if predicate is not None else compile_predicate(
+            restriction, schema.position, self.host_vars
+        )
         if trace is not None:
             self.span = trace.tracer.open(
                 "scan", strategy="sscan", index=index.name
@@ -224,7 +237,7 @@ class SscanProcess(BatchingSinkMixin, Process):
         if self.trace is not None:
             self.trace.counters.index_entries_scanned += 1
         row = self._row_from_key(key)
-        if evaluate(self.restriction, row, self.schema.position, self.host_vars):
+        if self.predicate(row):
             self.delivered += 1
             if self.trace is not None:
                 self.trace.counters.records_delivered += 1
@@ -235,7 +248,7 @@ class SscanProcess(BatchingSinkMixin, Process):
 
     def _do_batch(self, max_steps: int) -> tuple[int, bool]:
         """Scan up to ``max_steps`` index entries through one bulk cursor
-        pull, with the restriction compiled once per batch.
+        pull, evaluating the scan's shared compiled restriction.
 
         Charges and delivered rows match ``_do_step`` exactly for a scan
         that is not stopped mid-batch; a consumer stop leaves the batch's
@@ -245,11 +258,7 @@ class SscanProcess(BatchingSinkMixin, Process):
         entries = self.cursor.next_entries(max_steps)
         if not entries:
             return 1, True
-        pred = self._compiled
-        if pred is None:
-            pred = self._compiled = compile_predicate(
-                self.restriction, self.schema.position, self.host_vars
-            )
+        pred = self.predicate
         sink = self.sink
         positions = self.index.positions
         scratch: list[Any] = [None] * len(self.schema)
@@ -296,6 +305,7 @@ class FscanProcess(BatchingSinkMixin, Process):
         trace: RetrievalTrace | None = None,
         config: EngineConfig = DEFAULT_CONFIG,
         name: str | None = None,
+        predicate: Predicate | None = None,
     ) -> None:
         super().__init__(name or f"fscan:{index.name}")
         self.index = index
@@ -306,6 +316,9 @@ class FscanProcess(BatchingSinkMixin, Process):
         self.sink = sink
         self.trace = trace
         self.config = config
+        self.predicate = predicate if predicate is not None else compile_predicate(
+            restriction, schema.position, self.host_vars
+        )
         self.stopped_by_consumer = False
         self.cursor: RangeCursor = index.btree.range_cursor(key_range, self.meter)
         #: installable RID filter (e.g. a completed Jscan bitmap)
@@ -336,7 +349,7 @@ class FscanProcess(BatchingSinkMixin, Process):
         self.meter.charge_cpu(self.config.cpu_cost_per_record)
         if self.trace is not None:
             self.trace.counters.records_fetched += 1
-        if evaluate(self.restriction, row, self.schema.position, self.host_vars):
+        if self.predicate(row):
             self.delivered += 1
             if self.trace is not None:
                 self.trace.counters.records_delivered += 1

@@ -42,9 +42,15 @@ from repro.engine.final_stage import FinalStageProcess
 from repro.engine.initial import InitialArrangement
 from repro.engine.jscan import JscanProcess
 from repro.engine.metrics import EventKind, RetrievalTrace
-from repro.engine.scans import FscanProcess, Sink, SscanProcess, TscanProcess
+from repro.engine.scans import (
+    FscanProcess,
+    Predicate,
+    Sink,
+    SscanProcess,
+    TscanProcess,
+)
 from repro.expr.ast import Expr
-from repro.expr.eval import evaluate
+from repro.expr.eval import compile_predicate
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.heap import HeapFile
 from repro.storage.rid import RID
@@ -63,6 +69,10 @@ class TacticContext:
     sink: Sink
     trace: RetrievalTrace
     config: EngineConfig = DEFAULT_CONFIG
+    #: the restriction compiled once per retrieval (or shared across
+    #: executions through a plan's predicate cache); every scan a tactic
+    #: spawns reuses this callable instead of compiling its own
+    predicate: Predicate | None = None
     #: every process a tactic created, active or not — the cancellation path
     #: abandons whatever is still running so scans release their buffers and
     #: temp structures mid-flight
@@ -140,6 +150,7 @@ class BorrowingFetchProcess(Process):
         trace: RetrievalTrace,
         config: EngineConfig = DEFAULT_CONFIG,
         name: str = "foreground-borrow",
+        predicate: Predicate | None = None,
     ) -> None:
         super().__init__(name)
         self.queue = queue
@@ -147,6 +158,9 @@ class BorrowingFetchProcess(Process):
         self.schema = schema
         self.restriction = restriction
         self.host_vars = dict(host_vars)
+        self.predicate = predicate if predicate is not None else compile_predicate(
+            restriction, schema.position, self.host_vars
+        )
         self.sink = sink
         self.fgr_buffer = fgr_buffer
         self.trace = trace
@@ -169,7 +183,7 @@ class BorrowingFetchProcess(Process):
         row = self.heap.fetch(rid, self.meter)
         self.meter.charge_cpu(self.config.cpu_cost_per_record)
         self.trace.counters.records_fetched += 1
-        if evaluate(self.restriction, row, self.schema.position, self.host_vars):
+        if self.predicate(row):
             if not self.fgr_buffer.add(rid):
                 self.buffer_overflow = True
                 return True  # overflow terminates the foreground run
@@ -232,7 +246,7 @@ def _finish_background(
         ctx.trace.counters.strategy_switches += 1
         tscan = ctx.spawn(TscanProcess(
             ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
-            ctx.trace, ctx.config, skip_rids=skip,
+            ctx.trace, ctx.config, skip_rids=skip, predicate=ctx.predicate,
         ))
         ctx.trace.emit(EventKind.SCAN_START, strategy="tscan")
         yield from advance(tscan, ctx.config.batch_size)
@@ -244,7 +258,7 @@ def _finish_background(
     ctx.trace.emit(EventKind.FINAL_STAGE_START, rids=len(rids))
     final = ctx.spawn(FinalStageProcess(
         rids, ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
-        ctx.trace, ctx.config, skip_rids=skip,
+        ctx.trace, ctx.config, skip_rids=skip, predicate=ctx.predicate,
     ))
     yield from advance(final, ctx.config.batch_size)
     outcome.processes.append(final)
@@ -284,7 +298,7 @@ def union_or_steps(ctx: TacticContext, covered) -> StepOutcome:
         ctx.trace.counters.strategy_switches += 1
         tscan = ctx.spawn(TscanProcess(
             ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
-            ctx.trace, ctx.config,
+            ctx.trace, ctx.config, predicate=ctx.predicate,
         ))
         ctx.trace.emit(EventKind.SCAN_START, strategy="tscan")
         yield from advance(tscan, ctx.config.batch_size)
@@ -299,7 +313,7 @@ def union_or_steps(ctx: TacticContext, covered) -> StepOutcome:
     ctx.trace.emit(EventKind.FINAL_STAGE_START, rids=len(rids))
     final = ctx.spawn(FinalStageProcess(
         rids, ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars, ctx.sink,
-        ctx.trace, ctx.config,
+        ctx.trace, ctx.config, predicate=ctx.predicate,
     ))
     yield from advance(final, ctx.config.batch_size)
     outcome.processes.append(final)
@@ -360,7 +374,7 @@ def fast_first_steps(ctx: TacticContext) -> StepOutcome:
     fgr_buffer = ForegroundBuffer(ctx.config.foreground_buffer_size)
     fgr = ctx.spawn(BorrowingFetchProcess(
         borrow_queue, ctx.heap, ctx.schema, ctx.restriction, ctx.host_vars,
-        ctx.sink, fgr_buffer, ctx.trace, ctx.config,
+        ctx.sink, fgr_buffer, ctx.trace, ctx.config, predicate=ctx.predicate,
     ))
     outcome.processes = [jscan, fgr]
     fgr_weight = ctx.config.foreground_speed
@@ -449,7 +463,7 @@ def sorted_tactic_steps(ctx: TacticContext) -> StepOutcome:
     outcome = TacticOutcome(description=f"sorted: fscan({order.index.name}) || jscan-filter")
     fscan = ctx.spawn(FscanProcess(
         order.index, order.key_range, ctx.heap, ctx.schema, ctx.restriction,
-        ctx.host_vars, ctx.sink, ctx.trace, ctx.config,
+        ctx.host_vars, ctx.sink, ctx.trace, ctx.config, predicate=ctx.predicate,
     ))
     ctx.trace.emit(EventKind.SCAN_START, strategy="fscan", index=order.index.name)
     others = [
@@ -541,7 +555,7 @@ def index_only_steps(ctx: TacticContext) -> StepOutcome:
 
     sscan = ctx.spawn(SscanProcess(
         best.index, best.key_range, ctx.schema, ctx.restriction, ctx.host_vars,
-        recording_sink, ctx.trace, ctx.config,
+        recording_sink, ctx.trace, ctx.config, predicate=ctx.predicate,
     ))
     ctx.trace.emit(EventKind.SCAN_START, strategy="sscan", index=best.index.name)
     jscan: JscanProcess | None = None
@@ -604,14 +618,22 @@ def index_only_steps(ctx: TacticContext) -> StepOutcome:
             break
     if jscan is not None and jscan.active:
         jscan.abandon()
+    if sscan.finished and not sscan.stopped_by_consumer:
+        # the scan covered the whole range: its consumed-entry count is the
+        # true cardinality, fed back to sharpen the next execution's estimate
+        best.observed = sscan.cursor.consumed
     outcome.description += " -> sscan-delivered-all" if not outcome.stopped_by_consumer else ""
     return outcome
 
 
 def _estimated_remaining_cost(sscan: SscanProcess, candidate) -> float:
-    """Extrapolate the remaining Sscan cost from its progress so far."""
+    """Extrapolate the remaining Sscan cost from its progress so far.
+
+    Uses the candidate's *effective* RID count, so selectivity feedback
+    from earlier executions sharpens the stage-switch projection too.
+    """
     consumed = sscan.cursor.consumed
-    estimate = candidate.estimate.rids if candidate.estimate is not None else None
+    estimate = candidate.estimated_rids if candidate.estimate is not None else None
     if not consumed or estimate is None:
         return float("inf")
     per_entry = sscan.meter.total / consumed

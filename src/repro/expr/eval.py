@@ -261,7 +261,26 @@ def _compile(expr, schema, host_vars):
 
 
 def referenced_columns(expr: Expr) -> frozenset[str]:
-    """All column names the expression reads."""
+    """All column names the expression reads.
+
+    Memoised per expression *object* (identity-keyed; the stored strong
+    reference pins the id): cached plans walk the same restriction instance
+    on every execution, and the column set is pure structure.
+    """
+    entry = _columns_memo.get(id(expr))
+    if entry is not None and entry[0] is expr:
+        return entry[1]
+    result = _referenced_columns(expr)
+    if len(_columns_memo) >= 2048:
+        _columns_memo.clear()
+    _columns_memo[id(expr)] = (expr, result)
+    return result
+
+
+_columns_memo: dict[int, tuple[Expr, frozenset[str]]] = {}
+
+
+def _referenced_columns(expr: Expr) -> frozenset[str]:
     names: set[str] = set()
     _walk_columns(expr, names)
     return frozenset(names)

@@ -111,8 +111,27 @@ def _flatten(expr: Expr) -> Expr:
 def conjunction_terms(expr: Expr) -> tuple[Expr, ...]:
     """The top-level AND terms of a normalized expression.
 
-    A non-AND expression is a single term; TRUE yields no terms.
+    A non-AND expression is a single term; TRUE yields no terms. The result
+    is memoised per expression *object*: a cached plan re-runs the initial
+    stage on every execution with the same restriction instance, and
+    normalization is pure structure work. Keying by identity (with the
+    stored strong reference pinning the id) avoids re-hashing the whole
+    tree on every execution.
     """
+    entry = _terms_memo.get(id(expr))
+    if entry is not None and entry[0] is expr:
+        return entry[1]
+    result = _conjunction_terms(expr)
+    if len(_terms_memo) >= 2048:
+        _terms_memo.clear()
+    _terms_memo[id(expr)] = (expr, result)
+    return result
+
+
+_terms_memo: dict[int, tuple[Expr, tuple[Expr, ...]]] = {}
+
+
+def _conjunction_terms(expr: Expr) -> tuple[Expr, ...]:
     expr = normalize(expr)
     if isinstance(expr, TrueExpr):
         return ()

@@ -97,6 +97,10 @@ class MetricsRegistry:
         #: server-wide buffer-pool read-ahead run lengths (pages loaded per
         #: prefetch call); its ``sum`` reconciles with ``pool.prefetched``
         self.fetch_runs = LogHistogram("fetch_run_length")
+        #: the database's shared plan cache / feedback store, wired in by
+        #: the owning QueryServer so scrapes expose their counters
+        self.plan_cache = None
+        self.feedback = None
 
     def session(self, session_id: str) -> SessionMetrics:
         """The metrics of one session (created on demand)."""
@@ -198,6 +202,21 @@ class MetricsRegistry:
                 f"{counters.strategy_switches} switches, "
                 f"cache hit rate {metrics.cache_hit_ratio:.0%}"
             )
+        if self.plan_cache is not None:
+            cache = self.plan_cache
+            lines.append(
+                f"plan cache: {cache.size}/{cache.capacity} entries, "
+                f"{cache.hits} hits, {cache.misses} misses, "
+                f"{cache.evictions} evictions, "
+                f"{cache.invalidations} invalidations"
+            )
+        if self.feedback is not None:
+            feedback = self.feedback
+            lines.append(
+                f"feedback: {feedback.size} entries, "
+                f"{feedback.records} recorded, "
+                f"{feedback.adjustments} adjustments applied"
+            )
         return "\n".join(lines)
 
     def expose_text(self) -> str:
@@ -274,4 +293,44 @@ class MetricsRegistry:
             "fetch_run_length", self.fetch_runs,
             "Pages loaded per buffer-pool read-ahead run.",
         )
+        if self.plan_cache is not None:
+            cache = self.plan_cache
+            out.counter(
+                "plan_cache_hits_total", cache.hits,
+                "Plan-cache lookups served without parsing.",
+            )
+            out.counter(
+                "plan_cache_misses_total", cache.misses,
+                "Plan-cache lookups that parsed and bound the statement.",
+            )
+            out.counter(
+                "plan_cache_evictions_total", cache.evictions,
+                "Cached plans dropped by LRU capacity pressure.",
+            )
+            out.counter(
+                "plan_cache_invalidations_total", cache.invalidations,
+                "Cached plans dropped by DDL schema changes.",
+            )
+            out.gauge(
+                "plan_cache_size", cache.size,
+                "Cached plans currently held.",
+            )
+            out.gauge(
+                "plan_cache_capacity", cache.capacity,
+                "Plan-cache capacity (0 = caching disabled).",
+            )
+        if self.feedback is not None:
+            feedback = self.feedback
+            out.counter(
+                "feedback_records_total", feedback.records,
+                "Estimated-vs-actual cardinality observations recorded.",
+            )
+            out.counter(
+                "feedback_adjustments_total", feedback.adjustments,
+                "Initial estimates sharpened from recorded feedback.",
+            )
+            out.gauge(
+                "feedback_entries", feedback.size,
+                "Live (table, index, predicate-signature) feedback entries.",
+            )
         return out.render()

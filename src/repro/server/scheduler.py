@@ -47,7 +47,12 @@ from repro.engine.goals import OptimizationGoal
 from repro.errors import QueryCancelledError, ServerError
 from repro.obs.trace import Span, Tracer, should_sample
 from repro.server.metrics import MetricsRegistry
-from repro.sql.executor import RetrievalInfo, execute_sql_steps, is_explain_analyze
+from repro.sql.executor import (
+    RetrievalInfo,
+    execute_prepared_steps,
+    execute_sql_steps,
+    is_explain_analyze,
+)
 
 #: default virtual-time weights per optimization goal (``weighted`` mode)
 DEFAULT_GOAL_WEIGHTS: dict[OptimizationGoal, float] = {
@@ -79,6 +84,7 @@ class QueryHandle:
         goal: OptimizationGoal,
         deadline: int | None,
         ticket: int,
+        prepared: Any | None = None,
     ) -> None:
         if deadline is not None and deadline < 1:
             raise ServerError("deadline must be a positive step budget")
@@ -87,6 +93,9 @@ class QueryHandle:
         self.sql = sql
         self.host_vars = dict(host_vars or {})
         self.goal = goal
+        #: a :class:`repro.cache.CachedPlan` to execute directly, skipping
+        #: the front end (set by :class:`repro.cache.PreparedStatement`)
+        self.prepared = prepared
         #: budget of scheduling quanta (generator resumptions, each up to
         #: ``config.batch_size`` engine steps); exceeding it cancels the query
         self.deadline = deadline
@@ -173,10 +182,12 @@ class ServerSession:
         host_vars: Mapping[str, Any] | None = None,
         goal: OptimizationGoal = OptimizationGoal.DEFAULT,
         deadline: int | None = None,
+        prepared: Any | None = None,
     ) -> QueryHandle:
         """Queue a statement for execution; returns immediately."""
         return self.server.submit(
-            sql, host_vars, goal=goal, deadline=deadline, session=self
+            sql, host_vars, goal=goal, deadline=deadline, session=self,
+            prepared=prepared,
         )
 
     def execute(
@@ -229,6 +240,9 @@ class QueryServer:
         self.trace_sink = trace_sink
         # the registry observes every read-ahead run the shared pool issues
         db.buffer_pool.run_hist = self.metrics.fetch_runs
+        # ... and the shared plan cache / feedback store, for \metrics + prom
+        self.metrics.plan_cache = db.plan_cache
+        self.metrics.feedback = db.feedback
         #: total scheduling quanta the server has executed (its logical clock)
         self.total_steps = 0
         self._running: list[QueryHandle] = []
@@ -252,6 +266,7 @@ class QueryServer:
         goal: OptimizationGoal = OptimizationGoal.DEFAULT,
         deadline: int | None = None,
         session: ServerSession | str | None = None,
+        prepared: Any | None = None,
     ) -> QueryHandle:
         """Queue one statement; admits it immediately if a slot is free."""
         if isinstance(session, ServerSession):
@@ -259,7 +274,8 @@ class QueryServer:
         else:
             session_id = session or "default"
         handle = QueryHandle(
-            self, session_id, sql, host_vars, goal, deadline, next(self._tickets)
+            self, session_id, sql, host_vars, goal, deadline, next(self._tickets),
+            prepared=prepared,
         )
         # deterministic sampling by submission ticket; EXPLAIN ANALYZE is
         # always traced (the rendered report *is* the span timeline)
@@ -276,14 +292,24 @@ class QueryServer:
     def _admit(self) -> None:
         while self._queue and len(self._running) < self.max_concurrency:
             handle = self._queue.popleft()
-            handle._gen = execute_sql_steps(
-                self.db,
-                handle.sql,
-                handle.host_vars,
-                handle.goal,
-                retrievals=handle.retrievals,
-                tracer=handle.tracer,
-            )
+            if handle.prepared is not None:
+                handle._gen = execute_prepared_steps(
+                    self.db,
+                    handle.prepared,
+                    handle.host_vars,
+                    handle.goal,
+                    retrievals=handle.retrievals,
+                    tracer=handle.tracer,
+                )
+            else:
+                handle._gen = execute_sql_steps(
+                    self.db,
+                    handle.sql,
+                    handle.host_vars,
+                    handle.goal,
+                    retrievals=handle.retrievals,
+                    tracer=handle.tracer,
+                )
             handle.state = QueryState.RUNNING
             handle.admitted_at = self.total_steps
             handle.admitted_wall = time.perf_counter()

@@ -18,7 +18,7 @@ from repro.db.session import Database
 from repro.db.table import Table
 from repro.engine.goals import OptimizationGoal, infer_goals
 from repro.engine.retrieval import RetrievalResult
-from repro.errors import SqlSyntaxError
+from repro.errors import BindingError, SqlSyntaxError
 from repro.expr.ast import (
     ALWAYS_FALSE,
     ALWAYS_TRUE,
@@ -134,6 +134,11 @@ def execute_sql(
     return drain(execute_sql_steps(db, sql, host_vars, goal, tracer=tracer))
 
 
+def _is_select(sql: str) -> bool:
+    """Cheap prefix test routing SELECTs through the plan cache."""
+    return sql.lstrip()[:6].lower() == "select"
+
+
 def execute_sql_steps(
     db: Database,
     sql: str,
@@ -153,15 +158,66 @@ def execute_sql_steps(
     traces of whatever it ran. DDL statements execute in a single step.
     A ``tracer`` threads every retrieval of the statement (subqueries
     included) onto one query-level span timeline.
+
+    SELECT statements route through the server-wide plan cache when it is
+    enabled: a hit skips tokenize/parse/bind entirely and reuses the cached
+    plan's compiled predicates; a miss parses once and populates the cache.
     """
     from repro.sql.ddl import execute_ddl
-    from repro.sql.parser import ExplainQuery, ParsedQuery, parse_any
+    from repro.sql.parser import (
+        DeallocateStatement,
+        ExecuteStatement,
+        ExplainQuery,
+        ParsedQuery,
+        PrepareStatement,
+        parse_any,
+    )
 
+    cache = db.plan_cache
+    if cache.enabled and _is_select(sql):
+        entry, hit = cache.entry_for(db, sql)
+        if tracer is not None and tracer.enabled:
+            tracer.mark("plan-cache", hit=hit, size=cache.size)
+        return (
+            yield from execute_prepared_steps(
+                db, entry, host_vars, goal, retrievals=retrievals, tracer=tracer
+            )
+        )
     parsed = parse_any(sql)
     if isinstance(parsed, ExplainQuery):
         return (
             yield from _execute_explain(db, parsed, host_vars, goal, retrievals, tracer)
         )
+    if isinstance(parsed, PrepareStatement):
+        from repro.sql.ddl import DdlResult
+
+        entry, _ = cache.entry_for(db, parsed.sql)
+        db.prepared[parsed.name] = entry
+        return DdlResult(f"statement {parsed.name} prepared")
+    if isinstance(parsed, ExecuteStatement):
+        entry = db.prepared.get(parsed.name)
+        if entry is None:
+            raise BindingError(f"unknown prepared statement {parsed.name!r}")
+        entry = cache.revalidate(db, entry)
+        db.prepared[parsed.name] = entry
+        if len(parsed.params) != entry.param_count:
+            raise BindingError(
+                f"prepared statement {parsed.name!r} expects "
+                f"{entry.param_count} parameter(s), got {len(parsed.params)}"
+            )
+        bound = dict(host_vars or {})
+        bound.update(zip(entry.param_names, parsed.params))
+        return (
+            yield from execute_prepared_steps(
+                db, entry, bound, goal, retrievals=retrievals, tracer=tracer
+            )
+        )
+    if isinstance(parsed, DeallocateStatement):
+        from repro.sql.ddl import DdlResult
+
+        if db.prepared.pop(parsed.name, None) is None:
+            raise BindingError(f"unknown prepared statement {parsed.name!r}")
+        return DdlResult(f"statement {parsed.name} deallocated")
     if not isinstance(parsed, ParsedQuery):
         return execute_ddl(db, parsed)
     requested = parsed.goal if parsed.goal is not OptimizationGoal.DEFAULT else goal
@@ -171,6 +227,38 @@ def execute_sql_steps(
         retrievals = []
     columns, rows = yield from _execute_block(
         db, parsed.plan, dict(host_vars or {}), goals, retrievals, tracer=tracer
+    )
+    return QueryResult(
+        columns=columns, rows=rows, plan=parsed.plan, goals=goals, retrievals=retrievals
+    )
+
+
+def execute_prepared_steps(
+    db: Database,
+    plan: Any,
+    host_vars: Mapping[str, Any] | None = None,
+    goal: OptimizationGoal = OptimizationGoal.DEFAULT,
+    retrievals: list[RetrievalInfo] | None = None,
+    tracer: Tracer | None = None,
+) -> Generator[RetrievalResult, None, QueryResult]:
+    """Execute a :class:`~repro.cache.plan_cache.CachedPlan` — no tokenize,
+    parse, or bind on this path.
+
+    The plan is revalidated against the current schema version first; a
+    stale plan is transparently rebuilt (or fails safe with a binding error
+    when its table is gone). The cached plan's predicate cache and the
+    database's feedback store are threaded into every retrieval.
+    """
+    plan = db.plan_cache.revalidate(db, plan)
+    parsed = plan.parsed
+    requested = parsed.goal if parsed.goal is not OptimizationGoal.DEFAULT else goal
+    goals = plan.goals_for(requested)
+    if retrievals is None:
+        retrievals = []
+    plan.executions += 1
+    columns, rows = yield from _execute_block(
+        db, parsed.plan, dict(host_vars or {}), goals, retrievals,
+        tracer=tracer, prepared=plan,
     )
     return QueryResult(
         columns=columns, rows=rows, plan=parsed.plan, goals=goals, retrievals=retrievals
@@ -294,12 +382,13 @@ def _execute_block(
     retrievals: list[RetrievalInfo],
     forced_limit: int | None = None,
     tracer: Tracer | None = None,
+    prepared: Any = None,
 ) -> Generator[RetrievalResult, None, tuple[tuple[str, ...], list[tuple]]]:
     chain = _unwrap(root)
     table = db.table(chain.retrieve.table)
     restriction = yield from _resolve_subqueries(
         db, chain.retrieve.restriction or ALWAYS_TRUE, host_vars, goals, retrievals,
-        tracer,
+        tracer, prepared=prepared,
     )
 
     goal = goals.get(id(chain.retrieve), OptimizationGoal.DEFAULT)
@@ -326,6 +415,8 @@ def _execute_block(
             limit=push_limit,
             optimize_for=goal,
             tracer=tracer,
+            predicate_cache=prepared.predicates if prepared is not None else None,
+            feedback=db.feedback if db.feedback.enabled else None,
         ),
         retrievals,
         chain.retrieve.table,
@@ -411,10 +502,12 @@ def _resolve_subqueries(
     goals: dict[int, OptimizationGoal],
     retrievals: list[RetrievalInfo],
     tracer: Tracer | None = None,
+    prepared: Any = None,
 ) -> Generator[RetrievalResult, None, Expr]:
     if isinstance(expr, InSubquery):
         _, rows = yield from _execute_block(
-            db, expr.plan, host_vars, goals, retrievals, tracer=tracer
+            db, expr.plan, host_vars, goals, retrievals, tracer=tracer,
+            prepared=prepared,
         )
         values = sorted({row[0] for row in rows if row and row[0] is not None})
         if not values:
@@ -424,30 +517,37 @@ def _resolve_subqueries(
         subquery_root = expr.plan.children[0] if isinstance(expr.plan, Exists) else expr.plan
         _, rows = yield from _execute_block(
             db, subquery_root, host_vars, goals, retrievals, forced_limit=1,
-            tracer=tracer,
+            tracer=tracer, prepared=prepared,
         )
         return ALWAYS_TRUE if rows else ALWAYS_FALSE
+    # rebuild composites only when a child actually resolved to something
+    # new: keeping the original object preserves expression identity, which
+    # the per-plan predicate/normalization memos key on across executions
     if isinstance(expr, And):
         children = []
         for child in expr.children:
             children.append(
                 (yield from _resolve_subqueries(
-                    db, child, host_vars, goals, retrievals, tracer
+                    db, child, host_vars, goals, retrievals, tracer, prepared
                 ))
             )
+        if all(new is old for new, old in zip(children, expr.children)):
+            return expr
         return And(tuple(children))
     if isinstance(expr, Or):
         children = []
         for child in expr.children:
             children.append(
                 (yield from _resolve_subqueries(
-                    db, child, host_vars, goals, retrievals, tracer
+                    db, child, host_vars, goals, retrievals, tracer, prepared
                 ))
             )
+        if all(new is old for new, old in zip(children, expr.children)):
+            return expr
         return Or(tuple(children))
     if isinstance(expr, Not):
         child = yield from _resolve_subqueries(
-            db, expr.child, host_vars, goals, retrievals, tracer
+            db, expr.child, host_vars, goals, retrievals, tracer, prepared
         )
-        return Not(child)
+        return expr if child is expr.child else Not(child)
     return expr

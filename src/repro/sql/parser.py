@@ -61,6 +61,37 @@ class ExplainQuery:
     analyze: bool
 
 
+@dataclass
+class PrepareStatement:
+    """``PREPARE name AS <select>``: register a named prepared statement.
+
+    ``sql`` is the inner SELECT's source text (sliced from the original
+    statement), so the executor can route it through the shared plan cache
+    under the same normalized key ad-hoc executions of that text would use.
+    ``query`` is the already-validated parse of that text.
+    """
+
+    name: str
+    sql: str
+    query: ParsedQuery
+
+
+@dataclass
+class ExecuteStatement:
+    """``EXECUTE name [(literal, ...)]``: run a prepared statement, binding
+    the literals positionally to its ``?`` placeholders."""
+
+    name: str
+    params: tuple
+
+
+@dataclass
+class DeallocateStatement:
+    """``DEALLOCATE [PREPARE] name``: drop a prepared statement."""
+
+    name: str
+
+
 def parse(sql: str) -> ParsedQuery:
     """Parse one SELECT statement."""
     parser = _Parser(tokenize(sql))
@@ -85,6 +116,33 @@ def parse_any(sql: str):
         query = parser.select_statement()
         parser.expect_end()
         return query
+    if parser.current.is_keyword("prepare"):
+        parser.advance()
+        name = parser.expect_name()
+        parser.expect_keyword("as")
+        start = parser.current.position
+        query = parser.select_statement()
+        parser.expect_end()
+        return PrepareStatement(name=name, sql=sql[start:].strip(), query=query)
+    if parser.current.is_keyword("execute"):
+        parser.advance()
+        name = parser.expect_name()
+        params: list = []
+        if parser.accept_op("("):
+            if not parser.accept_op(")"):
+                while True:
+                    params.append(parser.literal_value())
+                    if not parser.accept_op(","):
+                        break
+                parser.expect_op(")")
+        parser.expect_end()
+        return ExecuteStatement(name=name, params=tuple(params))
+    if parser.current.is_keyword("deallocate"):
+        parser.advance()
+        parser.accept_keyword("prepare")
+        name = parser.expect_name()
+        parser.expect_end()
+        return DeallocateStatement(name=name)
     from repro.sql.ddl import parse_ddl
 
     statement = parse_ddl(parser)
@@ -146,6 +204,22 @@ class _Parser:
             raise SqlSyntaxError(
                 f"unexpected trailing input {self.current.value!r}", self.current.position
             )
+
+    def literal_value(self):
+        """A bare literal (number, string, or NULL) as a Python value."""
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == "string":
+            self.advance()
+            return token.value
+        if token.is_keyword("null"):
+            self.advance()
+            return None
+        raise SqlSyntaxError(
+            f"expected a literal value, found {token.value!r}", token.position
+        )
 
     # -- grammar ------------------------------------------------------------------
 

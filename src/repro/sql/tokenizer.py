@@ -13,6 +13,7 @@ KEYWORDS = frozenset(
     order by asc desc limit to rows optimize for fast first total time
     count sum avg min max as is null
     create table index unique on insert into values drop analyze explain
+    prepare execute deallocate
     """.split()
 )
 
@@ -41,9 +42,18 @@ def tokenize(text: str) -> list[Token]:
 def _scan(text: str) -> Iterator[Token]:
     index = 0
     length = len(text)
+    placeholders = 0
     while index < length:
         char = text[index]
         if char.isspace():
+            index += 1
+            continue
+        if char == "?":
+            # positional placeholder: the Nth '?' becomes host variable "?N".
+            # ':' host variables require an alphanumeric name, so the
+            # generated names can never collide with user-written ones.
+            placeholders += 1
+            yield Token("hostvar", f"?{placeholders}", index)
             index += 1
             continue
         if char == "-" and text[index : index + 2] == "--":

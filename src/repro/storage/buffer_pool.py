@@ -186,6 +186,12 @@ class BufferPool:
         #: ``None`` means unattributed (direct single-query use)
         self.current_owner: str | None = None
         self.owner_stats: dict[str, OwnerCacheStats] = {}
+        #: pin refcounts by page id: pinned pages are never chosen as LRU
+        #: or interference-eviction victims. The batch read paths pin their
+        #: in-flight run so admitting page N of a run can never evict page 1
+        #: of the same run, and an interference tick landing mid-run cannot
+        #: drop pages the run is about to return.
+        self._pinned: dict[int, int] = {}
 
     def __contains__(self, page_id: int) -> bool:
         return page_id in self._cache
@@ -230,21 +236,27 @@ class BufferPool:
         cache = self._cache
         pages: list[Page] = []
         for page_id in page_ids:
-            page = cache.get(page_id)
-            if page is not None:
-                cache.move_to_end(page_id)
-                self.hits += 1
-                meter.charge_hit()
-                if self.current_owner is not None:
-                    self.stats_for(self.current_owner).hits += 1
-            else:
-                page = self.pager.read(page_id)
-                self.misses += 1
-                meter.charge_read(page.kind)
-                if self.current_owner is not None:
-                    self.stats_for(self.current_owner).misses += 1
-                self._admit(page)
-            pages.append(page)
+            self.pin(page_id)
+        try:
+            for page_id in page_ids:
+                page = cache.get(page_id)
+                if page is not None:
+                    cache.move_to_end(page_id)
+                    self.hits += 1
+                    meter.charge_hit()
+                    if self.current_owner is not None:
+                        self.stats_for(self.current_owner).hits += 1
+                else:
+                    page = self.pager.read(page_id)
+                    self.misses += 1
+                    meter.charge_read(page.kind)
+                    if self.current_owner is not None:
+                        self.stats_for(self.current_owner).misses += 1
+                    self._admit(page)
+                pages.append(page)
+        finally:
+            for page_id in page_ids:
+                self.unpin(page_id)
         return pages
 
     def prefetch(
@@ -266,19 +278,26 @@ class BufferPool:
         """
         cap = self.read_ahead_window if window is None else window
         loaded = 0
-        for page_id in page_ids:
-            if loaded >= cap:
-                break
-            if page_id in self._cache:
-                continue
-            page = self.pager.read(page_id)
-            self.misses += 1
-            self.prefetched += 1
-            meter.charge_read(page.kind)
-            if self.current_owner is not None:
-                self.stats_for(self.current_owner).misses += 1
-            self._admit(page)
-            loaded += 1
+        run: list[int] = []
+        try:
+            for page_id in page_ids:
+                if loaded >= cap:
+                    break
+                if page_id in self._cache:
+                    continue
+                page = self.pager.read(page_id)
+                self.misses += 1
+                self.prefetched += 1
+                meter.charge_read(page.kind)
+                if self.current_owner is not None:
+                    self.stats_for(self.current_owner).misses += 1
+                self._admit(page)
+                self.pin(page_id)
+                run.append(page_id)
+                loaded += 1
+        finally:
+            for page_id in run:
+                self.unpin(page_id)
         if loaded and self.run_hist is not None:
             self.run_hist.record(loaded)
         return loaded
@@ -305,27 +324,73 @@ class BufferPool:
     def _admit(self, page: Page) -> None:
         self._cache[page.page_id] = page
         self._cache.move_to_end(page.page_id)
-        while len(self._cache) > self.capacity:
-            self._cache.popitem(last=False)
+        self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        """Drop unpinned pages in LRU order until within capacity.
+
+        When every resident page is pinned the pool is allowed to run
+        transiently over capacity (a pinned run longer than the pool);
+        :meth:`unpin` shrinks it back as pins release.
+        """
+        excess = len(self._cache) - self.capacity
+        if excess <= 0:
+            return
+        victims: list[int] = []
+        for page_id in self._cache:  # LRU first
+            if page_id not in self._pinned:
+                victims.append(page_id)
+                if len(victims) >= excess:
+                    break
+        for page_id in victims:
+            del self._cache[page_id]
+
+    # -- pinning ----------------------------------------------------------
+
+    def pin(self, page_id: int) -> None:
+        """Protect a page from LRU and interference eviction (refcounted)."""
+        self._pinned[page_id] = self._pinned.get(page_id, 0) + 1
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin; the last release makes the page evictable again
+        (and shrinks any transient over-capacity the pin caused)."""
+        count = self._pinned.get(page_id, 0)
+        if count <= 1:
+            self._pinned.pop(page_id, None)
+            self._evict_over_capacity()
+        else:
+            self._pinned[page_id] = count - 1
+
+    def pinned(self, page_id: int) -> bool:
+        """True while at least one pin holds the page."""
+        return page_id in self._pinned
 
     # -- cache management -------------------------------------------------
 
     def evict(self, page_id: int) -> None:
-        """Drop one page from the cache if present."""
+        """Forcibly drop one page from the cache if present.
+
+        This is the DDL path (drop table/index frees the page outright), so
+        it clears any pins along with the page — unlike LRU and
+        interference eviction, which both respect pins.
+        """
         self._cache.pop(page_id, None)
+        self._pinned.pop(page_id, None)
 
     def clear(self) -> None:
-        """Empty the cache (cold-start benchmarks)."""
+        """Empty the cache (cold-start benchmarks). Pins do not survive."""
         self._cache.clear()
+        self._pinned.clear()
 
     def evict_random(self, fraction: float, rng: random.Random) -> int:
         """Simulate cache interference from unrelated queries.
 
         Evicts roughly ``fraction`` of cached pages chosen uniformly at
-        random. Returns the number of evicted pages. Victims are chosen by
-        *index* into the cache's iteration order, so no copy of the full
-        key list is materialized per call (this runs inside benchmark
-        interference loops, once per engine step).
+        random — except pages pinned by an in-flight batch read, which are
+        never victims. Returns the number of pages actually evicted.
+        Victims are chosen by *index* into the cache's iteration order, so
+        no copy of the full key list is materialized per call (this runs
+        inside benchmark interference loops, once per engine step).
         """
         if not self._cache or fraction <= 0:
             return 0
@@ -335,11 +400,11 @@ class BufferPool:
         victims = [
             page_id
             for position, page_id in enumerate(self._cache)
-            if position in wanted
+            if position in wanted and page_id not in self._pinned
         ]
         for page_id in victims:
             del self._cache[page_id]
-        return count
+        return len(victims)
 
     @property
     def hit_ratio(self) -> float:

@@ -1,0 +1,231 @@
+"""Tests for adaptive selectivity feedback.
+
+The store keeps an EWMA correction per (table, index, predicate signature)
+learned from observed-vs-estimated cardinalities; the end-to-end tests
+assert that a second execution *starts from the observed cardinality*
+(``feedback_rids`` in the INITIAL_ESTIMATE event) and that the sharpened
+estimate changes a real optimizer decision — the Section 5 small-range
+shortcut fires where the raw estimate was too large to allow it.
+"""
+
+import pytest
+
+import repro
+from repro.cache.feedback import FeedbackStore, predicate_signature
+from repro.config import DEFAULT_CONFIG
+from repro.engine.metrics import EventKind
+from repro.expr.ast import col, lit, var
+
+
+# -- predicate signatures ---------------------------------------------------
+
+
+def test_signature_abstracts_hostvar_values():
+    a = predicate_signature(col("V").eq(var("X")))
+    b = predicate_signature(col("V").eq(var("Y")))
+    assert a == b
+
+
+def test_signature_keeps_literals_distinct():
+    a = predicate_signature(col("V").eq(lit(3)))
+    b = predicate_signature(col("V").eq(lit(4)))
+    assert a != b
+
+
+def test_signature_distinguishes_structure():
+    a = predicate_signature(col("V").eq(var("X")))
+    b = predicate_signature(col("V") >= var("X"))
+    assert a != b
+
+
+# -- FeedbackStore unit behaviour -------------------------------------------
+
+
+def test_single_sample_adjusts_to_observed():
+    store = FeedbackStore()
+    pred = col("V").eq(var("X"))
+    store.record("T", "IV", pred, estimated=252, actual=2)
+    assert store.adjust("T", "IV", pred, estimated=252) == 2
+
+
+def test_ewma_converges_on_repeated_observations():
+    store = FeedbackStore(alpha=0.5)
+    pred = col("V").eq(var("X"))
+    store.record("T", "IV", pred, estimated=100, actual=10)  # ratio 0.1
+    store.record("T", "IV", pred, estimated=100, actual=30)  # ratio -> 0.2
+    assert store.adjust("T", "IV", pred, estimated=100) == 20
+
+
+def test_adjust_unknown_key_returns_none():
+    store = FeedbackStore()
+    assert store.adjust("T", "IV", col("V").eq(var("X")), estimated=100) is None
+
+
+def test_disabled_store_is_inert():
+    store = FeedbackStore(enabled=False)
+    pred = col("V").eq(var("X"))
+    store.record("T", "IV", pred, estimated=100, actual=1)
+    assert store.size == 0
+    assert store.adjust("T", "IV", pred, estimated=100) is None
+    assert store.records == 0
+
+
+def test_invalidate_table_drops_only_that_table():
+    store = FeedbackStore()
+    pred = col("V").eq(var("X"))
+    store.record("T", "IV", pred, estimated=100, actual=1)
+    store.record("U", "IU", pred, estimated=100, actual=1)
+    assert store.invalidate_table("T") == 1
+    assert store.size == 1
+    assert store.adjust("U", "IU", pred, estimated=100) == 1
+
+
+def test_capacity_bound_evicts_lru():
+    store = FeedbackStore(capacity=2)
+    for table in ("A", "B", "C"):
+        store.record(table, "IX", col("V").eq(var("X")), estimated=10, actual=1)
+    assert store.size == 2
+    assert store.adjust("A", "IX", col("V").eq(var("X")), estimated=10) is None
+
+
+# -- end to end: second execution starts from observed cardinality ----------
+
+
+def sparse_connection(**config_changes):
+    """4000 rows with V = 10*i: ranges straddling a high B-tree separator
+    get large *inexact* estimates while containing almost no actual keys."""
+    config = DEFAULT_CONFIG.with_(**config_changes) if config_changes else DEFAULT_CONFIG
+    conn = repro.connect(buffer_capacity=512, config=config)
+    conn.execute("create table S (ID int, V int)")
+    conn.execute("create index IV on S (V)")
+    conn.table("S").insert_many((i, i * 10) for i in range(4000))
+    return conn
+
+
+def find_overestimated_window(conn, threshold):
+    """A (lo, hi) window whose inexact estimate exceeds ``threshold`` while
+    holding at most 2 actual keys — i.e. one the raw estimator gets wrong."""
+    from repro.btree.estimate import estimate_range
+    from repro.btree.tree import KeyRange
+
+    tree = conn.table("S").indexes["IV"].btree
+    for lo in range(0, 40000, 95):
+        estimate = estimate_range(tree, KeyRange(lo=(lo,), hi=(lo + 19,)))
+        if not estimate.exact and estimate.rids > threshold:
+            return lo, lo + 19
+    pytest.fail("no overestimated window found in the synthetic key space")
+
+
+def trace_of(result):
+    return result.retrievals[0].result.trace
+
+
+def test_second_execution_starts_from_observed_cardinality():
+    conn = sparse_connection()
+    lo, hi = find_overestimated_window(conn, threshold=DEFAULT_CONFIG.shortcut_rid_count)
+    sql = "select * from S where V between :L and :H"
+    host_vars = {"L": lo, "H": hi}
+
+    first = conn.execute(sql, host_vars)
+    events = trace_of(first).of_kind(EventKind.INITIAL_ESTIMATE)
+    assert events and "feedback_rids" not in events[0].detail
+    raw_estimate = events[0].detail["rids"]
+    actual = len(first.rows)
+    assert raw_estimate > actual  # the scenario really is an overestimate
+    assert conn.db.feedback.records == 1
+
+    second = conn.execute(sql, host_vars)
+    events = trace_of(second).of_kind(EventKind.INITIAL_ESTIMATE)
+    assert events[0].detail["rids"] == raw_estimate  # raw estimate unchanged
+    assert events[0].detail["feedback_rids"] == float(actual)
+    assert conn.db.feedback.adjustments >= 1
+    assert second.rows == first.rows
+
+
+def test_feedback_flips_the_small_range_shortcut():
+    conn = sparse_connection()
+    lo, hi = find_overestimated_window(conn, threshold=DEFAULT_CONFIG.shortcut_rid_count)
+    sql = "select * from S where V between :L and :H"
+    host_vars = {"L": lo, "H": hi}
+
+    first = conn.execute(sql, host_vars)
+    assert not trace_of(first).has(EventKind.SHORTCUT_SMALL_RANGE)
+
+    second = conn.execute(sql, host_vars)
+    shortcut = trace_of(second).of_kind(EventKind.SHORTCUT_SMALL_RANGE)
+    assert shortcut, "sharpened estimate should trigger the OLTP shortcut"
+    assert shortcut[0].detail["rids"] <= DEFAULT_CONFIG.shortcut_rid_count
+    assert second.rows == first.rows
+
+
+def test_feedback_shared_across_hostvar_bindings():
+    conn = sparse_connection()
+    lo, hi = find_overestimated_window(conn, threshold=DEFAULT_CONFIG.shortcut_rid_count)
+    sql = "select * from S where V between :L and :H"
+
+    conn.execute(sql, {"L": lo, "H": hi})
+    records = conn.db.feedback.records
+    assert records >= 1
+    # a different binding of the same statement shares the signature, so the
+    # second execution applies (and then re-records) the learned correction
+    conn.execute(sql, {"L": lo, "H": hi})
+    assert conn.db.feedback.adjustments >= 1
+    assert conn.db.feedback.size == 1
+
+
+def test_exact_estimates_are_never_recorded():
+    conn = repro.connect(buffer_capacity=128)
+    conn.execute("create table T (ID int, V int)")
+    conn.execute("create index IV on T (V)")
+    conn.table("T").insert_many((i, i) for i in range(50))
+    result = conn.execute("select * from T where V between 10 and 14")
+    events = trace_of(result).of_kind(EventKind.INITIAL_ESTIMATE)
+    assert all(event.detail["exact"] for event in events)
+    assert conn.db.feedback.records == 0  # ground truth needs no correction
+
+
+def test_ddl_drops_learned_corrections():
+    conn = sparse_connection()
+    lo, hi = find_overestimated_window(conn, threshold=DEFAULT_CONFIG.shortcut_rid_count)
+    sql = "select * from S where V between :L and :H"
+    conn.execute(sql, {"L": lo, "H": hi})
+    assert conn.db.feedback.size == 1
+    conn.execute("create index IID on S (ID)")
+    assert conn.db.feedback.size == 0
+    # the next execution runs from the raw estimate again, without feedback
+    result = conn.execute(sql, {"L": lo, "H": hi})
+    events = trace_of(result).of_kind(EventKind.INITIAL_ESTIMATE)
+    by_index = {event.detail["index"]: event.detail for event in events}
+    assert "feedback_rids" not in by_index["IV"]
+
+
+def test_feedback_disabled_by_config():
+    conn = sparse_connection(selectivity_feedback=False)
+    lo, hi = find_overestimated_window(conn, threshold=DEFAULT_CONFIG.shortcut_rid_count)
+    sql = "select * from S where V between :L and :H"
+    first = conn.execute(sql, {"L": lo, "H": hi})
+    second = conn.execute(sql, {"L": lo, "H": hi})
+    assert conn.db.feedback.records == 0
+    events = trace_of(second).of_kind(EventKind.INITIAL_ESTIMATE)
+    assert "feedback_rids" not in events[0].detail
+    assert second.rows == first.rows
+
+
+def test_feedback_disabled_when_plan_cache_off():
+    conn = sparse_connection(plan_cache_size=0)
+    lo, hi = find_overestimated_window(conn, threshold=DEFAULT_CONFIG.shortcut_rid_count)
+    sql = "select * from S where V between :L and :H"
+    conn.execute(sql, {"L": lo, "H": hi})
+    conn.execute(sql, {"L": lo, "H": hi})
+    assert not conn.db.feedback.enabled
+    assert conn.db.feedback.records == 0
+
+
+def test_explain_analyze_shows_feedback_rids():
+    conn = sparse_connection()
+    lo, hi = find_overestimated_window(conn, threshold=DEFAULT_CONFIG.shortcut_rid_count)
+    sql = "select * from S where V between :L and :H"
+    host_vars = {"L": lo, "H": hi}
+    conn.execute(sql, host_vars)
+    text = conn.explain(sql, host_vars, analyze=True)
+    assert "feedback_rids=" in text

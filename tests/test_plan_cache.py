@@ -1,0 +1,342 @@
+"""Tests for prepared statements and the shared plan cache.
+
+Covers SQL normalization, LRU behaviour, DDL invalidation (the stale-plan
+fail-safe), the PREPARE/EXECUTE/DEALLOCATE statements, ``?`` placeholders,
+the ``plan_cache_size=0`` equivalence guarantee, and the reconciliation of
+the cache's counters with what ``\\metrics`` exposes.
+"""
+
+import pytest
+
+import repro
+from repro.cache.plan_cache import normalize_sql
+from repro.config import DEFAULT_CONFIG
+from repro.errors import BindingError
+
+
+def build(rows=200, **config_changes):
+    conn = repro.connect(
+        buffer_capacity=128,
+        config=DEFAULT_CONFIG.with_(**config_changes) if config_changes else DEFAULT_CONFIG,
+    )
+    conn.execute("create table T (ID int, V int)")
+    conn.execute("create index IV on T (V)")
+    conn.table("T").insert_many((i, i % 10) for i in range(rows))
+    return conn
+
+
+# -- normalization ----------------------------------------------------------
+
+
+def test_normalize_collapses_whitespace_and_keyword_case():
+    a, _ = normalize_sql("select * from T where V = 3")
+    b, _ = normalize_sql("SELECT  *\n  FROM T WHERE V =    3")
+    assert a == b
+
+
+def test_normalize_keeps_identifier_case():
+    # identifiers are case-sensitive in this dialect; only keywords fold
+    a, _ = normalize_sql("select * from T")
+    b, _ = normalize_sql("select * from t")
+    assert a != b
+
+
+def test_normalize_keeps_literals_distinct():
+    a, _ = normalize_sql("select * from T where V = 3")
+    b, _ = normalize_sql("select * from T where V = 4")
+    assert a != b
+
+
+def test_normalize_unifies_hostvar_spellings_not_values():
+    a, _ = normalize_sql("select * from T where V = :X")
+    b, _ = normalize_sql("select * from T where V =   :X")
+    assert a == b
+
+
+def test_normalize_counts_placeholders():
+    _, n = normalize_sql("select * from T where V between ? and ?")
+    assert n == 2
+    _, n = normalize_sql("select * from T where V = :X")
+    assert n == 0
+
+
+# -- hit/miss & sharing -----------------------------------------------------
+
+
+def test_repeated_select_hits_cache():
+    conn = build()
+    cache = conn.db.plan_cache
+    conn.execute("select * from T where V = 3")
+    assert (cache.hits, cache.misses) == (0, 1)
+    conn.execute("select * from T where V = 3")
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_formatting_variants_share_one_entry():
+    conn = build()
+    conn.execute("select * from T where V = :X", {"X": 3})
+    conn.execute("SELECT  *  FROM T WHERE V = :X", {"X": 7})
+    assert conn.db.plan_cache.size == 1
+    assert conn.db.plan_cache.hits == 1
+
+
+def test_cache_shared_across_sessions():
+    conn = build()
+    s1, s2 = conn.session("s1"), conn.session("s2")
+    s1.execute("select * from T where V = 5")
+    s2.execute("select * from T where V = 5")
+    assert conn.db.plan_cache.hits == 1
+
+
+def test_lru_eviction_at_capacity():
+    conn = build(plan_cache_size=2)
+    cache = conn.db.plan_cache
+    for literal in (1, 2, 3):
+        conn.execute(f"select * from T where V = {literal}")
+    assert cache.size == 2
+    assert cache.evictions == 1
+    # the oldest entry (V = 1) was evicted; re-running it misses
+    misses = cache.misses
+    conn.execute("select * from T where V = 1")
+    assert cache.misses == misses + 1
+
+
+def test_executions_counted_per_entry():
+    conn = build()
+    stmt = conn.prepare("select * from T where V = ?")
+    stmt.execute([1])
+    stmt.execute([2])
+    assert stmt._entry.executions == 2
+
+
+# -- DDL invalidation -------------------------------------------------------
+
+
+def test_drop_table_invalidates_dependent_plans():
+    conn = build()
+    cache = conn.db.plan_cache
+    conn.execute("select * from T where V = 3")
+    assert cache.size == 1
+    conn.execute("drop table T")
+    assert cache.size == 0
+    assert cache.invalidations == 1
+
+
+def test_create_index_invalidates_by_schema_version():
+    conn = build()
+    cache = conn.db.plan_cache
+    conn.execute("select * from T where ID = 3")
+    conn.execute("create index IID on T (ID)")
+    # next execution misses and rebuilds (the new index must be considered)
+    conn.execute("select * from T where ID = 3")
+    assert cache.hits == 0
+    assert cache.misses == 2
+
+
+def test_drop_index_invalidates():
+    conn = build()
+    conn.execute("select * from T where V = 3")
+    conn.execute("drop index IV on T")
+    result = conn.execute("select * from T where V = 3")
+    assert len(result.rows) == 20
+    assert conn.db.plan_cache.invalidations >= 1
+
+
+def test_unrelated_table_ddl_keeps_entry_usable():
+    conn = build()
+    conn.execute("select * from T where V = 3")
+    conn.execute("create table U (A int)")
+    # the schema version moved, so the entry revalidates (rebuild), but the
+    # statement still executes correctly
+    result = conn.execute("select * from T where V = 3")
+    assert len(result.rows) == 20
+
+
+def test_stale_prepared_statement_fails_safe_after_drop():
+    conn = build()
+    stmt = conn.prepare("select * from T where V = ?")
+    assert len(stmt.execute([3]).rows) == 20
+    conn.execute("drop table T")
+    with pytest.raises(BindingError):
+        stmt.execute([3])
+
+
+def test_stale_prepared_statement_revalidates_after_unrelated_ddl():
+    conn = build()
+    stmt = conn.prepare("select * from T where V = ?")
+    stmt.execute([3])
+    conn.execute("create table U (A int)")
+    assert len(stmt.execute([3]).rows) == 20
+
+
+# -- prepared statements (API) ---------------------------------------------
+
+
+def test_prepare_positional_placeholders():
+    conn = build()
+    stmt = conn.prepare("select * from T where V = ?")
+    assert stmt.param_count == 1
+    assert stmt.param_names == ("?1",)
+    assert len(stmt.execute([3]).rows) == 20
+    assert len(stmt.execute([99]).rows) == 0
+
+
+def test_prepare_named_hostvars_bind_by_mapping():
+    conn = build()
+    stmt = conn.prepare("select * from T where V = :X")
+    assert stmt.param_count == 0
+    assert len(stmt.execute({"X": 4}).rows) == 20
+
+
+def test_prepare_param_count_mismatch_raises():
+    conn = build()
+    stmt = conn.prepare("select * from T where V between ? and ?")
+    with pytest.raises(BindingError):
+        stmt.execute([1])
+
+
+def test_prepare_skips_reparse_on_execute():
+    conn = build()
+    stmt = conn.prepare("select * from T where V = ?")
+    misses = conn.db.plan_cache.misses
+    stmt.execute([1])
+    stmt.execute([2])
+    assert conn.db.plan_cache.misses == misses
+
+
+def test_prepared_rows_match_adhoc():
+    conn = build()
+    stmt = conn.prepare("select ID from T where V = ?")
+    prepared = stmt.execute([6])
+    adhoc = conn.execute("select ID from T where V = 6")
+    assert prepared.rows == adhoc.rows
+
+
+# -- PREPARE / EXECUTE / DEALLOCATE SQL -------------------------------------
+
+
+def test_sql_prepare_execute_deallocate_round_trip():
+    conn = build()
+    conn.execute("prepare p1 as select * from T where V = ?")
+    result = conn.execute("execute p1 (3)")
+    assert len(result.rows) == 20
+    result = conn.execute("execute p1 (99)")
+    assert len(result.rows) == 0
+    conn.execute("deallocate p1")
+    with pytest.raises(BindingError):
+        conn.execute("execute p1 (3)")
+
+
+def test_sql_execute_unknown_name_raises():
+    conn = build()
+    with pytest.raises(BindingError):
+        conn.execute("execute nosuch (1)")
+
+
+def test_sql_execute_param_count_mismatch_raises():
+    conn = build()
+    conn.execute("prepare p as select * from T where V between ? and ?")
+    with pytest.raises(BindingError):
+        conn.execute("execute p (1)")
+
+
+def test_sql_prepare_survives_unrelated_ddl():
+    conn = build()
+    conn.execute("prepare p as select * from T where V = ?")
+    conn.execute("create table U (A int)")
+    assert len(conn.execute("execute p (3)").rows) == 20
+
+
+def test_sql_prepare_fails_safe_after_table_drop():
+    conn = build()
+    conn.execute("prepare p as select * from T where V = ?")
+    conn.execute("drop table T")
+    with pytest.raises(BindingError):
+        conn.execute("execute p (3)")
+
+
+# -- disabled cache equivalence ---------------------------------------------
+
+
+def test_cache_size_zero_rows_and_io_identical():
+    queries = [
+        ("select ID from T where V = :X", {"X": 3}),
+        ("select ID from T where V = :X", {"X": 7}),
+        ("select * from T where V between 2 and 4", None),
+        ("select * from T where V between 2 and 4", None),
+    ]
+
+    def run(conn):
+        out = []
+        for sql, host_vars in queries:
+            conn.db.cold_cache()
+            result = conn.execute(sql, host_vars)
+            out.append((result.rows, result.total_io))
+        return out
+
+    with_cache = run(build())
+    without = run(build(plan_cache_size=0))
+    assert with_cache == without
+
+
+def test_cache_size_zero_stores_nothing():
+    conn = build(plan_cache_size=0)
+    conn.execute("select * from T where V = 3")
+    conn.execute("select * from T where V = 3")
+    cache = conn.db.plan_cache
+    assert not cache.enabled
+    assert (cache.size, cache.hits, cache.misses) == (0, 0, 0)
+
+
+def test_cache_size_zero_prepared_statements_still_work():
+    conn = build(plan_cache_size=0)
+    stmt = conn.prepare("select * from T where V = ?")
+    assert len(stmt.execute([3]).rows) == 20
+    conn.execute("prepare p as select * from T where V = ?")
+    assert len(conn.execute("execute p (4)").rows) == 20
+
+
+# -- metrics reconciliation -------------------------------------------------
+
+
+def test_metrics_format_reconciles_with_cache():
+    conn = build()
+    conn.execute("select * from T where V = 3")
+    conn.execute("select * from T where V = 3")
+    conn.execute("drop index IV on T")
+    cache = conn.db.plan_cache
+    text = conn.metrics.format()
+    assert (
+        f"plan cache: {cache.size}/{cache.capacity} entries, "
+        f"{cache.hits} hits, {cache.misses} misses, "
+        f"{cache.evictions} evictions, {cache.invalidations} invalidations"
+    ) in text
+
+
+def test_prometheus_export_reconciles_with_cache_and_feedback():
+    conn = build()
+    conn.execute("select * from T where V = 3")
+    conn.execute("select * from T where V = 3")
+    cache, feedback = conn.db.plan_cache, conn.db.feedback
+    text = conn.metrics.expose_text()
+    assert f"repro_plan_cache_hits_total {cache.hits}" in text
+    assert f"repro_plan_cache_misses_total {cache.misses}" in text
+    assert f"repro_plan_cache_size {cache.size}" in text
+    assert f"repro_plan_cache_capacity {cache.capacity}" in text
+    assert f"repro_feedback_records_total {feedback.records}" in text
+    assert f"repro_feedback_entries {feedback.size}" in text
+
+
+def test_lookup_refreshes_lru_recency():
+    conn = build(plan_cache_size=2)
+    cache = conn.db.plan_cache
+    conn.execute("select * from T where V = 1")  # A
+    conn.execute("select * from T where V = 2")  # B
+    conn.execute("select * from T where V = 1")  # refresh A: B is now oldest
+    conn.execute("select * from T where V = 3")  # C evicts B
+    hits = cache.hits
+    conn.execute("select * from T where V = 1")
+    assert cache.hits == hits + 1  # A survived
+    misses = cache.misses
+    conn.execute("select * from T where V = 2")
+    assert cache.misses == misses + 1  # B was evicted

@@ -223,3 +223,102 @@ def test_evict_random_is_uniform_without_key_copy(pager, buffer_pool):
     assert len(buffer_pool) == 30
     survivors = {page_id for page_id in ids if page_id in buffer_pool}
     assert len(survivors) == 30
+
+
+# -- pinning ----------------------------------------------------------------
+
+
+def test_pinned_page_survives_evict_random(pager, buffer_pool):
+    ids = _fill(pager, 20)
+    buffer_pool.clear()
+    for page_id in ids:
+        buffer_pool.get(page_id)
+    buffer_pool.pin(ids[0])
+    buffer_pool.evict_random(1.0, random.Random(5))
+    assert ids[0] in buffer_pool
+    assert len(buffer_pool) == 1
+    buffer_pool.unpin(ids[0])
+
+
+def test_pinned_page_survives_lru_pressure(pager):
+    pool = BufferPool(pager, capacity=2)
+    ids = _fill(pager, 4)
+    pool.clear()
+    pool.get(ids[0])
+    pool.pin(ids[0])
+    pool.get(ids[1])
+    pool.get(ids[2])  # would evict ids[0] (LRU) — must take ids[1] instead
+    pool.get(ids[3])
+    assert ids[0] in pool
+    assert len(pool) == 2
+    pool.unpin(ids[0])
+
+
+def test_get_many_run_longer_than_capacity(pager, meter):
+    pool = BufferPool(pager, capacity=4)
+    ids = _fill(pager, 10)
+    pool.clear()
+    pages = pool.get_many(ids, meter)
+    # every page of the run is returned even though the run exceeds capacity
+    assert [page.page_id for page in pages] == ids
+    assert meter.io_reads == 10
+    # pins released afterwards: the pool shrank back to capacity
+    assert len(pool) == pool.capacity
+    assert not any(pool.pinned(page_id) for page_id in ids)
+
+
+def test_transient_over_capacity_shrinks_on_unpin(pager):
+    pool = BufferPool(pager, capacity=2)
+    ids = _fill(pager, 3)
+    pool.clear()
+    for page_id in ids:  # pin before admission, as the batch read paths do
+        pool.pin(page_id)
+        pool.get(page_id)
+    assert len(pool) == 3  # all pinned: allowed over capacity
+    pool.unpin(ids[0])
+    assert len(pool) == 2  # last release shrinks the pool back
+    assert ids[0] not in pool
+    for page_id in ids[1:]:
+        pool.unpin(page_id)
+
+
+def test_pin_is_refcounted(pager, buffer_pool):
+    (page_id,) = _fill(pager, 1)
+    buffer_pool.clear()
+    buffer_pool.get(page_id)
+    buffer_pool.pin(page_id)
+    buffer_pool.pin(page_id)
+    buffer_pool.unpin(page_id)
+    assert buffer_pool.pinned(page_id)  # one pin still holds
+    buffer_pool.unpin(page_id)
+    assert not buffer_pool.pinned(page_id)
+
+
+def test_forcible_evict_clears_pin(pager, buffer_pool):
+    (page_id,) = _fill(pager, 1)
+    buffer_pool.clear()
+    buffer_pool.get(page_id)
+    buffer_pool.pin(page_id)
+    buffer_pool.evict(page_id)  # the DDL path ignores pins
+    assert page_id not in buffer_pool
+    assert not buffer_pool.pinned(page_id)
+
+
+def test_evict_random_mid_prefetch_spares_the_run(pager, monkeypatch):
+    """An interference tick landing mid-run cannot drop the run's pages."""
+    pool = BufferPool(pager, capacity=32)
+    ids = _fill(pager, 6)
+    pool.clear()
+    original_admit = pool._admit
+    rng = random.Random(3)
+
+    def admit_and_interfere(page):
+        original_admit(page)
+        pool.evict_random(1.0, rng)
+
+    monkeypatch.setattr(pool, "_admit", admit_and_interfere)
+    pages = pool.get_many(ids)
+    assert [page.page_id for page in pages] == ids
+    # every page of the in-flight run survived the interference ticks
+    # thrown at it while later pages of the same run were admitted
+    assert all(page_id in pool for page_id in ids)
