@@ -44,6 +44,7 @@ class Connection:
         max_concurrency: int = 4,
         scheduling: str = "round-robin",
         trace_sink: Any | None = None,
+        flight_sink: Any | None = None,
     ) -> None:
         self.db = db
         self.server = QueryServer(
@@ -51,6 +52,7 @@ class Connection:
             max_concurrency=max_concurrency,
             scheduling=scheduling,
             trace_sink=trace_sink,
+            flight_sink=flight_sink,
         )
         self._main = self.server.session("main")
         self._closed = False
@@ -130,6 +132,25 @@ class Connection:
 
         return explain_sql(self.db, sql)
 
+    def audit(
+        self,
+        sql: str,
+        host_vars: Mapping[str, Any] | None = None,
+    ):
+        """Execute one SELECT with a full decision audit and counterfactual
+        replay of the rejected strategies — the API form of
+        ``EXPLAIN COMPETE <sql>``.
+
+        Returns the :class:`~repro.obs.regret.CompeteReport`: per-decision
+        realized regret, per-retrieval chosen-vs-rejected replay costs, and
+        the statement's complete decision log (``report.audit``). Replays
+        run on shadow buffer pools, off the scheduler's hot path, capped by
+        ``config.replay_budget_steps``.
+        """
+        self._check_open()
+        result = self._main.execute(f"explain compete {sql}", host_vars)
+        return result.compete
+
     # -- sessions & metrics ------------------------------------------------
 
     def session(self, name: str | None = None) -> ServerSession:
@@ -159,11 +180,11 @@ class Connection:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Cancel any in-flight queries and refuse further statements."""
+        """Cancel any in-flight queries, flush and close the trace/flight
+        sinks, and refuse further statements."""
         if self._closed:
             return
-        for handle in self.server.queued + self.server.running:
-            handle.cancel(reason="connection-closed")
+        self.server.shutdown()
         self._closed = True
 
     def _check_open(self) -> None:
@@ -186,6 +207,7 @@ def connect(
     scheduling: str = "round-robin",
     db: Database | None = None,
     trace_sink: Any | None = None,
+    flight_sink: Any | None = None,
 ) -> Connection:
     """Open a :class:`Connection` — the package's front door.
 
@@ -195,7 +217,9 @@ def connect(
     receives the finished span tree of every traced query (anything with
     ``write(tree_dict)``, e.g. :class:`repro.obs.JsonlSink`); queries are
     traced when sampled by ``config.trace_sample_rate`` or run via
-    EXPLAIN ANALYZE.
+    EXPLAIN ANALYZE. ``flight_sink`` receives the flight recorder's
+    captures — one record (span tree + decision log) per query exceeding
+    ``config.slow_query_ms`` or ``config.regret_threshold``.
     """
     if db is None:
         db = Database(buffer_capacity=buffer_capacity, config=config)
@@ -204,4 +228,5 @@ def connect(
         max_concurrency=max_concurrency,
         scheduling=scheduling,
         trace_sink=trace_sink,
+        flight_sink=flight_sink,
     )

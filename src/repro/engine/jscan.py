@@ -36,6 +36,7 @@ from repro.competition.two_stage import SwitchCriterion, SwitchDecision
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.engine.initial import JscanCandidate
 from repro.engine.metrics import EventKind, RetrievalTrace
+from repro.obs.audit import DecisionKind
 from repro.storage.buffer_pool import BufferPool, CostMeter
 from repro.storage.heap import HeapFile
 from repro.storage.hybrid_list import HybridRidList, RidListRegion
@@ -382,6 +383,21 @@ class JscanProcess(Process):
         reason = (
             "projected-cost" if decision is SwitchDecision.ABANDON_PROJECTED else "scan-cost"
         )
+        audit = self.trace.audit
+        if audit.enabled:
+            # the switch-criterion's inputs at the moment it fired: what
+            # the scan had cost, what the projection said it would cost,
+            # and the guaranteed bound it lost to
+            audit.decision(
+                DecisionKind.STAGE_TRANSITION,
+                chosen=f"abandon({scan.name})",
+                reason=reason,
+                scanned=scan.scanned,
+                kept=scan.kept,
+                scan_cost=round(scan.scan_cost, 2),
+                guaranteed=round(guaranteed, 2),
+                projection=round(self._projection(scan), 2),
+            )
         self._abandon_scan(scan, reason)
         self._maybe_start_partner()
 

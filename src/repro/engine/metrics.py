@@ -96,12 +96,17 @@ class RetrievalTrace:
         self.events: list[TraceEvent] = []
         self.counters = RetrievalCounters()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: the query's decision audit, mirrored off the tracer so the
+        #: engine's decision sites reach it in one attribute hop
+        #: (:data:`~repro.obs.audit.NULL_AUDIT` when auditing is off)
+        self.audit = self.tracer.audit
 
     def emit(self, kind: EventKind, **detail: Any) -> None:
         """Record one event (and attach it to the current span)."""
         event = TraceEvent(kind, detail)
         self.events.append(event)
         self.tracer.event(event)
+        self.audit.observe_event(event)
         if kind is EventKind.STRATEGY_SWITCH:
             # a switch is a span boundary in the timeline, not just a log
             # line: EXPLAIN ANALYZE renders it between the strategies it

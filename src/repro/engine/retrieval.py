@@ -38,6 +38,7 @@ from repro.expr.disjunction import cover_disjuncts
 from repro.errors import RetrievalError
 from repro.expr.ast import ALWAYS_TRUE, Expr
 from repro.expr.eval import compile_predicate, referenced_columns
+from repro.obs.audit import AuditLog, DecisionKind
 from repro.obs.trace import Tracer
 from repro.storage.buffer_pool import BufferPool, CostMeter
 from repro.storage.heap import HeapFile
@@ -63,6 +64,13 @@ class RetrievalRequest:
     #: adaptive selectivity feedback store (``repro.cache.FeedbackStore``);
     #: None leaves raw descent estimates untouched
     feedback: Any | None = None
+    #: bypass the dispatcher and run one named strategy — used by
+    #: counterfactual replay (:mod:`repro.obs.regret`) to execute a
+    #: rejected alternative. Vocabulary: ``tscan``, ``sscan``,
+    #: ``sorted-sscan``, ``sorted``, ``index-only``, ``fast-first``,
+    #: ``background-only``, ``union-or``. None (the default) keeps the
+    #: normal dynamic dispatch.
+    force_strategy: str | None = None
 
 
 @dataclass
@@ -160,6 +168,9 @@ class SingleTableRetrieval:
         span = trace.tracer.begin(
             "retrieval", table=self.heap.name, goal=request.goal.value
         )
+        audit = trace.audit
+        if audit.enabled:
+            audit.begin_retrieval(self.heap.name, request)
         estimation_meter = CostMeter(name="initial-stage")
         goal = request.goal
         if goal is OptimizationGoal.DEFAULT:
@@ -215,6 +226,8 @@ class SingleTableRetrieval:
             result.description = "shortcut: provably empty result"
             trace.emit(EventKind.RETRIEVAL_COMPLETE, rows=0)
             self._record_context(context, arrangement)
+            if audit.enabled:
+                audit.end_retrieval(result)
             trace.tracer.end(span, rows=0, shortcut="empty")
             return result
 
@@ -241,7 +254,10 @@ class SingleTableRetrieval:
             config=self.config,
             predicate=predicate,
         )
-        inner = self._dispatch_steps(ctx, arrangement, goal, bool(request.order_by))
+        if request.force_strategy is not None:
+            inner = self._dispatch_forced(ctx, arrangement, request.force_strategy)
+        else:
+            inner = self._dispatch_steps(ctx, arrangement, goal, bool(request.order_by))
         try:
             while True:
                 try:
@@ -255,6 +271,11 @@ class SingleTableRetrieval:
             # ``inner`` ends the tactic span first, keeping strict nesting
             inner.close()
             self._abandon_spawned(ctx, trace)
+            # the sunk cost of the abandoned processes still belongs to the
+            # retrieval: cancelled (and budget-truncated replay) results
+            # report the work they actually did
+            result.execution_cost = sum(p.meter.total for p in ctx.spawned)
+            result.execution_io = sum(p.meter.io_total for p in ctx.spawned)
             trace.tracer.end(span, cancelled=True)
             raise
 
@@ -272,6 +293,9 @@ class SingleTableRetrieval:
         trace.emit(EventKind.RETRIEVAL_COMPLETE, rows=len(rows))
         self._record_context(context, arrangement)
         self._record_feedback(request, arrangement)
+        if audit.enabled:
+            self._record_audit_estimates(audit, arrangement)
+            audit.end_retrieval(result)
         trace.tracer.end(
             span,
             rows=len(rows),
@@ -290,6 +314,32 @@ class SingleTableRetrieval:
         goal: OptimizationGoal,
         order_requested: bool,
     ) -> StepOutcome:
+        audit = ctx.trace.audit
+
+        def record(chosen: str, alternatives: tuple[str, ...], **inputs: Any) -> None:
+            # the explicit tactic-selection decision: names the rejected
+            # strategies in the replayable force_strategy vocabulary and
+            # carries the estimates the dispatch was decided on
+            if audit.enabled:
+                best = arrangement.best_sscan
+                audit.decision(
+                    DecisionKind.TACTIC_SELECTION,
+                    chosen,
+                    alternatives,
+                    goal=goal.value,
+                    tscan_pages=self.heap.page_count,
+                    jscan_candidates=len(arrangement.jscan_candidates),
+                    best_jscan_rids=(
+                        arrangement.jscan_candidates[0].estimated_rids
+                        if arrangement.jscan_candidates
+                        else None
+                    ),
+                    best_sscan_rids=(
+                        best.estimated_rids if best is not None else None
+                    ),
+                    **inputs,
+                )
+
         if order_requested and arrangement.order_index is not None:
             order_index = arrangement.order_index.index
             covering = next(
@@ -304,30 +354,117 @@ class SingleTableRetrieval:
                 # the order index is also self-sufficient: an ordered Sscan
                 # delivers sorted results with zero record fetches — a clear
                 # case, no competition needed
+                record("sorted-sscan", ("sorted",), index=covering.index.name)
                 return (yield from self._run_sscan_steps(ctx, covering, ordered=True))
+            record("sorted", ("tscan",), order_index=order_index.name)
             return (yield from sorted_tactic_steps(ctx))
         has_jscan = bool(arrangement.jscan_candidates)
         has_sscan = arrangement.best_sscan is not None
         if has_sscan and has_jscan:
+            record("index-only", ("sscan", "background-only"))
             return (yield from index_only_steps(ctx))
         if has_sscan:
             # clear case: "the only optimization task to be resolved is to
             # pick the one whose scan is the cheapest"
             best = arrangement.best_sscan
             assert best is not None
+            record("sscan", ("tscan",), index=best.index.name)
             return (yield from self._run_sscan_steps(ctx, best))
         if has_jscan:
             if goal is OptimizationGoal.FAST_FIRST:
+                record("fast-first", ("tscan",))
                 return (yield from fast_first_steps(ctx))
+            record("background-only", ("tscan",))
             return (yield from background_only_steps(ctx))
         # OR extension (Section 8): a disjunctive restriction whose every
         # top-level disjunct is covered by some index range can be resolved
         # by a union joint scan
         covered = cover_disjuncts(ctx.restriction, self.indexes, ctx.host_vars)
         if covered:
+            record("union-or", ("tscan",), disjuncts=len(covered))
             return (yield from union_or_steps(ctx, covered))
         # clear case: no useful index at all
+        record("tscan", ())
         return (yield from self._run_tscan_steps(ctx))
+
+    def _dispatch_forced(
+        self, ctx: TacticContext, arrangement: InitialArrangement, strategy: str
+    ) -> StepOutcome:
+        """Run one named strategy, bypassing the dynamic dispatch.
+
+        Counterfactual replay (:mod:`repro.obs.regret`) uses this to
+        execute a rejected alternative against the (shadow) arrangement.
+        Raises :class:`~repro.errors.RetrievalError` when the arrangement
+        cannot support the strategy.
+        """
+        if strategy == "tscan":
+            return (yield from self._run_tscan_steps(ctx))
+        if strategy in ("sscan", "sorted-sscan"):
+            if strategy == "sorted-sscan" and arrangement.order_index is not None:
+                order_index = arrangement.order_index.index
+                covering = next(
+                    (
+                        candidate
+                        for candidate in arrangement.sscan_candidates
+                        if candidate.index is order_index
+                    ),
+                    None,
+                )
+                if covering is not None:
+                    return (
+                        yield from self._run_sscan_steps(ctx, covering, ordered=True)
+                    )
+            best = arrangement.best_sscan
+            if best is None:
+                raise RetrievalError(
+                    f"cannot force {strategy!r}: no self-sufficient index"
+                )
+            return (yield from self._run_sscan_steps(ctx, best))
+        if strategy == "sorted":
+            if arrangement.order_index is None:
+                raise RetrievalError("cannot force 'sorted': no order index")
+            return (yield from sorted_tactic_steps(ctx))
+        if strategy == "index-only":
+            if arrangement.best_sscan is None:
+                raise RetrievalError(
+                    "cannot force 'index-only': no self-sufficient index"
+                )
+            return (yield from index_only_steps(ctx))
+        if strategy in ("fast-first", "background-only"):
+            if not arrangement.jscan_candidates:
+                raise RetrievalError(
+                    f"cannot force {strategy!r}: no fetch-needed index"
+                )
+            if strategy == "fast-first":
+                return (yield from fast_first_steps(ctx))
+            return (yield from background_only_steps(ctx))
+        if strategy == "union-or":
+            covered = cover_disjuncts(ctx.restriction, self.indexes, ctx.host_vars)
+            if not covered:
+                raise RetrievalError(
+                    "cannot force 'union-or': disjuncts not index-covered"
+                )
+            return (yield from union_or_steps(ctx, covered))
+        raise RetrievalError(f"unknown forced strategy {strategy!r}")
+
+    @staticmethod
+    def _record_audit_estimates(
+        audit: AuditLog, arrangement: InitialArrangement
+    ) -> None:
+        """Feed estimated-vs-observed cardinalities into the audit log.
+
+        These pairs drive the estimate-error-ratio histogram — the live
+        capture of the paper's Figure 2.1/2.2 L-shapes."""
+        candidates = list(arrangement.jscan_candidates) + list(
+            arrangement.sscan_candidates
+        )
+        for candidate in candidates:
+            estimate = candidate.estimate
+            if estimate is None or candidate.observed is None:
+                continue
+            audit.observe_estimate(
+                candidate.index.name, estimate.rids, candidate.observed
+            )
 
     def _run_sscan_steps(
         self, ctx: TacticContext, candidate, ordered: bool = False

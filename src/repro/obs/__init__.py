@@ -13,10 +13,32 @@ surfaces layered on top of the flat per-retrieval counters:
 * :mod:`repro.obs.export` — Prometheus-text-format rendering used by
   :meth:`repro.server.MetricsRegistry.expose_text`;
 * :mod:`repro.obs.explain` — the EXPLAIN ANALYZE report combining plan,
-  estimate-vs-actual, and the span tree.
+  estimate-vs-actual, and the span tree;
+* :mod:`repro.obs.audit` — structured decision records (what the optimizer
+  chose, over what, and why) and their server-wide aggregation
+  (:class:`DecisionMetrics`);
+* :mod:`repro.obs.regret` — counterfactual replay of rejected strategies
+  on shadow buffer pools, turning decisions into realized regret
+  (``EXPLAIN COMPETE`` / ``Connection.audit()``).
 """
 
+from repro.obs.audit import (
+    NULL_AUDIT,
+    AuditLog,
+    DecisionKind,
+    DecisionMetrics,
+    DecisionRecord,
+    NullAudit,
+    RetrievalAudit,
+)
 from repro.obs.hist import LogHistogram
+from repro.obs.regret import (
+    CompeteReport,
+    ReplayOutcome,
+    RetrievalCompete,
+    replay_strategy,
+    run_compete,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     JsonlSink,
@@ -27,11 +49,23 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AuditLog",
+    "CompeteReport",
+    "DecisionKind",
+    "DecisionMetrics",
+    "DecisionRecord",
     "JsonlSink",
     "LogHistogram",
+    "NULL_AUDIT",
     "NULL_TRACER",
+    "NullAudit",
     "NullTracer",
+    "ReplayOutcome",
+    "RetrievalAudit",
+    "RetrievalCompete",
     "Span",
     "Tracer",
+    "replay_strategy",
+    "run_compete",
     "should_sample",
 ]

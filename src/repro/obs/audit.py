@@ -1,0 +1,523 @@
+"""Decision audit: structured records of every optimizer choice.
+
+The tracer (:mod:`repro.obs.trace`) records *what the engine did*; this
+module records *what the engine decided and why*. Every choice point of the
+dynamic optimizer — goal inference, index ordering, the Section-5
+shortcuts, tactic selection, Jscan's two-stage scan abandonment, strategy
+switches, selectivity-feedback application — lands in an :class:`AuditLog`
+as a :class:`DecisionRecord` carrying the inputs that drove it (estimates,
+guaranteed costs, the candidate set) and the alternatives it rejected.
+
+The audit rides on the tracer: a query's :class:`AuditLog` is attached as
+``tracer.audit`` and mirrored onto every
+:class:`~repro.engine.metrics.RetrievalTrace` the query produces, so the
+engine's decision sites pay one ``enabled`` attribute check when auditing
+is off (:data:`NULL_AUDIT`, the same null-object discipline as
+:data:`~repro.obs.trace.NULL_TRACER`). ``benchmarks/bench_audit_overhead.py``
+holds the disabled path to the same <2% throughput budget as tracing.
+
+Two consumers build on the records:
+
+* :mod:`repro.obs.regret` replays the rejected alternatives against a
+  shadow buffer pool to turn each :class:`DecisionRecord` into realized
+  regret (``EXPLAIN COMPETE`` / ``Connection.audit()``);
+* :class:`DecisionMetrics` aggregates server-wide — per-tactic win rates,
+  regret and estimate-error-ratio histograms, and the per-retrieval cost
+  histogram that reproduces the paper's Figure 2.1/2.2 L-shapes from live
+  traffic (``\\decisions`` in the shell, the Prometheus writer).
+
+This module must not import :mod:`repro.obs.trace` (the tracer imports
+:data:`NULL_AUDIT` from here) nor anything from :mod:`repro.engine`;
+events are matched by their ``kind.value`` strings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.hist import LogHistogram
+
+
+class DecisionKind(enum.Enum):
+    """Kinds of optimizer decisions the audit records."""
+
+    #: which optimization goal the executor inferred for a retrieval
+    GOAL_INFERENCE = "goal-inference"
+    #: the initial stage's ascending-RID arrangement of Jscan candidates
+    INDEX_ORDERING = "index-ordering"
+    #: a Section-5 shortcut fired (provably empty / very short range)
+    SHORTCUT = "shortcut"
+    #: which competition tactic the dispatcher committed to
+    TACTIC_SELECTION = "tactic-selection"
+    #: Jscan's two-stage competition ended an index scan (or recommended
+    #: Tscan) based on projected cost vs the guaranteed best
+    STAGE_TRANSITION = "stage-transition"
+    #: a mid-flight strategy switch (jscan-won, tscan fallback, filter
+    #: installation, foreground termination, ...)
+    STRATEGY_SWITCH = "strategy-switch"
+    #: a selectivity-feedback correction replaced a raw descent estimate
+    FEEDBACK_APPLICATION = "feedback-application"
+
+
+@dataclass
+class DecisionRecord:
+    """One optimizer decision: what was chosen, over what, and why.
+
+    ``inputs`` holds the numbers the decision was computed from (estimated
+    RIDs, scan costs, guaranteed best cost, ...). ``alternatives`` names the
+    rejected options in the replayable strategy vocabulary of
+    :attr:`repro.engine.retrieval.RetrievalRequest.force_strategy`; after a
+    counterfactual replay, ``counterfactuals`` maps each replayed strategy
+    to its realized cost and ``regret`` is ``max(0, chosen − best
+    alternative)`` in page-I/O cost units.
+    """
+
+    kind: DecisionKind
+    chosen: str
+    alternatives: tuple[str, ...] = ()
+    inputs: dict[str, Any] = field(default_factory=dict)
+    #: which retrieval of the statement made this decision (-1 = the
+    #: statement level, e.g. goal inference before the retrieval starts)
+    retrieval_index: int = -1
+    #: realized regret in cost units, set by counterfactual replay
+    regret: float | None = None
+    #: replayed strategy -> realized cost, set by counterfactual replay
+    counterfactuals: dict[str, float] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering (flight recorder, EXPLAIN COMPETE)."""
+        out: dict[str, Any] = {
+            "kind": self.kind.value,
+            "chosen": self.chosen,
+            "retrieval": self.retrieval_index,
+        }
+        if self.alternatives:
+            out["alternatives"] = list(self.alternatives)
+        if self.inputs:
+            out["inputs"] = {
+                key: value
+                if isinstance(value, (str, int, float, bool, type(None), list, tuple, dict))
+                else str(value)
+                for key, value in self.inputs.items()
+            }
+        if self.regret is not None:
+            out["regret"] = round(self.regret, 3)
+        if self.counterfactuals is not None:
+            out["counterfactuals"] = {
+                strategy: round(cost, 3)
+                for strategy, cost in self.counterfactuals.items()
+            }
+        return out
+
+    def __str__(self) -> str:
+        parts = f"{self.kind.value}: {self.chosen}"
+        if self.alternatives:
+            parts += f" (over {', '.join(self.alternatives)})"
+        if self.regret is not None:
+            parts += f" regret={self.regret:.1f}"
+        return parts
+
+
+@dataclass
+class RetrievalAudit:
+    """The decisions and outcome of one retrieval execution.
+
+    Keeps the original :class:`~repro.engine.retrieval.RetrievalRequest` so
+    :mod:`repro.obs.regret` can re-execute the retrieval with a forced
+    strategy against a shadow buffer pool.
+    """
+
+    index: int
+    table: str
+    request: Any = None
+    decisions: list[DecisionRecord] = field(default_factory=list)
+    #: (index name, estimated RIDs, observed RIDs) per completed scan
+    estimates: list[tuple[str, float, int]] = field(default_factory=list)
+    #: filled by :meth:`AuditLog.end_retrieval` when the retrieval completes
+    complete: bool = False
+    cost: float = 0.0
+    io: int = 0
+    rows: int = 0
+    description: str = ""
+
+    def tactic_selection(self) -> DecisionRecord | None:
+        """The tactic-selection decision (the replayable choice point)."""
+        for record in self.decisions:
+            if record.kind is DecisionKind.TACTIC_SELECTION:
+                return record
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "retrieval": self.index,
+            "table": self.table,
+            "complete": self.complete,
+            "cost": round(self.cost, 3),
+            "io": self.io,
+            "rows": self.rows,
+            "strategy": self.description,
+            "decisions": [record.to_dict() for record in self.decisions],
+        }
+        if self.estimates:
+            out["estimates"] = [
+                {"index": name, "estimated": round(estimated, 1), "actual": actual}
+                for name, estimated, actual in self.estimates
+            ]
+        return out
+
+
+class AuditLog:
+    """One query's decision log, attached to its tracer as ``tracer.audit``.
+
+    The engine calls :meth:`begin_retrieval`/:meth:`end_retrieval` around
+    every retrieval and :meth:`decision` at explicit choice points;
+    :meth:`observe_event` derives further decisions from the trace-event
+    stream (shortcuts, strategy switches, feedback applications) without
+    extra engine instrumentation.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        #: statement-level decisions (goal inference happens before the
+        #: retrieval exists)
+        self.query_decisions: list[DecisionRecord] = []
+        self.retrievals: list[RetrievalAudit] = []
+        self._current: RetrievalAudit | None = None
+
+    # -- retrieval lifecycle ------------------------------------------------
+
+    def begin_retrieval(self, table: str, request: Any = None) -> RetrievalAudit:
+        """Open the decision scope of one retrieval."""
+        audit = RetrievalAudit(index=len(self.retrievals), table=table, request=request)
+        self.retrievals.append(audit)
+        self._current = audit
+        return audit
+
+    def end_retrieval(self, result: Any) -> None:
+        """Close the current retrieval scope with its realized outcome."""
+        current = self._current
+        if current is None:
+            return
+        current.complete = True
+        current.cost = float(getattr(result, "total_cost", 0.0))
+        current.io = int(getattr(result, "execution_io", 0))
+        current.rows = len(getattr(result, "rows", ()))
+        current.description = getattr(result, "description", "")
+        self._current = None
+
+    # -- recording ----------------------------------------------------------
+
+    def decision(
+        self,
+        kind: DecisionKind,
+        chosen: str,
+        alternatives: tuple[str, ...] = (),
+        **inputs: Any,
+    ) -> DecisionRecord:
+        """Record one decision in the current retrieval (or statement) scope."""
+        current = self._current
+        record = DecisionRecord(
+            kind=kind,
+            chosen=chosen,
+            alternatives=alternatives,
+            inputs=inputs,
+            retrieval_index=current.index if current is not None else -1,
+        )
+        if current is not None:
+            current.decisions.append(record)
+        else:
+            self.query_decisions.append(record)
+        return record
+
+    def observe_event(self, event: Any) -> None:
+        """Derive decisions from the engine's trace-event stream.
+
+        Tactic selection and Jscan scan abandonment are *not* mapped here —
+        the engine records those explicitly with richer inputs (the
+        alternative set, the projection vs guaranteed-cost numbers); mapping
+        their events too would double-record them.
+        """
+        kind = getattr(getattr(event, "kind", None), "value", None)
+        if kind is None:
+            return
+        detail = event.detail
+        if kind == "shortcut-empty":
+            self.decision(DecisionKind.SHORTCUT, "empty", **detail)
+        elif kind == "shortcut-small-range":
+            self.decision(DecisionKind.SHORTCUT, "small-range", **detail)
+        elif kind == "strategy-switch":
+            inputs = {key: value for key, value in detail.items() if key != "to"}
+            self.decision(
+                DecisionKind.STRATEGY_SWITCH, str(detail.get("to", "?")), **inputs
+            )
+        elif kind == "foreground-terminated":
+            self.decision(
+                DecisionKind.STRATEGY_SWITCH, "terminate-foreground", **detail
+            )
+        elif kind == "tscan-recommended":
+            self.decision(DecisionKind.STAGE_TRANSITION, "tscan-recommended", **detail)
+        elif kind == "initial-estimate" and "feedback_rids" in detail:
+            self.decision(
+                DecisionKind.FEEDBACK_APPLICATION, "adjusted-estimate", **detail
+            )
+
+    def observe_estimate(self, index: str, estimated: float, actual: int) -> None:
+        """Record one estimated-vs-observed cardinality pair (completed
+        scans only), feeding the estimate-error-ratio histogram."""
+        current = self._current
+        if current is not None:
+            current.estimates.append((index, float(estimated), int(actual)))
+
+    # -- querying -----------------------------------------------------------
+
+    def records(self) -> Iterator[DecisionRecord]:
+        """Every decision, statement-level first, then per retrieval."""
+        yield from self.query_decisions
+        for retrieval in self.retrievals:
+            yield from retrieval.decisions
+
+    def max_regret(self) -> float:
+        """The largest replay-computed regret (0.0 when nothing replayed)."""
+        return max(
+            (record.regret for record in self.records() if record.regret is not None),
+            default=0.0,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready rendering (flight recorder lines)."""
+        return {
+            "query_decisions": [record.to_dict() for record in self.query_decisions],
+            "retrievals": [retrieval.to_dict() for retrieval in self.retrievals],
+        }
+
+    def format(self) -> str:
+        """Multi-line human-readable decision log (EXPLAIN COMPETE)."""
+        lines = []
+        for record in self.query_decisions:
+            lines.append(f"  {record}")
+        for retrieval in self.retrievals:
+            lines.append(
+                f"  retrieval #{retrieval.index} {retrieval.table}"
+                + (
+                    f": {retrieval.description} "
+                    f"(cost {retrieval.cost:.1f}, {retrieval.rows} rows)"
+                    if retrieval.complete
+                    else ": (incomplete)"
+                )
+            )
+            for record in retrieval.decisions:
+                lines.append(f"    {record}")
+        return "\n".join(lines)
+
+
+class NullAudit(AuditLog):
+    """The audit used when auditing is off: every method is a no-op.
+
+    Shared by every unaudited query (as ``NULL_TRACER.audit`` and the
+    default ``Tracer.audit``), so the engine's decision sites stay
+    unconditional attribute reads plus one ``enabled`` check.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.query_decisions = []
+        self.retrievals = []
+        self._current = None
+
+    def begin_retrieval(self, table: str, request: Any = None) -> RetrievalAudit:
+        return RetrievalAudit(index=-1, table=table)
+
+    def end_retrieval(self, result: Any) -> None:
+        pass
+
+    def decision(
+        self,
+        kind: DecisionKind,
+        chosen: str,
+        alternatives: tuple[str, ...] = (),
+        **inputs: Any,
+    ) -> DecisionRecord:
+        return DecisionRecord(kind=kind, chosen=chosen)
+
+    def observe_event(self, event: Any) -> None:
+        pass
+
+    def observe_estimate(self, index: str, estimated: float, actual: int) -> None:
+        pass
+
+
+#: Audit used when decision auditing is off. All methods are no-ops;
+#: sharing one instance is safe.
+NULL_AUDIT = NullAudit()
+
+
+class DecisionMetrics:
+    """Server-wide aggregation of decision quality.
+
+    Lives on the :class:`~repro.server.MetricsRegistry`; the scheduler
+    absorbs every retired audited query and every EXPLAIN COMPETE report,
+    and records every retired retrieval's cost unconditionally — the
+    :attr:`retrieval_cost_hist` is the live reproduction of the paper's
+    Figure 2.1/2.2 L-shaped cost distributions from production traffic.
+    """
+
+    def __init__(self) -> None:
+        #: decisions recorded, by :class:`DecisionKind` value
+        self.decisions: dict[str, int] = {}
+        #: tactic-selection counts by chosen strategy
+        self.tactic_selected: dict[str, int] = {}
+        #: replay outcomes: chosen strategy beat (or tied) an alternative
+        self.tactic_wins: dict[str, int] = {}
+        #: replay outcomes: an alternative beat the chosen strategy
+        self.tactic_losses: dict[str, int] = {}
+        #: counterfactual replays executed / truncated by the step budget
+        self.replays = 0
+        self.replay_truncated = 0
+        #: summed replayed cost of the chosen strategies vs the best
+        #: rejected alternatives (the paper's ~2x claim: ratio <= ~0.6)
+        self.competition_cost = 0.0
+        self.rejected_cost = 0.0
+        #: realized regret per replayed decision, cost units
+        self.regret_hist = LogHistogram("decision_regret_cost")
+        #: observed/estimated cardinality ratio per completed scan
+        self.estimate_error_hist = LogHistogram("estimate_error_ratio")
+        #: execution cost per retired retrieval (the live L-shape)
+        self.retrieval_cost_hist = LogHistogram("retrieval_cost")
+
+    # -- recording ----------------------------------------------------------
+
+    def observe_cost(self, cost: float) -> None:
+        """Record one retired retrieval's execution cost (all queries)."""
+        self.retrieval_cost_hist.record(cost)
+
+    def absorb(self, audit: AuditLog) -> None:
+        """Fold one retired query's decision log into the aggregates."""
+        for record in audit.records():
+            key = record.kind.value
+            self.decisions[key] = self.decisions.get(key, 0) + 1
+            if record.kind is DecisionKind.TACTIC_SELECTION:
+                self.tactic_selected[record.chosen] = (
+                    self.tactic_selected.get(record.chosen, 0) + 1
+                )
+            if record.regret is not None:
+                self.regret_hist.record(record.regret)
+        for retrieval in audit.retrievals:
+            for _, estimated, actual in retrieval.estimates:
+                if estimated > 0:
+                    self.estimate_error_hist.record(actual / estimated)
+
+    def absorb_compete(self, report: Any) -> None:
+        """Fold one :class:`~repro.obs.regret.CompeteReport` in: win/loss
+        counters per tactic and the competition-vs-rejected cost sums."""
+        self.replays += report.replays
+        self.replay_truncated += report.truncated
+        for compete in report.retrievals:
+            chosen = compete.chosen_outcome
+            if chosen is None or chosen.failed is not None:
+                continue
+            for alternative in compete.alternatives:
+                if alternative.failed is not None:
+                    continue
+                # a truncated alternative already cost more than its partial
+                # total when the chosen run completed within budget
+                won = chosen.cost <= alternative.cost or (
+                    alternative.truncated and not chosen.truncated
+                )
+                bucket = self.tactic_wins if won else self.tactic_losses
+                bucket[chosen.strategy] = bucket.get(chosen.strategy, 0) + 1
+            best = compete.best_alternative
+            if best is not None:
+                self.competition_cost += chosen.cost
+                self.rejected_cost += best.cost
+
+    # -- querying -----------------------------------------------------------
+
+    @property
+    def competition_ratio(self) -> float:
+        """Chosen-strategy replay cost over best-rejected replay cost
+        (the paper's claim: well below 1, ~0.5 for the 2x win)."""
+        if self.rejected_cost <= 0:
+            return 0.0
+        return self.competition_cost / self.rejected_cost
+
+    def win_rate(self, tactic: str) -> float:
+        """Fraction of replayed comparisons the tactic won (0 when never
+        replayed)."""
+        wins = self.tactic_wins.get(tactic, 0)
+        losses = self.tactic_losses.get(tactic, 0)
+        total = wins + losses
+        return wins / total if total else 0.0
+
+    def merge(self, other: "DecisionMetrics") -> None:
+        """Fold another aggregate in (element-wise, like the histograms)."""
+        for source, target in (
+            (other.decisions, self.decisions),
+            (other.tactic_selected, self.tactic_selected),
+            (other.tactic_wins, self.tactic_wins),
+            (other.tactic_losses, self.tactic_losses),
+        ):
+            for key, value in source.items():
+                target[key] = target.get(key, 0) + value
+        self.replays += other.replays
+        self.replay_truncated += other.replay_truncated
+        self.competition_cost += other.competition_cost
+        self.rejected_cost += other.rejected_cost
+        self.regret_hist.merge(other.regret_hist)
+        self.estimate_error_hist.merge(other.estimate_error_hist)
+        self.retrieval_cost_hist.merge(other.retrieval_cost_hist)
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering (shell ``\\decisions``)."""
+        lines = ["decision metrics:"]
+        if self.decisions:
+            ordered = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(self.decisions.items())
+            )
+            lines.append(f"  decisions: {ordered}")
+        else:
+            lines.append("  decisions: (none recorded — enable audit_enabled "
+                         "or run EXPLAIN COMPETE)")
+        for tactic in sorted(
+            set(self.tactic_selected) | set(self.tactic_wins) | set(self.tactic_losses)
+        ):
+            wins = self.tactic_wins.get(tactic, 0)
+            losses = self.tactic_losses.get(tactic, 0)
+            line = f"  tactic {tactic}: selected {self.tactic_selected.get(tactic, 0)}"
+            if wins or losses:
+                line += (
+                    f", replay record {wins}W-{losses}L "
+                    f"(win rate {self.win_rate(tactic):.0%})"
+                )
+            lines.append(line)
+        if self.replays:
+            lines.append(
+                f"  replays: {self.replays} ({self.replay_truncated} truncated), "
+                f"competition cost {self.competition_cost:.1f} vs rejected "
+                f"{self.rejected_cost:.1f} ({self.competition_ratio:.2f}x)"
+            )
+        if self.regret_hist.count:
+            lines.append(
+                f"  regret: n={self.regret_hist.count} "
+                f"mean={self.regret_hist.mean:.2f} p95={self.regret_hist.p95:.2f} "
+                f"max={self.regret_hist.max:.2f}"
+            )
+        if self.estimate_error_hist.count:
+            lines.append(
+                f"  estimate error (actual/estimated): "
+                f"n={self.estimate_error_hist.count} "
+                f"p50={self.estimate_error_hist.p50:.2f} "
+                f"p95={self.estimate_error_hist.p95:.2f}"
+            )
+        if self.retrieval_cost_hist.count:
+            lines.append(
+                f"  retrieval cost (L-shape): n={self.retrieval_cost_hist.count} "
+                f"p50={self.retrieval_cost_hist.p50:.1f} "
+                f"p95={self.retrieval_cost_hist.p95:.1f} "
+                f"p99={self.retrieval_cost_hist.p99:.1f} "
+                f"max={self.retrieval_cost_hist.max:.1f}"
+            )
+        return "\n".join(lines)

@@ -36,6 +36,8 @@ import json
 import time
 from typing import Any, Callable, Iterator, TextIO
 
+from repro.obs.audit import NULL_AUDIT
+
 
 class Span:
     """One timed node of the execution timeline tree."""
@@ -147,11 +149,16 @@ class Tracer:
         self,
         name: str = "query",
         clock: Callable[[], float] = time.perf_counter,
+        audit: Any | None = None,
         **attrs: Any,
     ) -> None:
         self._clock = clock
         self.root = Span(name, attrs, clock)
         self._stack: list[Span] = [self.root]
+        #: the query's decision audit log (:class:`repro.obs.audit.AuditLog`);
+        #: defaults to the no-op :data:`~repro.obs.audit.NULL_AUDIT` and is
+        #: mirrored onto every RetrievalTrace the query produces
+        self.audit = audit if audit is not None else NULL_AUDIT
 
     # -- the span stack ----------------------------------------------------
 
@@ -237,6 +244,7 @@ class NullTracer(Tracer):
     """
 
     enabled = False
+    audit = NULL_AUDIT
 
     def __init__(self) -> None:
         self._null = _NullSpan()
@@ -284,29 +292,62 @@ def should_sample(sequence: int, rate: float) -> bool:
 
 
 class JsonlSink:
-    """Writes finished span trees as JSON Lines.
+    """Writes finished span trees (or any JSON-able records) as JSON Lines.
 
     Accepts a path (opened lazily, append mode) or any writable text
     stream. The scheduler calls :meth:`write` once per retired traced
-    query; each line is one complete query timeline.
+    query (and the flight recorder once per captured slow/regretted
+    query); each line is one complete record.
+
+    Records are never truncated mid-line: the JSON document is fully
+    serialized *before* anything touches the stream, every line is flushed
+    as soon as it is written, and the sink is a context manager whose
+    ``__exit__``/:meth:`close` flushes on the way out — including when the
+    owner unwinds through an in-flight exception or scheduler shutdown.
     """
 
     def __init__(self, target: str | TextIO) -> None:
         self._path = target if isinstance(target, str) else None
         self._stream: TextIO | None = None if isinstance(target, str) else target
         self.written = 0
+        self.closed = False
 
     def write(self, tree: dict[str, Any]) -> None:
-        """Append one span tree as a JSON line."""
+        """Append one record as a JSON line (serialize-then-write: a
+        serialization error leaves the file without a partial line)."""
+        if self.closed:
+            raise ValueError("write to a closed JsonlSink")
+        line = json.dumps(tree, default=str)
         if self._stream is None:
             assert self._path is not None
             self._stream = open(self._path, "a")
-        self._stream.write(json.dumps(tree, default=str) + "\n")
+        self._stream.write(line + "\n")
         self._stream.flush()
         self.written += 1
 
+    def flush(self) -> None:
+        """Flush the underlying stream (idempotent; safe when unopened)."""
+        if self._stream is not None and not self._stream.closed:
+            self._stream.flush()
+
     def close(self) -> None:
-        """Close the underlying file (only if this sink opened it)."""
-        if self._path is not None and self._stream is not None:
-            self._stream.close()
+        """Flush, then close the underlying file if this sink opened it
+        (external streams are flushed but stay open — the caller owns
+        them). Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._stream is None:
+            return
+        if not self._stream.closed:
+            self._stream.flush()
+            if self._path is not None:
+                self._stream.close()
+        if self._path is not None:
             self._stream = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 
 from repro.engine.metrics import RetrievalCounters, RetrievalTrace
+from repro.obs.audit import DecisionMetrics
 from repro.obs.export import PrometheusText
 from repro.obs.hist import LogHistogram
 
@@ -101,6 +102,12 @@ class MetricsRegistry:
         #: the owning QueryServer so scrapes expose their counters
         self.plan_cache = None
         self.feedback = None
+        #: server-wide decision accounting: per-kind decision counts,
+        #: per-tactic win rates, regret / estimate-error / retrieval-cost
+        #: distributions (the live Figure 2.1/2.2 L-shapes)
+        self.decisions = DecisionMetrics()
+        #: queries captured by the slow-query flight recorder
+        self.flight_records = 0
 
     def session(self, session_id: str) -> SessionMetrics:
         """The metrics of one session (created on demand)."""
@@ -333,4 +340,74 @@ class MetricsRegistry:
                 "feedback_entries", feedback.size,
                 "Live (table, index, predicate-signature) feedback entries.",
             )
+        decisions = self.decisions
+        for kind, count in sorted(decisions.decisions.items()):
+            out.counter(
+                "audit_decisions_total", count,
+                "Optimizer decisions recorded, by decision kind.",
+                {"kind": kind},
+            )
+        for tactic, count in sorted(decisions.tactic_selected.items()):
+            out.counter(
+                "tactic_selected_total", count,
+                "Tactic-selection decisions, by chosen strategy.",
+                {"tactic": tactic},
+            )
+        for tactic, count in sorted(decisions.tactic_wins.items()):
+            out.counter(
+                "tactic_wins_total", count,
+                "Counterfactual replays the chosen tactic won (or tied).",
+                {"tactic": tactic},
+            )
+        for tactic, count in sorted(decisions.tactic_losses.items()):
+            out.counter(
+                "tactic_losses_total", count,
+                "Counterfactual replays a rejected alternative won.",
+                {"tactic": tactic},
+            )
+        out.counter(
+            "replays_total", decisions.replays,
+            "Counterfactual strategy replays executed.",
+        )
+        out.counter(
+            "replay_truncated_total", decisions.replay_truncated,
+            "Counterfactual replays truncated by the step budget.",
+        )
+        out.counter(
+            "competition_cost_total", decisions.competition_cost,
+            "Summed replayed cost of the chosen strategies.",
+        )
+        out.counter(
+            "rejected_cost_total", decisions.rejected_cost,
+            "Summed replayed cost of the best rejected alternatives.",
+        )
+        out.counter(
+            "flight_records_total", self.flight_records,
+            "Queries captured by the slow-query flight recorder.",
+        )
+        out.histogram(
+            "decision_regret_cost", decisions.regret_hist,
+            "Realized regret per replayed decision (cost units).",
+        )
+        out.quantiles(
+            "decision_regret_cost_quantile", decisions.regret_hist,
+            "Decision-regret percentile (bucket upper bound).",
+        )
+        out.histogram(
+            "estimate_error_ratio", decisions.estimate_error_hist,
+            "Observed/estimated cardinality ratio per completed scan.",
+        )
+        out.quantiles(
+            "estimate_error_ratio_quantile", decisions.estimate_error_hist,
+            "Estimate-error percentile (bucket upper bound).",
+        )
+        out.histogram(
+            "retrieval_cost", decisions.retrieval_cost_hist,
+            "Execution cost per retired retrieval (the Figure 2.1/2.2 "
+            "L-shape, from live traffic).",
+        )
+        out.quantiles(
+            "retrieval_cost_quantile", decisions.retrieval_cost_hist,
+            "Retrieval-cost percentile (bucket upper bound).",
+        )
         return out.render()

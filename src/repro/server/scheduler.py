@@ -45,13 +45,14 @@ from typing import Any, Generator, Mapping
 from repro.db.session import Database
 from repro.engine.goals import OptimizationGoal
 from repro.errors import QueryCancelledError, ServerError
+from repro.obs.audit import AuditLog
 from repro.obs.trace import Span, Tracer, should_sample
 from repro.server.metrics import MetricsRegistry
 from repro.sql.executor import (
     RetrievalInfo,
     execute_prepared_steps,
     execute_sql_steps,
-    is_explain_analyze,
+    explain_kind,
 )
 
 #: default virtual-time weights per optimization goal (``weighted`` mode)
@@ -222,6 +223,7 @@ class QueryServer:
         scheduling: str = "round-robin",
         goal_weights: Mapping[OptimizationGoal, float] | None = None,
         trace_sink: Any | None = None,
+        flight_sink: Any | None = None,
     ) -> None:
         if max_concurrency < 1:
             raise ServerError("max_concurrency must be >= 1")
@@ -238,6 +240,9 @@ class QueryServer:
         #: finished span trees of traced queries go here — anything with
         #: ``write(tree_dict)``, e.g. :class:`repro.obs.JsonlSink`
         self.trace_sink = trace_sink
+        #: the flight recorder's sink: queries exceeding ``slow_query_ms``
+        #: or ``regret_threshold`` dump span tree + decision log here
+        self.flight_sink = flight_sink
         # the registry observes every read-ahead run the shared pool issues
         db.buffer_pool.run_hist = self.metrics.fetch_runs
         # ... and the shared plan cache / feedback store, for \metrics + prom
@@ -277,13 +282,18 @@ class QueryServer:
             self, session_id, sql, host_vars, goal, deadline, next(self._tickets),
             prepared=prepared,
         )
-        # deterministic sampling by submission ticket; EXPLAIN ANALYZE is
-        # always traced (the rendered report *is* the span timeline)
+        # deterministic sampling by submission ticket; EXPLAIN ANALYZE /
+        # COMPETE are always traced (the rendered report *is* the span
+        # timeline) and an enabled audit forces a tracer to ride on
         rate = self.db.config.trace_sample_rate
-        if should_sample(handle.ticket, rate) or is_explain_analyze(sql):
+        kind = explain_kind(sql)
+        audit_on = self.db.config.audit_enabled
+        if should_sample(handle.ticket, rate) or kind is not None or audit_on:
             handle.tracer = Tracer(
                 "query", session=session_id, ticket=handle.ticket, sql=sql
             )
+            if audit_on or kind == "compete":
+                handle.tracer.audit = AuditLog()
             handle._wait_span = handle.tracer.open("admission-wait")
         self._queue.append(handle)
         self._admit()
@@ -422,19 +432,96 @@ class QueryServer:
             handle.session_id, handle.cache_hits, handle.cache_misses
         )
         assert handle.admitted_at is not None and handle.admitted_wall is not None
+        latency = time.perf_counter() - handle.admitted_wall
         self.metrics.record_completion(
             handle.session_id,
-            latency_seconds=time.perf_counter() - handle.admitted_wall,
+            latency_seconds=latency,
             queue_wait_quanta=handle.admitted_at - handle.submitted_at_steps,
             quanta=handle.steps,
         )
         for info in handle.retrievals:
             self.metrics.record_trace(handle.session_id, info.result.trace)
+            # the live L-shape: every retrieval's realized cost lands in
+            # the server-wide distribution, audited or not
+            self.metrics.decisions.observe_cost(info.result.total_cost)
+        audit = handle.tracer.audit if handle.tracer is not None else None
+        if audit is not None and audit.enabled:
+            self.metrics.decisions.absorb(audit)
+        compete = getattr(handle._result, "compete", None)
+        if compete is not None:
+            self.metrics.decisions.absorb_compete(compete)
         if handle.tracer is not None:
             handle.tracer.finish(outcome=outcome, quanta=handle.steps)
             if self.trace_sink is not None:
                 self.trace_sink.write(handle.tracer.to_dict())
+        self._maybe_flight_record(handle, audit, outcome, latency)
         self._admit()
+
+    def _maybe_flight_record(
+        self,
+        handle: QueryHandle,
+        audit: AuditLog | None,
+        outcome: str,
+        latency: float,
+    ) -> None:
+        """The slow-query flight recorder: one JSONL record per capture.
+
+        Triggers on wall latency (``config.slow_query_ms``) or realized
+        regret (``config.regret_threshold`` — populated by EXPLAIN
+        COMPETE's replays, so regret captures fire for competed
+        statements). The record carries everything a post-mortem needs:
+        the full span tree and the decision log.
+        """
+        if self.flight_sink is None:
+            return
+        config = self.db.config
+        latency_ms = latency * 1e3
+        reasons = []
+        if config.slow_query_ms > 0 and latency_ms >= config.slow_query_ms:
+            reasons.append("slow")
+        if (
+            config.regret_threshold > 0
+            and audit is not None
+            and audit.enabled
+            and audit.max_regret() >= config.regret_threshold
+        ):
+            reasons.append("regret")
+        if not reasons:
+            return
+        self.metrics.flight_records += 1
+        self.flight_sink.write(
+            {
+                "sql": handle.sql,
+                "session": handle.session_id,
+                "ticket": handle.ticket,
+                "outcome": outcome,
+                "latency_ms": round(latency_ms, 3),
+                "reasons": reasons,
+                "spans": (
+                    handle.tracer.to_dict() if handle.tracer is not None else None
+                ),
+                "decisions": (
+                    audit.to_dict()
+                    if audit is not None and audit.enabled
+                    else None
+                ),
+            }
+        )
+
+    def shutdown(self) -> None:
+        """Cancel everything in flight and flush/close the sinks.
+
+        In-flight queries unwind through ``GeneratorExit`` (scans
+        abandoned, temp pages released) and their partial traces are
+        retired — then the sinks close, so no record is lost to an
+        unflushed buffer. Idempotent.
+        """
+        for handle in list(self._queue) + list(self._running):
+            self._cancel(handle, reason="server-shutdown")
+        for sink in (self.trace_sink, self.flight_sink):
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
 
     # -- cancellation ------------------------------------------------------
 

@@ -10,11 +10,16 @@ benchmark scenarios). Statements end with ``;``. Meta commands:
 * ``\\set NAME VALUE`` — bind a host variable (``:NAME`` in queries)
 * ``\\metrics`` — server-wide and per-session scheduler metrics;
   ``\\metrics prom`` — the same registry in Prometheus text format
+* ``\\decisions`` — server-wide decision audit metrics (per-tactic win
+  rates, regret, estimate error, the live retrieval-cost L-shape)
 * ``\\q`` — quit
 
-``EXPLAIN <select ...>`` and ``EXPLAIN ANALYZE <select ...>`` are regular
-statements: the first prints the static plan, the second executes the query
-and prints the plan annotated with the recorded span timeline.
+``EXPLAIN <select ...>``, ``EXPLAIN ANALYZE <select ...>``, and
+``EXPLAIN COMPETE <select ...>`` are regular statements: the first prints
+the static plan, the second executes the query and prints the plan
+annotated with the recorded span timeline, and the third additionally
+audits every optimizer decision and counterfactually replays the rejected
+strategies, reporting realized regret.
 
 The shell exists so a downstream user can poke at strategy switching
 interactively — run the same parameterized query with different bindings
@@ -142,6 +147,8 @@ class Shell:
                 self._print(self.conn.metrics.expose_text())
             else:
                 self._print(self.conn.metrics.format())
+        elif head == "\\decisions":
+            self._print(self.conn.metrics.decisions.format())
         elif head == "\\explain":
             sql = command[len("\\explain"):].strip().rstrip(";")
             try:
@@ -150,7 +157,7 @@ class Shell:
                 self._print(f"error: {error}")
         else:
             self._print(f"unknown meta command {head!r} (try \\d, \\trace, \\cold, "
-                        "\\set, \\metrics, \\explain, \\q)")
+                        "\\set, \\metrics, \\decisions, \\explain, \\q)")
 
     def _list_tables(self) -> None:
         if not self.db.tables:

@@ -84,38 +84,49 @@ class ExplainResult:
     For a static ``EXPLAIN`` only the plan text is present; for
     ``EXPLAIN ANALYZE`` the statement actually ran and ``text`` carries the
     plan annotated with the execution timeline, with the underlying
-    :class:`QueryResult` attached.
+    :class:`QueryResult` attached. For ``EXPLAIN COMPETE`` the
+    counterfactual-replay report (:class:`repro.obs.regret.CompeteReport`)
+    is additionally attached as ``compete``.
     """
 
     text: str
     analyze: bool = False
     result: QueryResult | None = None
+    compete: Any | None = None
 
     def __str__(self) -> str:
         return self.text
 
 
-def is_explain_analyze(sql: str) -> bool:
-    """True when ``sql`` is an ``EXPLAIN ANALYZE`` statement.
+def explain_kind(sql: str) -> str | None:
+    """``"analyze"`` / ``"compete"`` for an executing EXPLAIN variant,
+    None otherwise (including plain ``EXPLAIN``, which never runs).
 
-    Used by the server to force a tracer for the statement before parsing
-    it in earnest (the sampling decision happens at submission time). The
-    prefix check keeps the common case — every non-EXPLAIN submission —
-    free of a full tokenize.
+    Used by the server to force a tracer (and, for COMPETE, an audit log)
+    for the statement before parsing it in earnest — the sampling decision
+    happens at submission time. The prefix check keeps the common case —
+    every non-EXPLAIN submission — free of a full tokenize.
     """
     if not sql.lstrip()[:7].lower().startswith("explain"):
-        return False
+        return None
     from repro.sql.tokenizer import tokenize
 
     try:
         tokens = tokenize(sql)
     except Exception:
-        return False
-    return (
-        len(tokens) >= 2
-        and tokens[0].is_keyword("explain")
-        and tokens[1].is_keyword("analyze")
-    )
+        return None
+    if len(tokens) < 2 or not tokens[0].is_keyword("explain"):
+        return None
+    if tokens[1].is_keyword("analyze"):
+        return "analyze"
+    if tokens[1].is_keyword("compete"):
+        return "compete"
+    return None
+
+
+def is_explain_analyze(sql: str) -> bool:
+    """True when ``sql`` is an executing EXPLAIN (ANALYZE or COMPETE)."""
+    return explain_kind(sql) is not None
 
 
 def execute_sql(
@@ -273,33 +284,65 @@ def _execute_explain(
     retrievals: list[RetrievalInfo] | None,
     tracer: Tracer | None,
 ) -> Generator[RetrievalResult, None, ExplainResult]:
-    """Render a plan (``EXPLAIN``) or run-and-render it (``EXPLAIN ANALYZE``).
+    """Render a plan (``EXPLAIN``), run-and-render it (``EXPLAIN
+    ANALYZE``), or run, audit, and counterfactually replay it
+    (``EXPLAIN COMPETE``).
 
-    ANALYZE always executes under a live tracer — one is created on the
-    spot when the caller did not force one — so the rendered report can lay
-    the span timeline next to the static plan.
+    The inner SELECT routes through the shared plan cache under the same
+    normalized key an ad-hoc execution of that text would use, so the
+    report describes the *cached* plan — spans and estimate-vs-actual
+    figures attach to the same tree production hits execute.
+
+    ANALYZE and COMPETE always execute under a live tracer — one is
+    created on the spot when the caller did not force one — so the
+    rendered report can lay the span timeline next to the static plan;
+    COMPETE additionally guarantees a live audit log on that tracer.
     """
+    from repro.obs.audit import AuditLog
     from repro.obs.explain import render_analyze
 
     query = parsed.query
     requested = query.goal if query.goal is not OptimizationGoal.DEFAULT else goal
-    bind(db, query.plan)
-    goals = infer_goals(query.plan, requested)
-    if not parsed.analyze:
-        return ExplainResult(text=format_plan(query.plan, goals), analyze=False)
+    cache = db.plan_cache
+    entry = None
+    if cache.enabled and parsed.sql and _is_select(parsed.sql):
+        entry, hit = cache.entry_for(db, parsed.sql)
+        if tracer is not None and tracer.enabled:
+            tracer.mark("plan-cache", hit=hit, size=cache.size)
+        plan_root = entry.parsed.plan
+        goals = entry.goals_for(requested)
+    else:
+        bind(db, query.plan)
+        plan_root = query.plan
+        goals = infer_goals(query.plan, requested)
+    if not parsed.analyze and not parsed.compete:
+        return ExplainResult(text=format_plan(plan_root, goals), analyze=False)
     if tracer is None or not tracer.enabled:
-        tracer = Tracer("explain-analyze")
+        tracer = Tracer("explain-compete" if parsed.compete else "explain-analyze")
+    if parsed.compete and not tracer.audit.enabled:
+        tracer.audit = AuditLog()
     if retrievals is None:
         retrievals = []
+    if entry is not None:
+        entry.executions += 1
     columns, rows = yield from _execute_block(
-        db, query.plan, dict(host_vars or {}), goals, retrievals, tracer=tracer
+        db, plan_root, dict(host_vars or {}), goals, retrievals,
+        tracer=tracer, prepared=entry,
     )
     tracer.finish(rows=len(rows))
-    text = render_analyze(query.plan, goals, retrievals, tracer, len(rows))
+    text = render_analyze(plan_root, goals, retrievals, tracer, len(rows))
     result = QueryResult(
-        columns=columns, rows=rows, plan=query.plan, goals=goals, retrievals=retrievals
+        columns=columns, rows=rows, plan=plan_root, goals=goals, retrievals=retrievals
     )
-    return ExplainResult(text=text, analyze=True, result=result)
+    compete_report = None
+    if parsed.compete:
+        from repro.obs.regret import run_compete
+
+        compete_report = run_compete(db, tracer.audit)
+        text += "\n\n" + compete_report.format()
+    return ExplainResult(
+        text=text, analyze=True, result=result, compete=compete_report
+    )
 
 
 def explain_sql(db: Database, sql: str) -> str:
@@ -405,6 +448,19 @@ def _execute_block(
         chain.distinct is None and chain.aggregate is None and chain.sort is None
     ):
         push_limit = forced_limit
+
+    if tracer is not None and tracer.audit.enabled:
+        # the statement-level decision: which optimization goal this
+        # retrieval runs under, and whether LIMIT/ORDER BY pushed down
+        from repro.obs.audit import DecisionKind
+
+        tracer.audit.decision(
+            DecisionKind.GOAL_INFERENCE,
+            chosen=goal.value,
+            table=chain.retrieve.table,
+            order_by=bool(order_keys),
+            pushed_limit=push_limit,
+        )
 
     result = yield from _tracked(
         table.select_steps(

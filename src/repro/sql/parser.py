@@ -55,10 +55,17 @@ class ParsedQuery:
 
 @dataclass
 class ExplainQuery:
-    """``EXPLAIN [ANALYZE] <select>``: render (and optionally run) a plan."""
+    """``EXPLAIN [ANALYZE | COMPETE] <select>``: render (and optionally run)
+    a plan. COMPETE additionally audits the run's optimizer decisions and
+    counterfactually replays the rejected strategies
+    (:mod:`repro.obs.regret`). ``sql`` is the inner SELECT's source text,
+    so the executor can route the execution through the shared plan cache
+    under the same key ad-hoc runs of that text would use."""
 
     query: ParsedQuery
     analyze: bool
+    compete: bool = False
+    sql: str = ""
 
 
 @dataclass
@@ -109,9 +116,16 @@ def parse_any(sql: str):
     if parser.current.is_keyword("explain"):
         parser.advance()
         analyze = parser.accept_keyword("analyze")
+        compete = False if analyze else parser.accept_keyword("compete")
+        start = parser.current.position
         query = parser.select_statement()
         parser.expect_end()
-        return ExplainQuery(query=query, analyze=analyze)
+        return ExplainQuery(
+            query=query,
+            analyze=analyze,
+            compete=compete,
+            sql=sql[start:].strip(),
+        )
     if parser.current.is_keyword("select"):
         query = parser.select_statement()
         parser.expect_end()

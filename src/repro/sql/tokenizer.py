@@ -13,7 +13,7 @@ KEYWORDS = frozenset(
     order by asc desc limit to rows optimize for fast first total time
     count sum avg min max as is null
     create table index unique on insert into values drop analyze explain
-    prepare execute deallocate
+    prepare execute deallocate compete
     """.split()
 )
 

@@ -142,6 +142,54 @@ class TestConnectionExplain:
         assert isinstance(result, ExplainResult)
         assert result.result is not None and result.result.rows
 
+    def test_explain_kind_sniff(self):
+        from repro.sql.executor import explain_kind
+
+        assert explain_kind("explain analyze select 1") == "analyze"
+        assert explain_kind("  EXPLAIN  COMPETE select 1") == "compete"
+        assert explain_kind("explain select 1") is None
+        assert explain_kind("select 1") is None
+        assert explain_kind("not even ( sql") is None
+
+
+class TestExplainPlanCache:
+    """Regression: EXPLAIN ANALYZE after a plain SELECT must *hit* the plan
+    cache and still attach spans and estimate-vs-actual to the cached
+    plan's nodes (it used to re-bind from scratch, bypassing the cache)."""
+
+    def test_analyze_hits_warm_cache_with_full_report(self):
+        conn = repro.connect(buffer_capacity=64)
+        build_parts(conn.db)
+        conn.execute(SQL)  # warm the cache with the bare statement text
+        cache = conn.db.plan_cache
+        hits, size = cache.hits, cache.size
+        result = conn.execute("explain analyze " + SQL)
+        assert cache.hits == hits + 1
+        assert cache.size == size  # no duplicate entry for the explain form
+        # ... and the report is as rich as on a cold plan
+        for section in ("-- plan", "-- execution", "-- timeline"):
+            assert section in result.text
+        assert "actual   :" in result.text and "estimated:" in result.text
+        assert "retrieval [" in result.text
+
+    def test_analyze_warms_cache_for_later_selects(self):
+        conn = repro.connect(buffer_capacity=64)
+        build_parts(conn.db)
+        conn.execute("explain analyze " + SQL)  # miss: stores the entry
+        hits = conn.db.plan_cache.hits
+        conn.execute(SQL)  # the bare statement reuses it
+        assert conn.db.plan_cache.hits == hits + 1
+
+    def test_analyze_counts_as_execution_for_feedback(self):
+        conn = repro.connect(buffer_capacity=64)
+        build_parts(conn.db)
+        conn.execute(SQL)
+        entry, hit = conn.db.plan_cache.entry_for(conn.db, SQL)
+        assert hit
+        executions = entry.executions
+        conn.execute("explain analyze " + SQL)
+        assert entry.executions == executions + 1
+
 
 # -- shell -------------------------------------------------------------------
 

@@ -86,6 +86,43 @@ class TestLogHistogram:
         a.record(1000)
         assert snap.count == 2 and snap.sum == 65  # unaffected by later records
 
+    def test_empty_percentiles_all_zero(self):
+        hist = LogHistogram("empty")
+        assert hist.p50 == hist.p95 == hist.p99 == 0.0
+        assert hist.max == 0.0 and hist.min == float("inf")  # min sentinel
+
+    def test_single_bucket_percentiles_collapse(self):
+        hist = LogHistogram("one")
+        for _ in range(10):
+            hist.record(5.0)
+        assert hist.p50 == hist.p95 == hist.p99 == 5.0
+        assert hist.mean == 5.0
+
+    def test_underflow_and_overflow_buckets(self):
+        hist = LogHistogram("extreme")
+        hist.record(0.0)  # underflow (zero)
+        hist.record(-7.0)  # negatives land in underflow too
+        hist.record(float("nan"))  # and NaN
+        hist.record(2.0 ** 40)  # beyond MAX_EXP: overflow bucket
+        assert hist.count == 4
+        assert bucket_index(2.0 ** 40) == BUCKETS - 1
+        assert bucket_upper_bound(BUCKETS - 1) == float("inf")
+        # percentiles stay finite: clamped to the observed maximum
+        assert hist.percentile(1.0) == 2.0 ** 40
+
+    def test_merge_with_empty_is_identity(self):
+        a = LogHistogram("x")
+        a.record(4)
+        a.record(9)
+        empty = LogHistogram("x")
+        a.merge(empty)
+        assert a.count == 2 and a.sum == 13
+        assert a.max == 9 and a.min == 4
+        empty.merge(a)  # and merging into an empty adopts everything
+        assert empty.count == 2 and empty.sum == 13
+        assert empty.max == 9 and empty.min == 4
+        assert empty.percentile(1.0) == a.percentile(1.0)
+
     def test_buckets_view_and_to_dict(self):
         hist = LogHistogram("x")
         hist.record(3)

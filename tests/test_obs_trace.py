@@ -146,6 +146,16 @@ class TestSampling:
         assert all(b - a == 4 for a, b in zip(picks, picks[1:]))
         assert picks == [i for i in range(1, 101) if should_sample(i, 0.25)]
 
+    def test_deterministic_across_sessions(self):
+        """Two schedulers assigning the same ticket numbers sample the same
+        queries — the decision depends only on (sequence, rate)."""
+        for rate in (0.1, 0.25, 0.5, 0.9):
+            first = [should_sample(i, rate) for i in range(1, 200)]
+            second = [should_sample(i, rate) for i in range(1, 200)]
+            assert first == second
+            assert sum(first) == sum(int(i * rate) - int((i - 1) * rate)
+                                     for i in range(1, 200))
+
 
 class TestJsonlSink:
     def test_writes_one_line_per_tree(self):
@@ -164,6 +174,48 @@ class TestJsonlSink:
         sink.write({"name": "query"})
         sink.close()
         assert json.loads(path.read_text())["name"] == "query"
+
+    def test_write_after_close_raises(self):
+        sink = JsonlSink(io.StringIO())
+        sink.write({"name": "query"})
+        sink.close()
+        assert sink.closed
+        with pytest.raises(ValueError):
+            sink.write({"name": "late"})
+
+    def test_close_is_idempotent_and_leaves_external_stream_open(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.write({"name": "query"})
+        sink.close()
+        sink.close()
+        assert not buf.closed  # caller-owned stream is flushed, not closed
+        assert json.loads(buf.getvalue())["name"] == "query"
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.write({"name": "query"})
+        assert sink.closed
+        assert json.loads(path.read_text())["name"] == "query"
+
+    def test_unserializable_record_leaves_no_partial_line(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        with pytest.raises(TypeError):
+            sink.write({"name": "query", "bad": {("tuple", "key"): 1}})
+        assert buf.getvalue() == ""  # serialize-then-write: nothing emitted
+        assert sink.written == 0
+        sink.write({"name": "query"})  # sink still usable
+        assert json.loads(buf.getvalue())["name"] == "query"
+
+    def test_flush_pushes_through_to_stream(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        sink = JsonlSink(str(path))
+        sink.write({"name": "query"})
+        sink.flush()
+        assert json.loads(path.read_text())["name"] == "query"
+        sink.close()
 
 
 # -- query span trees --------------------------------------------------------
