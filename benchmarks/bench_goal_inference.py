@@ -43,12 +43,13 @@ def experiment() -> dict:
     db = Database(buffer_capacity=64)
     build(db)
 
+    conn = db.default_connection()
     report.line("\n" + SQL)
     report.line("\ninferred plan:")
-    report.line(db.explain(SQL))
+    report.line(conn.explain(SQL).text)
 
     db.cold_cache()
-    result = db.execute(SQL)
+    result = conn.execute(SQL)
     goals = {info.table: info.goal for info in result.retrievals}
     rows = [
         ["C", "limit to 2 rows", "fast-first", goals["C"].value],

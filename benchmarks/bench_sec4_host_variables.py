@@ -66,7 +66,9 @@ def experiment() -> dict:
 
     # SQL-level run of the motivating query, for completeness
     db.cold_cache()
-    sql = db.execute("select * from FAMILIES where AGE >= :A1", {"A1": 118})
+    sql = db.default_connection().execute(
+        "select * from FAMILIES where AGE >= :A1", {"A1": 118}
+    )
     report.line(f"\nSQL path: {len(sql.rows)} rows via "
                 f"{sql.retrievals[0].result.description}")
     report.save()

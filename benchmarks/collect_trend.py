@@ -38,6 +38,9 @@ HEADLINES = {
         "overhead_off_vs_reference_pct", "audit-off overhead %"
     ),
     "prepare": ("speedup_at_repeat_16", "prepared/unprepared speedup"),
+    "join_competition": (
+        "competitive_ratio_vs_worst", "competition cost / worst static order"
+    ),
 }
 
 

@@ -58,9 +58,10 @@ def main() -> None:
         " optimize for total time"
     )
     print("\nGoal inference for the paper's nested query:")
-    print(conn.explain(sql))
+    print(conn.explain(sql).text)
     result = conn.execute(sql)
-    print("\nper-retrieval goals as executed:")
+    print(f"\n{result.rowcount} rows, {result.metrics.total_io} physical reads; "
+          "per-retrieval goals as executed:")
     for info in result.retrievals:
         print(f"  table {info.table}: {info.goal.value}")
 

@@ -39,7 +39,8 @@ def main() -> None:
         "order by AGE limit to 5 rows optimize for fast first",
         {"A1": 100},
     )
-    print("\nSQL fast-first top-5:", result.rows)
+    print(f"\nSQL fast-first top-5 ({result.rowcount} rows, "
+          f"{result.metrics.total_io} reads):", result.rows)
 
     # -- dynamic execution metrics -----------------------------------------
     db.cold_cache()

@@ -38,6 +38,7 @@ from repro.engine.goals import OptimizationGoal, infer_goals
 from repro.engine.retrieval import RetrievalRequest, RetrievalResult
 from repro.errors import QueryCancelledError, ReproError, ServerError
 from repro.expr.ast import col, lit, var
+from repro.result import Result, ResultMetrics
 from repro.obs import (
     JsonlSink,
     LogHistogram,
@@ -56,7 +57,7 @@ from repro.server import (
     SessionMetrics,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Column",
@@ -77,6 +78,8 @@ __all__ = [
     "QueryHandle",
     "QueryServer",
     "QueryState",
+    "Result",
+    "ResultMetrics",
     "RetrievalRequest",
     "RetrievalResult",
     "ReproError",

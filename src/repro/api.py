@@ -27,6 +27,7 @@ from typing import Any, Mapping
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.db.session import Database
 from repro.engine.goals import OptimizationGoal
+from repro.result import Result
 from repro.server.scheduler import QueryHandle, QueryServer, ServerSession
 
 
@@ -65,18 +66,21 @@ class Connection:
         host_vars: Mapping[str, Any] | None = None,
         goal: OptimizationGoal = OptimizationGoal.DEFAULT,
         deadline: int | None = None,
-    ) -> Any:
+    ) -> Result:
         """Run one statement to completion through the scheduler.
 
-        Returns the same :class:`~repro.sql.executor.QueryResult` (or
-        :class:`~repro.sql.ddl.DdlResult`) as the legacy
-        ``Database.execute``. ``deadline`` is a budget of scheduling quanta
+        Returns the unified :class:`~repro.result.Result` — ``rows``,
+        ``columns``, ``rowcount``, ``plan``, ``metrics`` regardless of the
+        statement kind; the legacy result object stays reachable as
+        ``result.raw``. ``deadline`` is a budget of scheduling quanta
         (each up to ``config.batch_size`` engine steps); exceeding it
         cancels the query and raises
         :class:`~repro.errors.QueryCancelledError`.
         """
         self._check_open()
-        return self._main.execute(sql, host_vars, goal=goal, deadline=deadline)
+        return Result.wrap(
+            self._main.execute(sql, host_vars, goal=goal, deadline=deadline)
+        )
 
     def submit(
         self,
@@ -116,21 +120,23 @@ class Connection:
         sql: str,
         host_vars: Mapping[str, Any] | None = None,
         analyze: bool = False,
-    ) -> str:
+    ) -> Result:
         """Render the logical plan with inferred per-retrieval goals.
 
-        With ``analyze=True`` the statement is *executed* through the
-        scheduler under a forced tracer and the plan is rendered next to the
-        recorded span timeline (actual rows, fetches, switches, abandons,
+        Returns a :class:`~repro.result.Result` of kind ``"explain"`` whose
+        ``text`` carries the report (``str(result)`` gives the same). With
+        ``analyze=True`` the statement is *executed* through the scheduler
+        under a forced tracer and the plan is rendered next to the recorded
+        span timeline (actual rows, fetches, switches, abandons,
         per-strategy time) — the API form of ``EXPLAIN ANALYZE <sql>``.
         """
         self._check_open()
         if analyze:
             result = self._main.execute(f"explain analyze {sql}", host_vars)
-            return result.text
+            return Result.wrap(result)
         from repro.sql.executor import explain_sql
 
-        return explain_sql(self.db, sql)
+        return Result.from_explain_text(explain_sql(self.db, sql))
 
     def audit(
         self,

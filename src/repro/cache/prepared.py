@@ -84,9 +84,11 @@ class PreparedStatement:
         goal: OptimizationGoal = OptimizationGoal.DEFAULT,
         deadline: int | None = None,
     ):
-        """Run one execution to completion and return its
-        :class:`~repro.sql.executor.QueryResult`."""
-        return self.submit(params, goal=goal, deadline=deadline).wait()
+        """Run one execution to completion and return the unified
+        :class:`~repro.result.Result` (legacy object on ``result.raw``)."""
+        from repro.result import Result
+
+        return Result.wrap(self.submit(params, goal=goal, deadline=deadline).wait())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<PreparedStatement params={self.param_count} sql={self.sql[:40]!r}>"

@@ -132,6 +132,23 @@ class EngineConfig:
     #: its partial cost stands as a lower bound. 0 = unbounded.
     replay_budget_steps: int = 250_000
 
+    # --- join competition ---------------------------------------------------
+    #: Race candidate join orders with pilot stages and the two-stage switch
+    #: rule before committing (False = always run the estimated-best order).
+    join_competition: bool = True
+    #: Upper bound on enumerated left-deep join orders per query; orders are
+    #: ranked by estimated cost and the tail is dropped.
+    join_max_orders: int = 8
+    #: How many of the best-estimated orders enter the pilot race.
+    join_pilot_candidates: int = 3
+    #: Engine-step budget each pilot runs before the switch rule is applied
+    #: between orders (scaled by the driving table's size when larger).
+    join_pilot_steps: int = 256
+    #: A trailing order is abandoned when its projected total cost reaches
+    #: this fraction of the leader's projected total (the join-order analogue
+    #: of ``switch_threshold``).
+    join_switch_threshold: float = 0.95
+
     # --- cost model --------------------------------------------------------
     #: CPU cost charged per record examined, in units of one page I/O.
     cpu_cost_per_record: float = 0.001

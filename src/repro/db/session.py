@@ -9,6 +9,7 @@ processes") only exists because retrievals compete for one cache.
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Any, Mapping, Sequence
 
 from repro.cache.feedback import FeedbackStore
@@ -157,17 +158,36 @@ class Database:
     ):
         """Parse, bind, and execute an SQL statement.
 
-        Back-compat shim: routes through :meth:`default_connection`, i.e.
-        the multi-query scheduler — with no concurrent sessions the step
-        sequence is identical to direct execution. Prefer
-        :func:`repro.connect` in new code. Returns a
-        :class:`repro.sql.executor.QueryResult`.
+        .. deprecated:: 1.2
+            Thin wrapper over :meth:`repro.api.Connection.execute`; routes
+            through :meth:`default_connection`, i.e. the multi-query
+            scheduler — with no concurrent sessions the step sequence is
+            identical to direct execution. Returns the *legacy* result
+            object (:class:`repro.sql.executor.QueryResult` /
+            :class:`repro.sql.ddl.DdlResult`); prefer :func:`repro.connect`
+            and the unified :class:`repro.result.Result` in new code.
         """
-        return self.default_connection().execute(sql, host_vars, goal=goal)
+        warnings.warn(
+            "Database.execute is deprecated; use repro.connect() and "
+            "Connection.execute, which returns the unified repro.Result",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        result = self.default_connection().execute(sql, host_vars, goal=goal)
+        return result.raw if result.raw is not None else result
 
     def explain(self, sql: str) -> str:
         """Describe the logical plan and inferred per-retrieval goals.
 
-        Back-compat shim for :meth:`repro.api.Connection.explain`.
+        .. deprecated:: 1.2
+            Thin wrapper over :meth:`repro.api.Connection.explain`; returns
+            the rendered text only. Prefer ``connection.explain(...)``,
+            which returns a :class:`repro.result.Result`.
         """
-        return self.default_connection().explain(sql)
+        warnings.warn(
+            "Database.explain is deprecated; use repro.connect() and "
+            "Connection.explain, which returns the unified repro.Result",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.default_connection().explain(sql).text

@@ -52,7 +52,7 @@ def _walk(node: PlanNodeLike, controller: str | None) -> Iterator[tuple[PlanNode
     The "immediately controlling" node is the nearest ancestor whose type is
     a controller; passing through another controller resets it.
     """
-    if node.node_type == "retrieve":
+    if node.node_type in ("retrieve", "join"):
         yield node, controller
     next_controller = node.node_type if node.node_type in _CONTROLLERS else controller
     for child in node.children:

@@ -1,0 +1,32 @@
+"""Multi-table join execution: order enumeration, processes, competition."""
+
+from repro.engine.join.competition import (
+    JoinReplayRequest,
+    candidate_orders,
+    join_display_name,
+    run_join_steps,
+)
+from repro.engine.join.order import (
+    JoinOrder,
+    JoinSchema,
+    JoinStep,
+    JoinTableHandle,
+    edge_signature,
+    enumerate_orders,
+)
+from repro.engine.join.process import JoinOrderProcess, reference_nested_loop
+
+__all__ = [
+    "JoinOrder",
+    "JoinOrderProcess",
+    "JoinReplayRequest",
+    "JoinSchema",
+    "JoinStep",
+    "JoinTableHandle",
+    "candidate_orders",
+    "edge_signature",
+    "enumerate_orders",
+    "join_display_name",
+    "reference_nested_loop",
+    "run_join_steps",
+]

@@ -309,6 +309,40 @@ def _walk_columns(node: object, names: set[str]) -> None:
         _walk_columns(node.child, names)
 
 
+def rewrite_columns(expr: Expr, mapper) -> Expr:
+    """Structurally copy ``expr`` with every column name passed through
+    ``mapper``. Used by the join planner to strip alias qualifiers off
+    single-table conjuncts so the single-table engine can consume them."""
+    return _rewrite(expr, mapper)
+
+
+def _rewrite(node, mapper):
+    if isinstance(node, ColumnRef):
+        return ColumnRef(mapper(node.name))
+    if isinstance(node, Comparison):
+        return Comparison(node.op, _rewrite(node.left, mapper), _rewrite(node.right, mapper))
+    if isinstance(node, Between):
+        return Between(
+            _rewrite(node.column, mapper),
+            _rewrite(node.lo, mapper),
+            _rewrite(node.hi, mapper),
+        )
+    if isinstance(node, InList):
+        return InList(
+            _rewrite(node.column, mapper),
+            tuple(_rewrite(term, mapper) for term in node.values),
+        )
+    if isinstance(node, Like):
+        return Like(_rewrite(node.column, mapper), node.pattern)
+    if isinstance(node, And):
+        return And(tuple(_rewrite(child, mapper) for child in node.children))
+    if isinstance(node, Or):
+        return Or(tuple(_rewrite(child, mapper) for child in node.children))
+    if isinstance(node, Not):
+        return Not(_rewrite(node.child, mapper))
+    return node
+
+
 def referenced_host_vars(expr: Expr) -> frozenset[str]:
     """All host-variable names the expression reads."""
     names: set[str] = set()

@@ -59,6 +59,9 @@ class DecisionKind(enum.Enum):
     STRATEGY_SWITCH = "strategy-switch"
     #: a selectivity-feedback correction replaced a raw descent estimate
     FEEDBACK_APPLICATION = "feedback-application"
+    #: which left-deep join order the join competition committed to (or
+    #: switched to mid-flight when a pilot overtook the estimated best)
+    JOIN_ORDER = "join-order"
 
 
 @dataclass
@@ -146,6 +149,14 @@ class RetrievalAudit:
         """The tactic-selection decision (the replayable choice point)."""
         for record in self.decisions:
             if record.kind is DecisionKind.TACTIC_SELECTION:
+                return record
+        return None
+
+    def join_order_selection(self) -> DecisionRecord | None:
+        """The initial join-order decision (carries every candidate as an
+        alternative — the join-level replayable choice point)."""
+        for record in self.decisions:
+            if record.kind is DecisionKind.JOIN_ORDER:
                 return record
         return None
 
@@ -387,6 +398,11 @@ class DecisionMetrics:
         self.estimate_error_hist = LogHistogram("estimate_error_ratio")
         #: execution cost per retired retrieval (the live L-shape)
         self.retrieval_cost_hist = LogHistogram("retrieval_cost")
+        #: tables per join-order decision (2–4 with the current planner)
+        self.join_depth_hist = LogHistogram("join_depth_tables")
+        #: join-order switches observed mid-flight (pilot overtook the
+        #: estimated best)
+        self.join_order_switches = 0
 
     # -- recording ----------------------------------------------------------
 
@@ -403,6 +419,12 @@ class DecisionMetrics:
                 self.tactic_selected[record.chosen] = (
                     self.tactic_selected.get(record.chosen, 0) + 1
                 )
+            if record.kind is DecisionKind.JOIN_ORDER:
+                tables = record.inputs.get("tables")
+                if tables:
+                    self.join_depth_hist.record(float(tables))
+                if record.inputs.get("switched_from"):
+                    self.join_order_switches += 1
             if record.regret is not None:
                 self.regret_hist.record(record.regret)
         for retrieval in audit.retrievals:
@@ -469,6 +491,8 @@ class DecisionMetrics:
         self.regret_hist.merge(other.regret_hist)
         self.estimate_error_hist.merge(other.estimate_error_hist)
         self.retrieval_cost_hist.merge(other.retrieval_cost_hist)
+        self.join_depth_hist.merge(other.join_depth_hist)
+        self.join_order_switches += other.join_order_switches
 
     def format(self) -> str:
         """Multi-line human-readable rendering (shell ``\\decisions``)."""
@@ -519,5 +543,12 @@ class DecisionMetrics:
                 f"p95={self.retrieval_cost_hist.p95:.1f} "
                 f"p99={self.retrieval_cost_hist.p99:.1f} "
                 f"max={self.retrieval_cost_hist.max:.1f}"
+            )
+        if self.join_depth_hist.count:
+            lines.append(
+                f"  joins: n={self.join_depth_hist.count} "
+                f"depth p50={self.join_depth_hist.p50:.0f} "
+                f"max={self.join_depth_hist.max:.0f}, "
+                f"{self.join_order_switches} mid-flight order switch(es)"
             )
         return "\n".join(lines)

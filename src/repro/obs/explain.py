@@ -10,11 +10,48 @@ and cost-meter totals, strategy switches, and abandoned scans.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Protocol, Sequence, runtime_checkable
 
 from repro.engine.metrics import EventKind
 from repro.obs.trace import Span, Tracer
 from repro.sql.plan import PlanNode, format_plan
+
+
+@runtime_checkable
+class Renderable(Protocol):
+    """The one rendering protocol every explain-family report speaks.
+
+    ``ExplainResult`` (plain EXPLAIN / ANALYZE / COMPETE),
+    :class:`~repro.obs.regret.CompeteReport`, and the join EXPLAIN output
+    all expose the same two methods: ``to_text()`` for the shell and
+    ``to_dict()`` for machine consumers (JSONL sinks, tests, tooling), so
+    callers can render any of them without type-switching.
+    """
+
+    def to_text(self) -> str: ...
+
+    def to_dict(self) -> dict[str, Any]: ...
+
+
+def plan_to_dict(node: PlanNode, goals: dict[int, Any] | None = None) -> dict[str, Any]:
+    """Machine-readable plan tree (the structural half of ``to_dict``).
+
+    Mirrors :func:`~repro.sql.plan.format_plan`: one dict per node with its
+    ``describe()`` line, inferred goal where one applies (retrieve and join
+    nodes), and recursively rendered children.
+    """
+    out: dict[str, Any] = {
+        "node": node.node_type,
+        "describe": node.describe(),
+    }
+    if goals is not None and node.node_type in ("retrieve", "join"):
+        goal = goals.get(id(node))
+        if goal is not None:
+            out["goal"] = goal.value
+    children = [plan_to_dict(child, goals) for child in node.children]
+    if children:
+        out["children"] = children
+    return out
 
 
 def _fmt_estimates(trace) -> str:

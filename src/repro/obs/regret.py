@@ -221,6 +221,11 @@ class CompeteReport:
             lines.append(self.audit.format())
         return "\n".join(lines)
 
+    def to_text(self) -> str:
+        """Renderer-protocol alias of :meth:`format`
+        (see :class:`repro.obs.explain.Renderable`)."""
+        return self.format()
+
     def __str__(self) -> str:
         return self.format()
 
@@ -299,6 +304,84 @@ def replay_strategy(
     return outcome
 
 
+def _shadow_join_handles(db: Any, plan: Any) -> dict[str, Any]:
+    """Join-table handles over shadow copies sharing ONE fresh buffer pool.
+
+    A join's tables compete for the same cache in production, so the replay
+    shares a single shadow pool across all of them — same capacity, same
+    pager, cold state.
+    """
+    from repro.engine.join import JoinTableHandle
+    from repro.storage.buffer_pool import BufferPool
+
+    pool = BufferPool(
+        db.pager,
+        capacity=db.buffer_pool.capacity,
+        read_ahead_window=db.buffer_pool.read_ahead_window,
+    )
+    handles: dict[str, Any] = {}
+    for source in plan.sources:
+        table = db.table(source.table)
+        heap = copy.copy(table.heap)
+        heap.buffer_pool = pool
+        indexes = {}
+        for info in table.indexes.values():
+            btree = copy.copy(info.btree)
+            btree.buffer_pool = pool
+            indexes[info.name] = dataclass_replace(info, btree=btree)
+        handles[source.alias] = JoinTableHandle(
+            name=table.name,
+            heap=heap,
+            schema=table.schema,
+            indexes=indexes,
+            buffer_pool=pool,
+            stats=table.stats,
+        )
+    return handles
+
+
+def replay_join_order(
+    db: Any, request: Any, order_key: str, budget_steps: int
+) -> ReplayOutcome:
+    """Re-execute one join with a forced order on a fresh shadow pool."""
+    from repro.engine.join import run_join_steps
+
+    outcome = ReplayOutcome(strategy=order_key)
+    handles = _shadow_join_handles(db, request.plan)
+    batch = max(1, db.config.batch_size)
+    budget_quanta = max(1, math.ceil(budget_steps / batch)) if budget_steps > 0 else None
+    generator = run_join_steps(
+        request.plan,
+        handles,
+        request.host_vars,
+        request.goal,
+        db.config,
+        force_order=order_key,
+    )
+    result = None
+    quanta = 0
+    try:
+        while True:
+            try:
+                result = next(generator)
+            except StopIteration as stop:
+                result = stop.value
+                break
+            quanta += 1
+            if budget_quanta is not None and quanta >= budget_quanta:
+                outcome.truncated = True
+                generator.close()
+                break
+    except Exception as error:  # noqa: BLE001 - a failed replay is a data point
+        outcome.failed = f"{type(error).__name__}: {error}"
+        return outcome
+    if result is not None:
+        outcome.cost = result.total_cost
+        outcome.io = result.execution_io
+        outcome.rows = len(result.rows)
+    return outcome
+
+
 def run_compete(
     db: Any, audit: AuditLog, budget_steps: int | None = None
 ) -> CompeteReport:
@@ -307,16 +390,62 @@ def run_compete(
     For each retrieval whose tactic selection recorded alternatives, the
     chosen strategy and each alternative are replayed cold-for-cold; the
     decision records are annotated in place (``regret``,
-    ``counterfactuals``) and the aggregate report is returned.
+    ``counterfactuals``) and the aggregate report is returned. Join
+    retrievals replay at the join-order level: the committed order and
+    every rejected candidate order run on shadow tables sharing one fresh
+    pool, yielding per-order realized regret.
     """
     if budget_steps is None:
         budget_steps = db.config.replay_budget_steps
     report = CompeteReport(audit=audit)
     for retrieval in audit.retrievals:
-        report.retrievals.append(
-            _compete_retrieval(db, retrieval, budget_steps, report)
-        )
+        if getattr(retrieval.request, "is_join", False):
+            report.retrievals.append(
+                _compete_join(db, retrieval, budget_steps, report)
+            )
+        else:
+            report.retrievals.append(
+                _compete_retrieval(db, retrieval, budget_steps, report)
+            )
     return report
+
+
+def _compete_join(
+    db: Any, retrieval: RetrievalAudit, budget_steps: int, report: CompeteReport
+) -> RetrievalCompete:
+    """Join-order counterfactuals: replay the committed order and every
+    rejected candidate order, cold-for-cold."""
+    selection = retrieval.join_order_selection()
+    request = retrieval.request
+    chosen = request.chosen_order or (
+        selection.chosen if selection is not None else ""
+    )
+    compete = RetrievalCompete(
+        index=retrieval.index,
+        table=retrieval.table,
+        chosen=chosen,
+        production_cost=retrieval.cost,
+    )
+    if selection is None or not chosen:
+        return compete
+    alternatives = [key for key in request.candidate_orders if key != chosen]
+    if not alternatives:
+        return compete
+    compete.chosen_outcome = replay_join_order(db, request, chosen, budget_steps)
+    report.replays += 1
+    report.truncated += int(compete.chosen_outcome.truncated)
+    for alternative in alternatives:
+        outcome = replay_join_order(db, request, alternative, budget_steps)
+        compete.alternatives.append(outcome)
+        report.replays += 1
+        report.truncated += int(outcome.truncated)
+    selection.counterfactuals = {
+        out.strategy: out.cost
+        for out in [compete.chosen_outcome, *compete.alternatives]
+        if out.failed is None
+    }
+    selection.regret = compete.regret
+    return compete
 
 
 def _compete_retrieval(

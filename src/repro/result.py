@@ -1,0 +1,256 @@
+"""The unified statement result: one shape for every Connection call.
+
+Historically each statement kind returned its own object —
+:class:`~repro.sql.executor.QueryResult` for SELECTs,
+:class:`~repro.sql.ddl.DdlResult` for DDL/DML, a bare ``str`` or
+:class:`~repro.sql.executor.ExplainResult` for EXPLAIN — and callers
+type-switched on the return value. :class:`Result` replaces that trio on
+the :class:`~repro.api.Connection` surface: ``execute``, ``prepare(...)
+.execute`` and ``explain`` all return a ``Result`` carrying ``rows``,
+``columns``, ``rowcount``, ``plan`` and ``metrics`` uniformly, with
+``kind`` distinguishing the statement family for callers that still care.
+
+The legacy object is preserved as ``result.raw`` and the old
+``Database.execute``/``Database.explain`` shims keep returning it (with a
+:class:`DeprecationWarning`), so existing code migrates on its own
+schedule — see ``docs/serving.md`` for the timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class ResultMetrics:
+    """Execution figures, populated uniformly across statement kinds.
+
+    For DDL/DML only ``rows_affected`` is meaningful; for EXPLAIN without
+    ANALYZE everything is zero (nothing executed).
+    """
+
+    total_io: int = 0
+    total_cost: float = 0.0
+    retrieval_count: int = 0
+    rows_affected: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "total_io": self.total_io,
+            "total_cost": self.total_cost,
+            "retrieval_count": self.retrieval_count,
+            "rows_affected": self.rows_affected,
+        }
+
+
+class Result:
+    """What every Connection statement returns.
+
+    Uniform surface::
+
+        result.rows       # list[tuple] — empty for DDL / plain EXPLAIN
+        result.columns    # tuple[str, ...]
+        result.rowcount   # len(rows), or rows_affected for DDL/DML
+        result.plan       # PlanNode | None (bound logical plan)
+        result.metrics    # ResultMetrics (io / cost / retrievals)
+
+    plus ``kind`` (``"rows"`` | ``"ddl"`` | ``"explain"``), ``text`` (the
+    rendered report for EXPLAIN, the status message for DDL), ``compete``
+    (the :class:`~repro.obs.regret.CompeteReport` for EXPLAIN COMPETE) and
+    ``raw`` (the legacy result object, for back-compat delegation).
+
+    ``Result`` is iterable over its rows and speaks the
+    :class:`~repro.obs.explain.Renderable` protocol (``to_text`` /
+    ``to_dict``) like every other report in the system.
+    """
+
+    __slots__ = ("kind", "columns", "rows", "plan", "metrics", "text",
+                 "compete", "raw")
+
+    def __init__(
+        self,
+        kind: str,
+        columns: tuple[str, ...] = (),
+        rows: list[tuple] | None = None,
+        plan: Any | None = None,
+        metrics: ResultMetrics | None = None,
+        text: str = "",
+        compete: Any | None = None,
+        raw: Any | None = None,
+    ) -> None:
+        if kind not in ("rows", "ddl", "explain"):
+            raise ValueError(f"unknown result kind {kind!r}")
+        self.kind = kind
+        self.columns = tuple(columns)
+        self.rows = rows if rows is not None else []
+        self.plan = plan
+        self.metrics = metrics if metrics is not None else ResultMetrics()
+        self.text = text
+        self.compete = compete
+        self.raw = raw
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def wrap(cls, raw: Any) -> "Result":
+        """Lift a legacy result object into the unified shape.
+
+        Accepts :class:`~repro.sql.executor.QueryResult`,
+        :class:`~repro.sql.ddl.DdlResult`,
+        :class:`~repro.sql.executor.ExplainResult`, or an existing
+        ``Result`` (returned unchanged).
+        """
+        if isinstance(raw, Result):
+            return raw
+        from repro.sql.ddl import DdlResult
+        from repro.sql.executor import ExplainResult, QueryResult
+
+        if isinstance(raw, QueryResult):
+            return cls(
+                "rows",
+                columns=raw.columns,
+                rows=raw.rows,
+                plan=raw.plan,
+                metrics=ResultMetrics(
+                    total_io=raw.total_io,
+                    total_cost=raw.total_cost,
+                    retrieval_count=len(raw.retrievals),
+                ),
+                raw=raw,
+            )
+        if isinstance(raw, DdlResult):
+            return cls(
+                "ddl",
+                text=raw.message,
+                metrics=ResultMetrics(rows_affected=raw.rows_affected),
+                raw=raw,
+            )
+        if isinstance(raw, ExplainResult):
+            inner = raw.result
+            metrics = ResultMetrics()
+            columns: tuple[str, ...] = ()
+            rows: list[tuple] = []
+            plan = None
+            if inner is not None:
+                columns, rows, plan = inner.columns, inner.rows, inner.plan
+                metrics = ResultMetrics(
+                    total_io=inner.total_io,
+                    total_cost=inner.total_cost,
+                    retrieval_count=len(inner.retrievals),
+                )
+            return cls(
+                "explain",
+                columns=columns,
+                rows=rows,
+                plan=plan,
+                metrics=metrics,
+                text=raw.text,
+                compete=raw.compete,
+                raw=raw,
+            )
+        raise TypeError(f"cannot wrap {type(raw).__name__} as a Result")
+
+    @classmethod
+    def from_explain_text(cls, text: str, plan: Any | None = None) -> "Result":
+        """A plain (non-ANALYZE) EXPLAIN: just the rendered plan."""
+        return cls("explain", plan=plan, text=text)
+
+    # -- the uniform surface -------------------------------------------------
+
+    @property
+    def rowcount(self) -> int:
+        """Rows delivered, or rows affected for DDL/DML."""
+        if self.kind == "ddl":
+            return self.metrics.rows_affected
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return self.rowcount
+
+    def __bool__(self) -> bool:  # len()==0 must not read as failure
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"Result(kind={self.kind!r}, rowcount={self.rowcount}, "
+            f"io={self.metrics.total_io}, cost={self.metrics.total_cost:.1f})"
+        )
+
+    def __str__(self) -> str:
+        return self.text if self.text else repr(self)
+
+    # -- back-compat delegates ----------------------------------------------
+
+    @property
+    def retrievals(self):
+        """Per-retrieval execution info (empty for DDL / plain EXPLAIN)."""
+        return getattr(self.raw, "retrievals", None) or \
+            getattr(getattr(self.raw, "result", None), "retrievals", [])
+
+    @property
+    def goals(self):
+        """Inferred per-retrieval optimization goals keyed by plan node id."""
+        return getattr(self.raw, "goals", None) or \
+            getattr(getattr(self.raw, "result", None), "goals", {})
+
+    @property
+    def total_io(self) -> int:
+        return self.metrics.total_io
+
+    @property
+    def total_cost(self) -> float:
+        return self.metrics.total_cost
+
+    @property
+    def message(self) -> str:
+        """DDL status message (alias of ``text`` for ``kind == 'ddl'``)."""
+        return self.text
+
+    # -- the obs.explain.Renderable protocol --------------------------------
+
+    def to_text(self) -> str:
+        """Human-readable rendering: the report text for EXPLAIN/DDL, a
+        simple aligned table for rows."""
+        if self.text:
+            return self.text
+        if not self.columns:
+            return repr(self)
+        widths = [
+            max(len(str(column)),
+                *(len(str(row[i])) for row in self.rows)) if self.rows
+            else len(str(column))
+            for i, column in enumerate(self.columns)
+        ]
+        header = "  ".join(
+            str(column).ljust(widths[i]) for i, column in enumerate(self.columns)
+        )
+        rule = "  ".join("-" * width for width in widths)
+        body = [
+            "  ".join(str(value).ljust(widths[i]) for i, value in enumerate(row))
+            for row in self.rows
+        ]
+        return "\n".join([header, rule, *body, f"({self.rowcount} rows)"])
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable rendering: kind, rows, metrics, plan tree."""
+        out: dict[str, Any] = {
+            "kind": self.kind,
+            "columns": list(self.columns),
+            "rowcount": self.rowcount,
+            "metrics": self.metrics.to_dict(),
+        }
+        if self.rows:
+            out["rows"] = [list(row) for row in self.rows]
+        if self.text:
+            out["text"] = self.text
+        if self.plan is not None:
+            from repro.obs.explain import plan_to_dict
+
+            out["plan"] = plan_to_dict(self.plan, self.goals or None)
+        if self.compete is not None and hasattr(self.compete, "to_dict"):
+            out["compete"] = self.compete.to_dict()
+        return out

@@ -34,8 +34,6 @@ from typing import Iterable, TextIO
 from repro.api import Connection, connect
 from repro.db.session import Database
 from repro.errors import ReproError
-from repro.sql.ddl import DdlResult
-from repro.sql.executor import ExplainResult
 
 
 class Shell:
@@ -152,7 +150,7 @@ class Shell:
         elif head == "\\explain":
             sql = command[len("\\explain"):].strip().rstrip(";")
             try:
-                self._print(self.conn.explain(sql))
+                self._print(self.conn.explain(sql).text)
             except ReproError as error:
                 self._print(f"error: {error}")
         else:
@@ -187,10 +185,7 @@ class Shell:
         except ReproError as error:
             self._print(f"error: {error}")
             return
-        if isinstance(result, DdlResult):
-            self._print(result.message)
-            return
-        if isinstance(result, ExplainResult):
+        if result.kind in ("ddl", "explain"):
             self._print(result.text)
             return
         self._print_rows(result.columns, result.rows)

@@ -6,7 +6,7 @@ from repro.db.session import Database
 from repro.db.table import Table
 from repro.errors import BindingError
 from repro.expr.eval import referenced_columns
-from repro.sql.plan import PlanNode, Retrieve, Sort, walk
+from repro.sql.plan import JoinPlan, PlanNode, Retrieve, Sort, walk
 
 
 def bind(db: Database, root: PlanNode) -> dict[int, Table]:
@@ -17,7 +17,9 @@ def bind(db: Database, root: PlanNode) -> dict[int, Table]:
     """
     tables: dict[int, Table] = {}
     for node in walk(root):
-        if isinstance(node, Retrieve):
+        if isinstance(node, JoinPlan):
+            _bind_join(db, node)
+        elif isinstance(node, Retrieve):
             if node.table not in db.tables:
                 raise BindingError(node.table, "table")
             table = db.table(node.table)
@@ -35,3 +37,50 @@ def bind(db: Database, root: PlanNode) -> dict[int, Table]:
             # chain is executed; nothing to do here
             continue
     return tables
+
+
+def _bind_join(db: Database, node: JoinPlan) -> None:
+    """Validate a join plan: every source table exists, every referenced
+    column exists in its alias's table, and the join graph is connected."""
+    schemas = {}
+    for source in node.sources:
+        if source.table not in db.tables:
+            raise BindingError(source.table, "table")
+        schemas[source.alias] = db.table(source.table).schema
+
+    def check(alias: str, column: str) -> None:
+        schema = schemas.get(alias)
+        if schema is None:
+            raise BindingError(alias, "table alias")
+        if column not in schema:
+            raise BindingError(column, f"column (alias {alias})")
+
+    for edge in node.edges:
+        check(edge.left_alias, edge.left_column)
+        check(edge.right_alias, edge.right_column)
+    for alias, expr in node.restrictions:
+        for column in sorted(referenced_columns(expr)):
+            check(alias, column)
+    if node.output_columns is not None:
+        for name in node.output_columns:
+            alias, column = name.split(".", 1)
+            check(alias, column)
+    # connectivity: every source must be reachable through join edges,
+    # otherwise some left-deep order would need a cross product
+    if len(node.sources) > 1:
+        reached = {node.sources[0].alias}
+        frontier = True
+        while frontier:
+            frontier = False
+            for edge in node.edges:
+                if edge.left_alias in reached and edge.right_alias not in reached:
+                    reached.add(edge.right_alias)
+                    frontier = True
+                elif edge.right_alias in reached and edge.left_alias not in reached:
+                    reached.add(edge.left_alias)
+                    frontier = True
+        missing = {source.alias for source in node.sources} - reached
+        if missing:
+            raise BindingError(
+                ", ".join(sorted(missing)), "join graph connection for alias"
+            )

@@ -15,7 +15,6 @@ from typing import Any, Generator, Mapping
 
 from repro.competition.process import drain
 from repro.db.session import Database
-from repro.db.table import Table
 from repro.engine.goals import OptimizationGoal, infer_goals
 from repro.engine.retrieval import RetrievalResult
 from repro.errors import BindingError, SqlSyntaxError
@@ -38,6 +37,7 @@ from repro.sql.plan import (
     Exists,
     ExistsSubquery,
     InSubquery,
+    JoinPlan,
     Limit,
     PlanNode,
     Project,
@@ -96,6 +96,27 @@ class ExplainResult:
 
     def __str__(self) -> str:
         return self.text
+
+    # -- the obs.explain.Renderable protocol --------------------------------
+
+    def to_text(self) -> str:
+        """Human-readable report (identical to ``str(result)``)."""
+        return self.text
+
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable report: plan tree, execution figures, and (for
+        COMPETE) the counterfactual-replay report."""
+        out: dict[str, Any] = {"text": self.text, "analyze": self.analyze}
+        if self.result is not None:
+            from repro.obs.explain import plan_to_dict
+
+            out["plan"] = plan_to_dict(self.result.plan, self.result.goals)
+            out["rows"] = len(self.result.rows)
+            out["total_io"] = self.result.total_io
+            out["total_cost"] = round(self.result.total_cost, 3)
+        if self.compete is not None:
+            out["compete"] = self.compete.to_dict()
+        return out
 
 
 def explain_kind(sql: str) -> str | None:
@@ -363,7 +384,7 @@ class _Chain:
     distinct: Distinct | None
     sort: Sort | None
     aggregate: Aggregate | None
-    retrieve: Retrieve
+    retrieve: "Retrieve | JoinPlan"
 
 
 def _unwrap(root: PlanNode) -> _Chain:
@@ -380,7 +401,7 @@ def _unwrap(root: PlanNode) -> _Chain:
         sort, node = node, node.children[0]
     if isinstance(node, Aggregate):
         aggregate, node = node, node.children[0]
-    if not isinstance(node, Retrieve):
+    if not isinstance(node, (Retrieve, JoinPlan)):
         raise SqlSyntaxError(f"malformed plan chain: found {node.node_type}")
     return _Chain(project, limit, distinct, sort, aggregate, node)
 
@@ -428,65 +449,74 @@ def _execute_block(
     prepared: Any = None,
 ) -> Generator[RetrievalResult, None, tuple[tuple[str, ...], list[tuple]]]:
     chain = _unwrap(root)
-    table = db.table(chain.retrieve.table)
-    restriction = yield from _resolve_subqueries(
-        db, chain.retrieve.restriction or ALWAYS_TRUE, host_vars, goals, retrievals,
-        tracer, prepared=prepared,
-    )
-
-    goal = goals.get(id(chain.retrieve), OptimizationGoal.DEFAULT)
-    order_keys = chain.sort.keys if chain.sort is not None else ()
-    ascending_only = chain.sort is None or not any(chain.sort.descending)
-
-    # LIMIT pushes into the retrieval only when no operation between them
-    # needs the full row set
-    push_limit: int | None = None
-    if chain.limit is not None and chain.distinct is None and chain.aggregate is None:
-        if ascending_only:
-            push_limit = chain.limit.count
-    if forced_limit is not None and chain.limit is None and (
-        chain.distinct is None and chain.aggregate is None and chain.sort is None
-    ):
-        push_limit = forced_limit
-
-    if tracer is not None and tracer.audit.enabled:
-        # the statement-level decision: which optimization goal this
-        # retrieval runs under, and whether LIMIT/ORDER BY pushed down
-        from repro.obs.audit import DecisionKind
-
-        tracer.audit.decision(
-            DecisionKind.GOAL_INFERENCE,
-            chosen=goal.value,
-            table=chain.retrieve.table,
-            order_by=bool(order_keys),
-            pushed_limit=push_limit,
+    if isinstance(chain.retrieve, JoinPlan):
+        schema, rows = yield from _execute_join_retrieve(
+            db, chain.retrieve, host_vars, goals, retrievals, tracer
+        )
+        # a join delivers in driving-order; every requested sort runs here
+        if chain.sort is not None:
+            rows = _sort_rows(rows, schema, chain.sort)
+    else:
+        table = db.table(chain.retrieve.table)
+        schema = table.schema
+        restriction = yield from _resolve_subqueries(
+            db, chain.retrieve.restriction or ALWAYS_TRUE, host_vars, goals, retrievals,
+            tracer, prepared=prepared,
         )
 
-    result = yield from _tracked(
-        table.select_steps(
-            where=restriction,
-            host_vars=host_vars,
-            columns=chain.retrieve.output_columns,
-            order_by=order_keys if ascending_only else (),
-            limit=push_limit,
-            optimize_for=goal,
-            tracer=tracer,
-            predicate_cache=prepared.predicates if prepared is not None else None,
-            feedback=db.feedback if db.feedback.enabled else None,
-        ),
-        retrievals,
-        chain.retrieve.table,
-        goal,
-    )
-    rows = list(result.rows)
+        goal = goals.get(id(chain.retrieve), OptimizationGoal.DEFAULT)
+        order_keys = chain.sort.keys if chain.sort is not None else ()
+        ascending_only = chain.sort is None or not any(chain.sort.descending)
 
-    if chain.sort is not None and not ascending_only:
-        rows = _sort_rows(rows, table, chain.sort)
+        # LIMIT pushes into the retrieval only when no operation between them
+        # needs the full row set
+        push_limit: int | None = None
+        if chain.limit is not None and chain.distinct is None and chain.aggregate is None:
+            if ascending_only:
+                push_limit = chain.limit.count
+        if forced_limit is not None and chain.limit is None and (
+            chain.distinct is None and chain.aggregate is None and chain.sort is None
+        ):
+            push_limit = forced_limit
+
+        if tracer is not None and tracer.audit.enabled:
+            # the statement-level decision: which optimization goal this
+            # retrieval runs under, and whether LIMIT/ORDER BY pushed down
+            from repro.obs.audit import DecisionKind
+
+            tracer.audit.decision(
+                DecisionKind.GOAL_INFERENCE,
+                chosen=goal.value,
+                table=chain.retrieve.table,
+                order_by=bool(order_keys),
+                pushed_limit=push_limit,
+            )
+
+        result = yield from _tracked(
+            table.select_steps(
+                where=restriction,
+                host_vars=host_vars,
+                columns=chain.retrieve.output_columns,
+                order_by=order_keys if ascending_only else (),
+                limit=push_limit,
+                optimize_for=goal,
+                tracer=tracer,
+                predicate_cache=prepared.predicates if prepared is not None else None,
+                feedback=db.feedback if db.feedback.enabled else None,
+            ),
+            retrievals,
+            chain.retrieve.table,
+            goal,
+        )
+        rows = list(result.rows)
+
+        if chain.sort is not None and not ascending_only:
+            rows = _sort_rows(rows, schema, chain.sort)
 
     if chain.aggregate is not None:
-        columns, rows = _aggregate(rows, table, chain.aggregate)
+        columns, rows = _aggregate(rows, schema, chain.aggregate)
     else:
-        columns, rows = _project(rows, table, chain.project)
+        columns, rows = _project(rows, schema, chain.project)
 
     if chain.distinct is not None:
         seen: set[tuple] = set()
@@ -503,8 +533,72 @@ def _execute_block(
     return columns, rows
 
 
-def _sort_rows(rows: list[tuple], table: Table, sort: Sort) -> list[tuple]:
-    positions = [table.schema.index_of(key) for key in sort.keys]
+def _execute_join_retrieve(
+    db: Database,
+    node: JoinPlan,
+    host_vars: dict[str, Any],
+    goals: dict[int, OptimizationGoal],
+    retrievals: list[RetrievalInfo],
+    tracer: Tracer | None,
+) -> Generator[RetrievalResult, None, tuple[Any, list[tuple]]]:
+    """Run one 2–4 table join through the join-order competition.
+
+    Returns the combined-row :class:`~repro.engine.join.JoinSchema` (the
+    schema-like the shared sort/aggregate/project tail consumes) and the
+    joined rows in canonical source order.
+    """
+    from repro.engine.join import (
+        JoinSchema,
+        JoinTableHandle,
+        join_display_name,
+        run_join_steps,
+    )
+
+    handles = {}
+    for source in node.sources:
+        table = db.table(source.table)
+        handles[source.alias] = JoinTableHandle(
+            name=table.name,
+            heap=table.heap,
+            schema=table.schema,
+            indexes=dict(table.indexes),
+            buffer_pool=table.buffer_pool,
+            stats=table.stats,
+        )
+    goal = goals.get(id(node), OptimizationGoal.DEFAULT)
+    if goal is OptimizationGoal.DEFAULT:
+        goal = OptimizationGoal.TOTAL_TIME
+    display = join_display_name(node)
+
+    if tracer is not None and tracer.audit.enabled:
+        from repro.obs.audit import DecisionKind
+
+        tracer.audit.decision(
+            DecisionKind.GOAL_INFERENCE,
+            chosen=goal.value,
+            table=display,
+            tables=len(node.sources),
+        )
+
+    result = yield from _tracked(
+        run_join_steps(
+            node,
+            handles,
+            host_vars,
+            goal,
+            db.config,
+            tracer=tracer,
+            feedback=db.feedback if db.feedback.enabled else None,
+        ),
+        retrievals,
+        display,
+        goal,
+    )
+    return JoinSchema(node, handles), list(result.rows)
+
+
+def _sort_rows(rows: list[tuple], schema: Any, sort: Sort) -> list[tuple]:
+    positions = [schema.index_of(key) for key in sort.keys]
     # stable multi-key sort with mixed directions: sort by keys right-to-left
     for position, descending in reversed(list(zip(positions, sort.descending))):
         rows = sorted(rows, key=lambda row: row[position], reverse=descending)
@@ -512,17 +606,17 @@ def _sort_rows(rows: list[tuple], table: Table, sort: Sort) -> list[tuple]:
 
 
 def _project(
-    rows: list[tuple], table: Table, project: Project
+    rows: list[tuple], schema: Any, project: Project
 ) -> tuple[tuple[str, ...], list[tuple]]:
     if not project.columns:
-        return table.schema.names, rows
-    positions = [table.schema.index_of(name) for name in project.columns]
+        return schema.names, rows
+    positions = [schema.index_of(name) for name in project.columns]
     projected = [tuple(row[position] for position in positions) for row in rows]
     return tuple(project.columns), projected
 
 
 def _aggregate(
-    rows: list[tuple], table: Table, aggregate: Aggregate
+    rows: list[tuple], schema: Any, aggregate: Aggregate
 ) -> tuple[tuple[str, ...], list[tuple]]:
     values: list[Any] = []
     names: list[str] = []
@@ -531,7 +625,7 @@ def _aggregate(
         if item.function == "count" and item.argument is None:
             values.append(len(rows))
             continue
-        position = table.schema.index_of(item.argument or "")
+        position = schema.index_of(item.argument or "")
         column = [row[position] for row in rows if row[position] is not None]
         if item.function == "count":
             values.append(len(column))

@@ -27,6 +27,7 @@ from repro.expr.ast import (
     Or,
     ValueTerm,
 )
+from repro.expr.eval import referenced_columns, rewrite_columns
 from repro.sql.plan import (
     Aggregate,
     AggregateItem,
@@ -34,6 +35,9 @@ from repro.sql.plan import (
     Exists,
     ExistsSubquery,
     InSubquery,
+    JoinEdge,
+    JoinPlan,
+    JoinSource,
     Limit,
     PlanNode,
     Project,
@@ -164,10 +168,16 @@ def parse_any(sql: str):
     return statement
 
 
+MAX_JOIN_TABLES = 4
+
+
 class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self.tokens = tokens
         self.index = 0
+        #: alias -> table map while parsing a join query's WHERE/ORDER BY;
+        #: None in single-table context (saved/restored across subqueries)
+        self._join_aliases: dict[str, str] | None = None
 
     # -- token plumbing ------------------------------------------------------
 
@@ -238,6 +248,13 @@ class _Parser:
     # -- grammar ------------------------------------------------------------------
 
     def select_statement(self) -> ParsedQuery:
+        saved_aliases = self._join_aliases
+        try:
+            return self._select_statement()
+        finally:
+            self._join_aliases = saved_aliases
+
+    def _select_statement(self) -> ParsedQuery:
         self.expect_keyword("select")
         distinct = self.accept_keyword("distinct")
         star, columns, aggregates = self.select_list()
@@ -247,17 +264,38 @@ class _Parser:
                 "which this subset does not support"
             )
         self.expect_keyword("from")
-        table = self.expect_name()
+        sources, on_edges = self.from_clause()
+        join_mode = len(sources) > 1
+        table = sources[0].table
+        if join_mode:
+            self._join_aliases = {source.alias: source.table for source in sources}
+            qualifier = None
+        else:
+            self._join_aliases = None
+            # the allowed column qualifier: the alias when given, else the
+            # table name itself
+            qualifier = sources[0].alias
+        columns = [self._resolve_select_name(name, sources) for name in columns]
+        aggregates = [
+            AggregateItem(
+                item.function,
+                None
+                if item.argument is None
+                else self._resolve_select_name(item.argument, sources),
+                item.alias,
+            )
+            for item in aggregates
+        ]
         restriction: Expr = ALWAYS_TRUE
         subplans: list[PlanNode] = []
         if self.accept_keyword("where"):
-            restriction = self.or_expr(table, subplans)
+            restriction = self.or_expr(qualifier, subplans)
         order_keys: list[str] = []
         order_desc: list[bool] = []
         if self.accept_keyword("order"):
             self.expect_keyword("by")
             while True:
-                order_keys.append(self.column_name(table))
+                order_keys.append(self.column_name(qualifier))
                 if self.accept_keyword("desc"):
                     order_desc.append(True)
                 else:
@@ -296,12 +334,24 @@ class _Parser:
                     needed.append(key)
             output = tuple(needed)
 
-        node: PlanNode = Retrieve(
-            children=tuple(subplans),
-            table=table,
-            restriction=restriction,
-            output_columns=output,
-        )
+        node: PlanNode
+        if join_mode:
+            if subplans:
+                raise SqlSyntaxError("subqueries are not supported in join queries")
+            locals_, where_edges = self._split_join_where(restriction, sources)
+            node = JoinPlan(
+                sources=tuple(sources),
+                edges=tuple(on_edges) + tuple(where_edges),
+                restrictions=locals_,
+                output_columns=output,
+            )
+        else:
+            node = Retrieve(
+                children=tuple(subplans),
+                table=table,
+                restriction=restriction,
+                output_columns=output,
+            )
         if aggregates:
             node = Aggregate(children=(node,), items=tuple(aggregates))
         if order_keys:
@@ -312,6 +362,132 @@ class _Parser:
             node = Limit(children=(node,), count=limit)
         node = Project(children=(node,), columns=tuple(columns) if not star else ())
         return ParsedQuery(plan=node, goal=goal)
+
+    # -- FROM clause / joins -------------------------------------------------
+
+    def from_clause(self) -> tuple[list[JoinSource], list[JoinEdge]]:
+        """``table [alias] ([INNER] JOIN table [alias] ON a.x = b.y [AND ...])*``"""
+        sources = [self._join_source()]
+        edges: list[JoinEdge] = []
+        while True:
+            if self.accept_keyword("inner"):
+                self.expect_keyword("join")
+            elif not self.accept_keyword("join"):
+                break
+            sources.append(self._join_source())
+            self.expect_keyword("on")
+            known = {source.alias for source in sources}
+            while True:
+                position = self.current.position
+                left_alias, left_column = self._qualified_pair()
+                self.expect_op("=")
+                right_alias, right_column = self._qualified_pair()
+                for alias in (left_alias, right_alias):
+                    if alias not in known:
+                        raise SqlSyntaxError(
+                            f"unknown table alias {alias!r} in ON clause", position
+                        )
+                edges.append(
+                    JoinEdge(left_alias, left_column, right_alias, right_column)
+                )
+                if not self.accept_keyword("and"):
+                    break
+        if len(sources) > MAX_JOIN_TABLES:
+            raise SqlSyntaxError(
+                f"at most {MAX_JOIN_TABLES} tables may be joined"
+            )
+        seen: set[str] = set()
+        for source in sources:
+            if source.alias in seen:
+                raise SqlSyntaxError(f"duplicate table alias {source.alias!r}")
+            seen.add(source.alias)
+        return sources, edges
+
+    #: a bare (AS-less) alias is consumed only when the token after it keeps
+    #: the parse unambiguous — otherwise ``select * from T garbage`` would
+    #: silently alias T instead of rejecting the trailing token
+    _BARE_ALIAS_FOLLOWERS = (
+        "join", "inner", "on", "where", "order", "limit", "optimize",
+    )
+
+    def _join_source(self) -> JoinSource:
+        table = self.expect_name()
+        if self.accept_keyword("as"):
+            alias = self.expect_name()
+        elif self.current.kind == "name" and any(
+            self.tokens[self.index + 1].is_keyword(word)
+            for word in self._BARE_ALIAS_FOLLOWERS
+        ):
+            alias = self.advance().value
+        else:
+            alias = table
+        return JoinSource(table=table, alias=alias)
+
+    def _qualified_pair(self) -> tuple[str, str]:
+        first = self.expect_name()
+        self.expect_op(".")
+        return first, self.expect_name()
+
+    def _resolve_select_name(self, name: str, sources: list[JoinSource]) -> str:
+        """Validate a select-list/aggregate column name against the FROM
+        sources: joins require alias-qualified names (kept qualified);
+        single-table names are stripped to the bare column."""
+        if len(sources) > 1:
+            if "." not in name:
+                raise SqlSyntaxError(
+                    f"column {name!r} in a join query must be alias-qualified"
+                )
+            qualifier = name.split(".", 1)[0]
+            if self._join_aliases is None or qualifier not in self._join_aliases:
+                raise SqlSyntaxError(f"unknown table alias {qualifier!r}")
+            return name
+        if "." in name:
+            qualifier, bare = name.split(".", 1)
+            if qualifier != sources[0].alias:
+                raise SqlSyntaxError(
+                    f"qualifier {qualifier!r} does not match table "
+                    f"{sources[0].alias!r}"
+                )
+            return bare
+        return name
+
+    def _split_join_where(
+        self, restriction: Expr, sources: list[JoinSource]
+    ) -> tuple[tuple[tuple[str, Expr], ...], list[JoinEdge]]:
+        """Split a join query's WHERE into per-alias local restrictions
+        (rewritten to bare column names) and extra equi-join edges. Any
+        other cross-table term is outside the supported subset."""
+        if restriction is ALWAYS_TRUE:
+            return (), []
+        terms = list(restriction.children) if isinstance(restriction, And) else [restriction]
+        locals_: dict[str, list[Expr]] = {}
+        edges: list[JoinEdge] = []
+        for term in terms:
+            aliases = sorted({name.split(".", 1)[0] for name in referenced_columns(term)})
+            if len(aliases) <= 1:
+                target = aliases[0] if aliases else sources[0].alias
+                bare = rewrite_columns(term, lambda name: name.split(".", 1)[1])
+                locals_.setdefault(target, []).append(bare)
+            elif (
+                len(aliases) == 2
+                and isinstance(term, Comparison)
+                and term.op == "="
+                and isinstance(term.left, ColumnRef)
+                and isinstance(term.right, ColumnRef)
+            ):
+                left_alias, left_column = term.left.name.split(".", 1)
+                right_alias, right_column = term.right.name.split(".", 1)
+                edges.append(JoinEdge(left_alias, left_column, right_alias, right_column))
+            else:
+                raise SqlSyntaxError(
+                    "join WHERE clauses must be conjunctions of single-table "
+                    "predicates and a.x = b.y join terms"
+                )
+        combined = tuple(
+            (alias, exprs[0] if len(exprs) == 1 else And(tuple(exprs)))
+            for alias, exprs in locals_.items()
+        )
+        return combined, edges
 
     def select_list(self) -> tuple[bool, list[str], list[AggregateItem]]:
         if self.accept_op("*"):
@@ -331,29 +507,52 @@ class _Parser:
                         )
                     argument = None
                 else:
-                    argument = self.column_name(None)
+                    argument = self.raw_column_name()
                 self.expect_op(")")
                 alias = f"{token.value}({argument or '*'})"
                 if self.accept_keyword("as"):
                     alias = self.expect_name()
                 aggregates.append(AggregateItem(token.value, argument, alias))
             else:
-                columns.append(self.column_name(None))
+                columns.append(self.raw_column_name())
                 if self.accept_keyword("as"):
                     self.expect_name()  # aliases accepted, projection keeps base name
             if not self.accept_op(","):
                 return False, columns, aggregates
 
+    def raw_column_name(self) -> str:
+        """A possibly-qualified column name, qualifier preserved.
+
+        The select list parses before FROM, so qualifiers cannot be checked
+        yet; :meth:`_resolve_select_name` validates them afterwards.
+        """
+        first = self.expect_name()
+        if self.accept_op("."):
+            return f"{first}.{self.expect_name()}"
+        return first
+
     def column_name(self, table: str | None) -> str:
+        position = self.current.position
         first = self.expect_name()
         if self.accept_op("."):
             second = self.expect_name()
+            if self._join_aliases is not None:
+                if first not in self._join_aliases:
+                    raise SqlSyntaxError(
+                        f"unknown table alias {first!r}", position
+                    )
+                return f"{first}.{second}"
             if table is not None and first != table:
                 raise SqlSyntaxError(
                     f"qualifier {first!r} does not match table {table!r}",
                     self.current.position,
                 )
             return second
+        if self._join_aliases is not None:
+            raise SqlSyntaxError(
+                f"column {first!r} in a join query must be alias-qualified",
+                position,
+            )
         return first
 
     # -- boolean expressions ------------------------------------------------------

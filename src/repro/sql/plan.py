@@ -128,6 +128,79 @@ class Project(PlanNode):
         return f"project {', '.join(self.columns) or '*'}"
 
 
+@dataclass(frozen=True)
+class JoinSource:
+    """One table (with alias) participating in a join."""
+
+    table: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An inner equi-join edge ``left.column = right.column``."""
+
+    left_alias: str
+    left_column: str
+    right_alias: str
+    right_column: str
+
+    def touches(self, alias: str) -> bool:
+        return alias in (self.left_alias, self.right_alias)
+
+    def describe(self) -> str:
+        return (
+            f"{self.left_alias}.{self.left_column}"
+            f" = {self.right_alias}.{self.right_column}"
+        )
+
+
+@dataclass
+class JoinPlan(PlanNode):
+    """A 2–4 table inner equi-join.
+
+    The join replaces :class:`Retrieve` at the bottom of the plan chain.
+    The join *order* is deliberately absent: order selection is a runtime
+    decision made by the join competition (paper Figure 4 lifted one level
+    up, from index choice to join order).
+
+    ``restrictions`` carries the single-alias WHERE conjuncts, rewritten to
+    bare column names so the single-table engine machinery can consume them
+    unchanged; ``edges`` carries the cross-alias equality conjuncts (both
+    ON and WHERE contribute).
+    """
+
+    sources: tuple[JoinSource, ...] = ()
+    edges: tuple[JoinEdge, ...] = ()
+    #: per-alias local restrictions: (alias, expr with bare column names)
+    restrictions: tuple[tuple[str, Expr], ...] = ()
+    #: qualified "alias.column" names the query reads (None = all)
+    output_columns: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        self.node_type = "join"
+
+    def alias_table(self, alias: str) -> str:
+        for source in self.sources:
+            if source.alias == alias:
+                return source.table
+        raise KeyError(alias)
+
+    def restriction_for(self, alias: str) -> Expr | None:
+        for name, expr in self.restrictions:
+            if name == alias:
+                return expr
+        return None
+
+    def describe(self) -> str:
+        tables = ", ".join(
+            source.table if source.table == source.alias else f"{source.table} {source.alias}"
+            for source in self.sources
+        )
+        edges = " and ".join(edge.describe() for edge in self.edges)
+        return f"join [{tables}] on {edges}"
+
+
 # -- subquery placeholders inside WHERE expressions ----------------------------
 
 
@@ -156,7 +229,7 @@ def walk(node: PlanNode):
 def format_plan(node: PlanNode, goals: dict[int, Any] | None = None, indent: int = 0) -> str:
     """Pretty-print a plan tree, annotating retrieves with inferred goals."""
     line = "  " * indent + node.describe()
-    if goals is not None and node.node_type == "retrieve":
+    if goals is not None and node.node_type in ("retrieve", "join"):
         goal = goals.get(id(node))
         if goal is not None:
             line += f"   [goal: {goal.value}]"

@@ -10,6 +10,7 @@ from repro.errors import SqlSyntaxError
 KEYWORDS = frozenset(
     """
     select distinct from where and or not between in exists like
+    join inner
     order by asc desc limit to rows optimize for fast first total time
     count sum avg min max as is null
     create table index unique on insert into values drop analyze explain

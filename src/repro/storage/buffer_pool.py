@@ -385,23 +385,40 @@ class BufferPool:
     def evict_random(self, fraction: float, rng: random.Random) -> int:
         """Simulate cache interference from unrelated queries.
 
-        Evicts roughly ``fraction`` of cached pages chosen uniformly at
-        random — except pages pinned by an in-flight batch read, which are
-        never victims. Returns the number of pages actually evicted.
-        Victims are chosen by *index* into the cache's iteration order, so
-        no copy of the full key list is materialized per call (this runs
-        inside benchmark interference loops, once per engine step).
+        Evicts roughly ``fraction`` of the *evictable* (unpinned) cached
+        pages chosen uniformly at random. Pages pinned by an in-flight
+        batch read — or by a join hash build holding its current run across
+        scheduling quanta — are never victims, and they no longer dilute
+        the tick either: victims are sampled among unpinned pages only, so
+        the interference rate stays constant instead of silently dropping
+        toward zero as pins accumulate. Returns the number of pages
+        actually evicted.
+
+        In the common no-pins case victims are chosen by *index* into the
+        cache's iteration order, so no copy of the full key list is
+        materialized per call (this runs inside benchmark interference
+        loops, once per engine step).
         """
         if not self._cache or fraction <= 0:
             return 0
-        size = len(self._cache)
-        count = max(1, int(size * min(fraction, 1.0)))
-        wanted = set(rng.sample(range(size), count))
-        victims = [
-            page_id
-            for position, page_id in enumerate(self._cache)
-            if position in wanted and page_id not in self._pinned
-        ]
+        if not self._pinned:
+            size = len(self._cache)
+            count = max(1, int(size * min(fraction, 1.0)))
+            wanted = set(rng.sample(range(size), count))
+            victims = [
+                page_id
+                for position, page_id in enumerate(self._cache)
+                if position in wanted
+            ]
+        else:
+            eligible = [
+                page_id for page_id in self._cache if page_id not in self._pinned
+            ]
+            if not eligible:
+                return 0
+            count = min(len(eligible),
+                        max(1, int(len(eligible) * min(fraction, 1.0))))
+            victims = rng.sample(eligible, count)
         for page_id in victims:
             del self._cache[page_id]
         return len(victims)

@@ -136,6 +136,16 @@ class HeapFile:
             for page_no, page in zip(range(start, stop), pages)
         ]
 
+    def page_id(self, page_no: int) -> int:
+        """The buffer-pool page id backing heap page ``page_no``.
+
+        Used by consumers that pin pages across scheduling quanta (the join
+        hash build keeps its current read run pinned between steps).
+        """
+        if page_no < 0 or page_no >= len(self._page_ids):
+            raise StorageError(f"heap {self.name!r} has no page {page_no}")
+        return self._page_ids[page_no]
+
     def prefetch(
         self,
         rids: Iterable[RID],

@@ -25,11 +25,30 @@ class TestConnect:
     def test_connect_executes_ddl_and_queries(self):
         conn = populated(repro.connect(buffer_capacity=64))
         ddl = conn.execute("create table U (X int)")
-        assert isinstance(ddl, DdlResult)
+        assert isinstance(ddl, repro.Result) and ddl.kind == "ddl"
+        assert isinstance(ddl.raw, DdlResult)
+        assert "created" in ddl.text
         result = conn.execute("select * from T where A >= :LO", {"LO": 38})
-        assert isinstance(result, QueryResult)
-        assert len(result.rows) == 20
+        assert isinstance(result, repro.Result) and result.kind == "rows"
+        assert isinstance(result.raw, QueryResult)
+        assert len(result.rows) == 20 == result.rowcount
+        assert result.columns == ("ID", "A")
+        assert result.plan is not None
+        assert result.metrics.retrieval_count == 1
+        assert result.metrics.total_cost == result.total_cost > 0
         assert result.retrievals
+
+    def test_result_is_iterable_and_renderable(self):
+        conn = populated(repro.connect(buffer_capacity=64))
+        result = conn.execute("select * from T where A = 7")
+        assert sorted(result) == sorted(result.rows)
+        assert len(result) == result.rowcount
+        assert result  # empty results are still truthy
+        text = result.to_text()
+        assert "ID" in text and f"({result.rowcount} rows)" in text
+        data = result.to_dict()
+        assert data["kind"] == "rows" and data["rowcount"] == result.rowcount
+        assert data["plan"]["node"] in ("retrieve", "project")
 
     def test_execute_accepts_goal_and_routes_it(self):
         conn = populated(repro.connect())
@@ -55,10 +74,14 @@ class TestConnect:
         conn = populated(repro.connect())
         assert conn.execute("select * from T where A >= 0", deadline=3).rows
 
-    def test_explain_matches_database_explain(self):
+    def test_explain_returns_result_matching_database_shim(self):
         conn = populated(repro.connect())
         sql = "select * from T where A >= 10 optimize for total time"
-        assert conn.explain(sql) == conn.db.explain(sql)
+        result = conn.explain(sql)
+        assert isinstance(result, repro.Result) and result.kind == "explain"
+        with pytest.deprecated_call():
+            assert result.text == conn.db.explain(sql)
+        assert str(result) == result.text  # printable as before
 
     def test_statements_route_through_scheduler(self):
         conn = populated(repro.connect())
@@ -127,6 +150,17 @@ class TestBackCompatShims:
         db.execute("select * from T")
         assert db.default_connection() is first
         assert first.metrics.session("main").queries_completed == 2
+
+    def test_database_shims_warn_and_return_legacy_objects(self):
+        db = repro.Database(buffer_capacity=32)
+        db.create_table("T", [("ID", "int"), ("A", "int")])
+        db.table("T").insert_many((i, i % 5) for i in range(50))
+        with pytest.deprecated_call():
+            legacy = db.execute("select * from T where A = 1")
+        assert isinstance(legacy, QueryResult)  # not the unified Result
+        with pytest.deprecated_call():
+            text = db.explain("select * from T where A = 1")
+        assert isinstance(text, str) and "retrieve T" in text
 
     def test_database_execute_propagates_errors(self):
         db = repro.Database()

@@ -227,5 +227,5 @@ def test_explain_analyze_shows_feedback_rids():
     sql = "select * from S where V between :L and :H"
     host_vars = {"L": lo, "H": hi}
     conn.execute(sql, host_vars)
-    text = conn.explain(sql, host_vars, analyze=True)
+    text = conn.explain(sql, host_vars, analyze=True).text
     assert "feedback_rids=" in text

@@ -285,7 +285,8 @@ class TestExplainCompete:
         conn = repro.connect(buffer_capacity=128)
         build_parts(conn.db)
         result = conn.execute(f"explain {UNSELECTIVE}")
-        assert result.analyze is False and result.compete is None
+        assert result.kind == "explain" and result.compete is None
+        assert result.raw.analyze is False
         assert "retrieve P" in result.text
 
     def test_connection_audit_api(self):

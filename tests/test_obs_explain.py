@@ -113,11 +113,13 @@ class TestConnectionExplain:
         return conn
 
     def test_explain_static(self, conn):
-        text = conn.explain(SQL)
+        result = conn.explain(SQL)
+        assert isinstance(result, repro.Result) and result.kind == "explain"
+        text = result.text
         assert "retrieve P" in text and "-- timeline" not in text
 
     def test_explain_analyze_via_api(self, conn):
-        text = conn.explain(SQL, analyze=True)
+        text = conn.explain(SQL, analyze=True).text
         assert isinstance(text, str)
         for section in ("-- plan", "-- execution", "-- timeline"):
             assert section in text
@@ -139,8 +141,9 @@ class TestConnectionExplain:
 
     def test_sql_explain_analyze_result_through_execute(self, conn):
         result = conn.execute("explain analyze " + SQL)
-        assert isinstance(result, ExplainResult)
-        assert result.result is not None and result.result.rows
+        assert isinstance(result, repro.Result) and result.kind == "explain"
+        assert isinstance(result.raw, ExplainResult)
+        assert result.rows and result.metrics.retrieval_count
 
     def test_explain_kind_sniff(self):
         from repro.sql.executor import explain_kind

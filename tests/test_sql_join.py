@@ -1,0 +1,121 @@
+"""Parsing and binding of multi-table JOIN queries."""
+
+import pytest
+
+import repro
+from repro.errors import BindingError, SqlSyntaxError
+from repro.sql.binder import bind
+from repro.sql.parser import parse
+from repro.sql.plan import JoinPlan, walk
+
+
+def join_node(sql):
+    parsed = parse(sql)
+    for node in walk(parsed.plan):
+        if isinstance(node, JoinPlan):
+            return node
+    raise AssertionError("no join node parsed")
+
+
+class TestJoinParsing:
+    def test_two_table_join_with_as_aliases(self):
+        node = join_node(
+            "select a.X, b.Y from T as a join U as b on a.K = b.K"
+        )
+        assert [s.alias for s in node.sources] == ["a", "b"]
+        assert [s.table for s in node.sources] == ["T", "U"]
+        (edge,) = node.edges
+        assert (edge.left_alias, edge.left_column) == ("a", "K")
+        assert (edge.right_alias, edge.right_column) == ("b", "K")
+        assert node.output_columns == ("a.X", "b.Y")
+
+    def test_bare_aliases_and_inner_keyword(self):
+        node = join_node(
+            "select a.X from T a inner join U b on a.K = b.K where b.V = 1"
+        )
+        assert [s.alias for s in node.sources] == ["a", "b"]
+        assert dict(node.restrictions).keys() == {"b"}
+
+    def test_where_equality_becomes_join_edge(self):
+        node = join_node(
+            "select a.X, c.Z from T as a join U as b on a.K = b.K "
+            "join V as c on b.K = c.K where a.ID = c.ID and a.X >= 3"
+        )
+        assert len(node.edges) == 3  # two ON edges + one from WHERE
+        assert dict(node.restrictions).keys() == {"a"}
+
+    def test_four_tables_parse_five_reject(self):
+        sql4 = (
+            "select a.X from T a join T2 b on a.K = b.K "
+            "join T3 c on b.K = c.K join T4 d on c.K = d.K"
+        )
+        assert len(join_node(sql4).sources) == 4
+        sql5 = sql4 + " join T5 e on d.K = e.K"
+        with pytest.raises(SqlSyntaxError, match="at most 4 tables"):
+            parse(sql5)
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="duplicate table alias"):
+            parse("select a.X from T a join U a on a.K = a.K")
+
+    def test_unknown_alias_in_on_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="unknown table alias"):
+            parse("select a.X from T a join U b on a.K = z.K")
+
+    def test_unqualified_column_in_join_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="alias-qualified"):
+            parse("select X from T a join U b on a.K = b.K")
+
+    def test_subquery_in_join_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="subquer"):
+            parse(
+                "select a.X from T a join U b on a.K = b.K "
+                "where a.X in (select Y from W)"
+            )
+
+    def test_trailing_garbage_still_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("select a.X from T a join U b on a.K = b.K garbage")
+
+
+class TestJoinBinding:
+    @pytest.fixture
+    def db(self):
+        db = repro.Database(buffer_capacity=32)
+        for name in ("T", "U", "V"):
+            table = db.create_table(name, [("ID", "int"), ("K", "int")])
+            table.insert_many((i, i % 4) for i in range(20))
+            table.analyze()
+        return db
+
+    def bind_sql(self, db, sql):
+        parsed = parse(sql)
+        bind(db, parsed.plan)
+        return parsed
+
+    def test_connected_join_binds(self, db):
+        self.bind_sql(
+            db, "select a.ID, b.ID from T a join U b on a.K = b.K"
+        )
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(BindingError):
+            self.bind_sql(
+                db, "select a.ID, b.ID from T a join NOPE b on a.K = b.K"
+            )
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(BindingError):
+            self.bind_sql(
+                db, "select a.ID from T a join U b on a.K = b.MISSING"
+            )
+
+    def test_disconnected_join_graph_rejected(self, db):
+        # a–b are joined; c hangs free: a left-deep order would need a
+        # cross product, which the engine deliberately refuses
+        with pytest.raises(BindingError, match="join graph"):
+            self.bind_sql(
+                db,
+                "select a.ID, b.ID, c.ID from T a "
+                "join U b on a.K = b.K join V c on c.K = c.K",
+            )

@@ -240,6 +240,54 @@ def test_pinned_page_survives_evict_random(pager, buffer_pool):
     buffer_pool.unpin(ids[0])
 
 
+def test_evict_random_rate_not_diluted_by_pins(pager, buffer_pool):
+    # Regression: victims used to be sampled over *all* cached pages and
+    # pinned ones filtered out afterwards, so a long-lived pinned run (a
+    # join hash build holding its current read run across quanta) silently
+    # shrank the interference tick. Sampling must cover unpinned pages only.
+    ids = _fill(pager, 20)
+    buffer_pool.clear()
+    for page_id in ids:
+        buffer_pool.get(page_id)
+    for page_id in ids[:10]:
+        buffer_pool.pin(page_id)
+    evicted = buffer_pool.evict_random(0.5, random.Random(7))
+    assert evicted == 5  # half of the 10 *eligible* pages, exactly
+    assert all(page_id in buffer_pool for page_id in ids[:10])
+    for page_id in ids[:10]:
+        buffer_pool.unpin(page_id)
+
+
+def test_evict_random_single_unpinned_page_is_found(pager, buffer_pool):
+    # With every page but one pinned, the old index-sampling scheme would
+    # usually pick only pinned positions and evict nothing; the tick must
+    # still land on the one eligible page.
+    ids = _fill(pager, 12)
+    buffer_pool.clear()
+    for page_id in ids:
+        buffer_pool.get(page_id)
+    for page_id in ids[1:]:
+        buffer_pool.pin(page_id)
+    for seed in range(5):
+        buffer_pool.get(ids[0])  # re-admit the victim for each round
+        assert buffer_pool.evict_random(0.1, random.Random(seed)) == 1
+        assert ids[0] not in buffer_pool
+    for page_id in ids[1:]:
+        buffer_pool.unpin(page_id)
+
+
+def test_evict_random_all_pinned_evicts_nothing(pager, buffer_pool):
+    ids = _fill(pager, 6)
+    buffer_pool.clear()
+    for page_id in ids:
+        buffer_pool.get(page_id)
+        buffer_pool.pin(page_id)
+    assert buffer_pool.evict_random(1.0, random.Random(3)) == 0
+    assert len(buffer_pool) == 6
+    for page_id in ids:
+        buffer_pool.unpin(page_id)
+
+
 def test_pinned_page_survives_lru_pressure(pager):
     pool = BufferPool(pager, capacity=2)
     ids = _fill(pager, 4)
