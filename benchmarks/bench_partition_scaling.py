@@ -1,0 +1,355 @@
+"""Partition scatter-gather scaling — Figure 4's template over N workers.
+
+The paper's Figure 4 runs one retrieval as *two* cooperating processes.
+The partition subsystem generalizes that template: a table declared
+``PARTITION BY HASH(ID) PARTITIONS 8`` stores its rows in 8 child tables
+with private buffer pools, and a single retrieval scatters across the
+candidate partitions, fanning the per-partition fetches over a worker
+pool of ``config.partition_workers`` threads before merging.
+
+This benchmark reruns the ``bench_server_concurrency`` band workload
+(6400-row EVENTS table, IX_ID index, 192-row ID-band queries) against
+that partitioned layout at 1, 4, and 8 workers and gates three claims:
+
+* **Scaling** — the *modeled* parallel time of each scatter (LPT critical
+  path over the per-partition fetch costs, ``ScatterInfo.critical_path
+  _cost``) must be >= 2.5x faster than the 1-worker serial time at 4
+  workers and >= 4x at 8. The model is gated rather than wall-clock
+  because CI runners (and this container) may expose a single core;
+  wall-clock is reported alongside, ungated, with ``os.cpu_count()``.
+* **Accounting identity** — merged cost and physical-I/O totals are the
+  exact sums of the per-partition meters, so every run is byte-identical
+  across worker counts: parallelism changes *when* pages are read, never
+  *how many*.
+* **Plan identity** — rows match the unpartitioned serial plan (as a
+  bag for heap-order scans, exactly for ORDER BY), and the per-partition
+  strategy descriptions and switch counters at 4/8 workers equal the
+  ``partition_workers = 1`` serial run: worker count never changes a
+  switch decision.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from _util import Report, run_once
+
+from repro.config import DEFAULT_CONFIG
+from repro.db.session import Database
+from repro.expr.ast import col
+from repro.partition import PartitionSpec
+
+N_BANDS = 4
+ROWS = 6400
+ROWS_PER_PAGE = 32
+POOL_PAGES = 24
+REPEATS = 3
+BAND_QUERY = 192
+
+PARTITIONS = 8
+WORKER_COUNTS = (1, 4, 8)
+GATE_SPEEDUP_4 = 2.5
+GATE_SPEEDUP_8 = 4.0
+
+REQUIRED_KEYS = (
+    "speedup_at_4_workers",
+    "speedup_at_8_workers",
+    "rows_identical",
+    "io_identical_across_workers",
+    "cost_identical_across_workers",
+    "plans_identical_across_workers",
+    "merge_rows_reconciled",
+)
+
+
+def build_db(workers: int, rows: int, partitioned: bool) -> Database:
+    config = DEFAULT_CONFIG.with_(partition_workers=workers)
+    db = Database(buffer_capacity=POOL_PAGES, config=config)
+    spec = (
+        PartitionSpec(column="ID", method="hash", partitions=PARTITIONS)
+        if partitioned
+        else None
+    )
+    table = db.create_table(
+        "EVENTS",
+        [("ID", "int"), ("V", "int")],
+        rows_per_page=ROWS_PER_PAGE,
+        partition_by=spec,
+    )
+    for i in range(rows):
+        table.insert((i, i % 97))
+    table.create_index("IX_ID", ["ID"])
+    table.analyze()
+    return db
+
+
+def band_queries(rows: int) -> list[dict]:
+    """The bench_server_concurrency bands, plus an ORDER BY variant of
+    each to exercise the ordered k-way merge path."""
+    stride = rows // N_BANDS
+    queries = []
+    for k in range(N_BANDS):
+        lo = k * stride
+        hi = lo + BAND_QUERY - 1
+        queries.append({"band": k, "lo": lo, "hi": hi, "order_by": ()})
+        queries.append({"band": k, "lo": lo, "hi": hi, "order_by": ("ID",)})
+    return queries
+
+
+def run_workload(db: Database, queries: list[dict], repeats: int) -> dict:
+    """Run every band query cold, ``repeats`` times; collect per-query
+    results plus the scatter model and wall-clock time."""
+    table = db.table("EVENTS")
+    records = []
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for query in queries:
+            db.cold_cache()
+            result = table.select(
+                where=col("ID").between(query["lo"], query["hi"]),
+                order_by=query["order_by"],
+            )
+            scatter = result.scatter
+            records.append(
+                {
+                    "band": query["band"],
+                    "ordered": bool(query["order_by"]),
+                    "rows": list(result.rows),
+                    "cost": round(result.total_cost, 6),
+                    "io": result.execution_io,
+                    "description": result.description,
+                    "fetch_plans": (
+                        [fetch.description for fetch in scatter.fetches]
+                        if scatter
+                        else [result.description]
+                    ),
+                    "switches": result.trace.counters.strategy_switches,
+                    "serial_cost": scatter.serial_cost if scatter else None,
+                    "critical_path_cost": (
+                        scatter.critical_path_cost if scatter else None
+                    ),
+                    "workers": scatter.workers if scatter else 1,
+                }
+            )
+    elapsed = time.perf_counter() - started
+    stats = getattr(db, "partition_stats", None)
+    return {
+        "records": records,
+        "wall_seconds": elapsed,
+        "merge_rows": stats.merge_rows if stats else 0,
+        "scatters": stats.scatters if stats else 0,
+    }
+
+
+def modeled_speedup(run: dict) -> float:
+    """Serial fetch time over LPT critical-path time, workload-wide."""
+    serial = sum(r["serial_cost"] or 0.0 for r in run["records"])
+    parallel = sum(r["critical_path_cost"] or 0.0 for r in run["records"])
+    return serial / parallel if parallel else 1.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller table, one repeat; same gates (CI mode)")
+    args = parser.parse_args()
+
+    rows = 1600 if args.smoke else ROWS
+    repeats = 1 if args.smoke else REPEATS
+    queries = band_queries(rows)
+
+    report = Report(
+        "partition_scaling",
+        "Partitioned scatter-gather — modeled N-worker scaling (Figure 4 x N)",
+    )
+    report.line(
+        f"\nEVENTS: {rows} rows, HASH(ID) x {PARTITIONS} partitions, IX_ID"
+        f" index; {len(queries)} band\nqueries x {repeats} repeat(s), each run"
+        f" cold; host cpu_count = {os.cpu_count()}.\n"
+    )
+
+    # -- unpartitioned serial baseline (plan identity reference) ----------
+    base_db = build_db(workers=1, rows=rows, partitioned=False)
+    baseline = run_workload(base_db, queries, repeats)
+
+    # -- partitioned runs at each worker count ----------------------------
+    runs: dict[int, dict] = {}
+    for workers in WORKER_COUNTS:
+        db = build_db(workers=workers, rows=rows, partitioned=True)
+        runs[workers] = run_workload(db, queries, repeats)
+        db.close_worker_pool()
+
+    # -- identity checks --------------------------------------------------
+    serial = runs[1]["records"]
+    rows_identical = all(
+        (
+            rec["rows"] == base["rows"]
+            if rec["ordered"]
+            else sorted(rec["rows"]) == sorted(base["rows"])
+        )
+        for run in runs.values()
+        for rec, base in zip(run["records"], baseline["records"])
+    )
+    io_identical = all(
+        rec["io"] == ser["io"]
+        for workers in WORKER_COUNTS[1:]
+        for rec, ser in zip(runs[workers]["records"], serial)
+    )
+    cost_identical = all(
+        rec["cost"] == ser["cost"]
+        for workers in WORKER_COUNTS[1:]
+        for rec, ser in zip(runs[workers]["records"], serial)
+    )
+    # the coordinator's summary line embeds the worker count (``w=N``);
+    # the switch decisions live in the per-partition fetch plans
+    plans_identical = all(
+        rec["fetch_plans"] == ser["fetch_plans"]
+        and rec["switches"] == ser["switches"]
+        for workers in WORKER_COUNTS[1:]
+        for rec, ser in zip(runs[workers]["records"], serial)
+    )
+    merge_reconciled = all(
+        run["merge_rows"]
+        == sum(len(rec["rows"]) for rec in run["records"])
+        for run in runs.values()
+    )
+
+    speedups = {workers: modeled_speedup(runs[workers]) for workers in WORKER_COUNTS}
+
+    table_rows = []
+    for workers in WORKER_COUNTS:
+        run = runs[workers]
+        total_io = sum(rec["io"] for rec in run["records"])
+        total_cost = sum(rec["cost"] for rec in run["records"])
+        table_rows.append(
+            [
+                workers,
+                f"{speedups[workers]:.2f}x",
+                f"{total_cost:.1f}",
+                total_io,
+                f"{run['wall_seconds'] * 1000:.0f}ms",
+            ]
+        )
+    report.table(
+        ["workers", "modeled speedup", "total cost", "total io", "wall (ungated)"],
+        table_rows,
+    )
+    report.line(
+        f"\nbaseline (unpartitioned serial): cost "
+        f"{sum(r['cost'] for r in baseline['records']):.1f}, io "
+        f"{sum(r['io'] for r in baseline['records'])}, wall "
+        f"{baseline['wall_seconds'] * 1000:.0f}ms"
+    )
+    report.line(
+        f"rows identical to unpartitioned plan : {rows_identical}"
+        f"\nio identical across worker counts    : {io_identical}"
+        f"\ncost identical across worker counts  : {cost_identical}"
+        f"\nplans/switches identical vs serial   : {plans_identical}"
+        f"\nmerge_rows reconciles with results   : {merge_reconciled}"
+    )
+    report.save()
+
+    payload = {
+        "workload": {
+            "rows": rows,
+            "partitions": PARTITIONS,
+            "queries": len(queries),
+            "repeats": repeats,
+            "cpu_count": os.cpu_count(),
+        },
+        "speedup_at_4_workers": round(speedups[4], 4),
+        "speedup_at_8_workers": round(speedups[8], 4),
+        "wall_seconds": {str(w): round(runs[w]["wall_seconds"], 4) for w in runs},
+        "baseline_wall_seconds": round(baseline["wall_seconds"], 4),
+        "rows_identical": rows_identical,
+        "io_identical_across_workers": io_identical,
+        "cost_identical_across_workers": cost_identical,
+        "plans_identical_across_workers": plans_identical,
+        "merge_rows_reconciled": merge_reconciled,
+        "smoke": args.smoke,
+    }
+    out_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..",
+        "BENCH_partition_scaling.json",
+    )
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+    failures = []
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            failures.append(f"missing key {key!r}")
+    if not rows_identical:
+        failures.append("partitioned rows differ from the unpartitioned plan")
+    if not io_identical:
+        failures.append("summed per-partition io differs across worker counts")
+    if not cost_identical:
+        failures.append("summed per-partition cost differs across worker counts")
+    if not plans_identical:
+        failures.append("per-partition plans changed with the worker count")
+    if not merge_reconciled:
+        failures.append("partition_merge_rows_total != delivered row count")
+    if speedups[4] < GATE_SPEEDUP_4:
+        failures.append(
+            f"modeled speedup at 4 workers {speedups[4]:.2f}x "
+            f"(gate >= {GATE_SPEEDUP_4}x)"
+        )
+    if speedups[8] < GATE_SPEEDUP_8:
+        failures.append(
+            f"modeled speedup at 8 workers {speedups[8]:.2f}x "
+            f"(gate >= {GATE_SPEEDUP_8}x)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"PASS: modeled speedup {speedups[4]:.2f}x @4 / {speedups[8]:.2f}x @8,"
+        " accounting and plans identical across worker counts"
+    )
+    return 0
+
+
+def experiment() -> dict:
+    """pytest-benchmark entry: smoke-sized run, returns the gate bits."""
+    rows, repeats = 1600, 1
+    queries = band_queries(rows)
+    base = run_workload(build_db(1, rows, partitioned=False), queries, repeats)
+    runs = {}
+    for workers in WORKER_COUNTS:
+        db = build_db(workers, rows, partitioned=True)
+        runs[workers] = run_workload(db, queries, repeats)
+        db.close_worker_pool()
+    return {
+        "speedup4": modeled_speedup(runs[4]),
+        "speedup8": modeled_speedup(runs[8]),
+        "rows_ok": all(
+            sorted(rec["rows"]) == sorted(b["rows"])
+            for run in runs.values()
+            for rec, b in zip(run["records"], base["records"])
+        ),
+        "io_ok": all(
+            rec["io"] == ser["io"]
+            for w in WORKER_COUNTS[1:]
+            for rec, ser in zip(runs[w]["records"], runs[1]["records"])
+        ),
+    }
+
+
+def check(results: dict) -> None:
+    assert results["rows_ok"]
+    assert results["io_ok"]
+    assert results["speedup4"] >= GATE_SPEEDUP_4
+    assert results["speedup8"] >= GATE_SPEEDUP_8
+
+
+def test_partition_scaling(benchmark):
+    check(run_once(benchmark, experiment))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

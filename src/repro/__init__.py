@@ -32,8 +32,10 @@ from repro.api import Connection, connect
 from repro.cache import FeedbackStore, PlanCache, PreparedStatement
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.db.catalog import Column
+from repro.db.partitioned import PartitionedTable
 from repro.db.session import Database
 from repro.db.table import Table
+from repro.partition import PartitionSpec, PartitionStats
 from repro.engine.goals import OptimizationGoal, infer_goals
 from repro.engine.retrieval import RetrievalRequest, RetrievalResult
 from repro.errors import QueryCancelledError, ReproError, ServerError
@@ -72,6 +74,9 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "OptimizationGoal",
+    "PartitionSpec",
+    "PartitionStats",
+    "PartitionedTable",
     "PlanCache",
     "PreparedStatement",
     "QueryCancelledError",

@@ -8,19 +8,37 @@ processes") only exists because retrievals compete for one cache.
 
 from __future__ import annotations
 
+import atexit
 import random
 import warnings
+import weakref
 from typing import Any, Mapping, Sequence
 
 from repro.cache.feedback import FeedbackStore
 from repro.cache.plan_cache import PlanCache
 from repro.config import DEFAULT_CONFIG, EngineConfig
 from repro.db.catalog import Column
+from repro.db.partitioned import PartitionedTable
 from repro.db.table import Table
 from repro.engine.goals import OptimizationGoal
 from repro.errors import CatalogError
+from repro.partition.partitioner import PartitionSpec
+from repro.partition.stats import PartitionStats
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.pager import Pager
+
+#: every live partition worker pool, so interpreter exit with in-flight
+#: workers drains instead of hanging on the executor's own atexit join
+#: (workers notice their scatter's abort event within one engine quantum)
+_LIVE_WORKER_POOLS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _drain_worker_pools_at_exit() -> None:
+    for pool in list(_LIVE_WORKER_POOLS):
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(_drain_worker_pools_at_exit)
 
 
 class Database:
@@ -56,6 +74,12 @@ class Database:
         self._interference_rng = random.Random(0xD1CE)
         #: lazily-created Connection backing the execute()/explain() shims
         self._default_connection = None
+        #: scatter-gather aggregates for every partitioned table (wired
+        #: onto the server's MetricsRegistry)
+        self.partition_stats = PartitionStats()
+        #: lazily-created shared ThreadPoolExecutor for parallel scatters
+        #: (never created while ``config.partition_workers <= 1``)
+        self._worker_pool = None
 
     def schema_changed(self, table: str | None = None) -> None:
         """Note a DDL change: bump the schema version and eagerly drop the
@@ -76,9 +100,12 @@ class Database:
         columns: Sequence[Column | tuple[str, str]] | Sequence[str],
         rows_per_page: int = 32,
         index_order: int = 32,
-    ) -> Table:
+        partition_by: PartitionSpec | None = None,
+    ) -> Table | PartitionedTable:
         """Create a table. Columns may be Column objects, (name, type)
-        tuples, or bare names (typed int)."""
+        tuples, or bare names (typed int). ``partition_by`` creates a
+        hash/range-partitioned table whose retrievals scatter-gather
+        across per-partition engines (:mod:`repro.partition`)."""
         if name in self.tables:
             raise CatalogError(f"table {name!r} already exists")
         normalized: list[Column] = []
@@ -89,10 +116,19 @@ class Database:
                 normalized.append(Column(*column))
             else:
                 normalized.append(Column(column))
-        table = Table(
-            name, normalized, self.buffer_pool,
-            rows_per_page=rows_per_page, index_order=index_order, config=self.config,
-        )
+        table: Table | PartitionedTable
+        if partition_by is not None:
+            table = PartitionedTable(
+                name, normalized, partition_by, self,
+                rows_per_page=rows_per_page, index_order=index_order,
+                config=self.config,
+            )
+        else:
+            table = Table(
+                name, normalized, self.buffer_pool,
+                rows_per_page=rows_per_page, index_order=index_order,
+                config=self.config,
+            )
         self.tables[name] = table
         # index DDL on the table must invalidate cached plans too
         table.on_schema_change = lambda: self.schema_changed(name)
@@ -116,16 +152,50 @@ class Database:
         if name not in self.tables:
             raise CatalogError(f"unknown table {name!r}")
         table = self.tables.pop(name)
-        self._release_pages(table.heap.name)
-        for info in table.indexes.values():
-            self._release_pages(info.btree.name)
+        if isinstance(table, PartitionedTable):
+            for child in table.partitions:
+                self._release_pages(child.heap.name, child.buffer_pool)
+                for info in child.indexes.values():
+                    self._release_pages(info.btree.name, child.buffer_pool)
+        else:
+            self._release_pages(table.heap.name)
+            for info in table.indexes.values():
+                self._release_pages(info.btree.name)
         self.schema_changed(name)
 
-    def _release_pages(self, owner: str) -> None:
+    def _release_pages(self, owner: str, pool: BufferPool | None = None) -> None:
         """Evict and free every page belonging to ``owner``."""
+        cache = pool if pool is not None else self.buffer_pool
         for page in list(self.pager.pages_of(owner)):
-            self.buffer_pool.evict(page.page_id)
+            cache.evict(page.page_id)
             self.pager.free(page.page_id)
+
+    # -- partition workers --------------------------------------------------------
+
+    def worker_pool(self):
+        """The shared partition worker pool (created lazily, registered
+        for drain-at-exit). None while ``partition_workers <= 1`` — the
+        serial scatter path never touches threads."""
+        if self.config.partition_workers <= 1:
+            return None
+        if self._worker_pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._worker_pool = ThreadPoolExecutor(
+                max_workers=self.config.partition_workers,
+                thread_name_prefix="repro-partition",
+            )
+            _LIVE_WORKER_POOLS.add(self._worker_pool)
+        return self._worker_pool
+
+    def close_worker_pool(self, wait: bool = True) -> None:
+        """Shut the worker pool down (idempotent; server shutdown calls
+        this after cancelling every session, so no scatters are in
+        flight when it runs)."""
+        pool, self._worker_pool = self._worker_pool, None
+        if pool is not None:
+            _LIVE_WORKER_POOLS.discard(pool)
+            pool.shutdown(wait=wait, cancel_futures=not wait)
 
     # -- cache control ------------------------------------------------------------
 
@@ -136,8 +206,13 @@ class Database:
         return self.buffer_pool.evict_random(self.interference_rate, self._interference_rng)
 
     def cold_cache(self) -> None:
-        """Drop the whole cache (benchmark cold starts)."""
+        """Drop the whole cache — the shared pool and every partition's
+        private pool (benchmark cold starts)."""
         self.buffer_pool.clear()
+        for table in self.tables.values():
+            if isinstance(table, PartitionedTable):
+                for child in table.partitions:
+                    child.buffer_pool.clear()
 
     # -- SQL ------------------------------------------------------------------------
 

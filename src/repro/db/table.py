@@ -139,6 +139,12 @@ class Table:
         """Live rows."""
         return self.heap.row_count
 
+    @property
+    def page_count(self) -> int:
+        """Heap pages (same surface as
+        :class:`~repro.db.partitioned.PartitionedTable`)."""
+        return self.heap.page_count
+
     # -- statistics ------------------------------------------------------------------
 
     def analyze(self, histogram_buckets: int = 10) -> TableStats:

@@ -86,6 +86,10 @@ class RetrievalResult:
     estimation_cost: float = 0.0
     execution_cost: float = 0.0
     execution_io: int = 0
+    #: how a partitioned retrieval was scattered and merged
+    #: (:class:`repro.partition.scatter.ScatterInfo`; None for ordinary
+    #: single-table retrievals)
+    scatter: Any = None
 
     @property
     def total_cost(self) -> float:

@@ -62,9 +62,11 @@ class DecisionKind(enum.Enum):
     #: which left-deep join order the join competition committed to (or
     #: switched to mid-flight when a pilot overtook the estimated best)
     JOIN_ORDER = "join-order"
+    #: how a partitioned retrieval was fanned out: candidate partitions
+    #: after pruning, worker count, partitioning method
+    SCATTER = "scatter"
 
 
-@dataclass
 class DecisionRecord:
     """One optimizer decision: what was chosen, over what, and why.
 
@@ -75,19 +77,74 @@ class DecisionRecord:
     counterfactual replay, ``counterfactuals`` maps each replayed strategy
     to its realized cost and ``regret`` is ``max(0, chosen − best
     alternative)`` in page-I/O cost units.
+
+    Input capture is lazy: the record can *borrow* an engine detail
+    mapping by reference (``raw_inputs``) and only materializes a private
+    ``inputs`` dict — applying ``drop_keys`` filtering — when someone
+    actually reads it (export, EXPLAIN COMPETE, DecisionMetrics). The
+    audit-on hot path therefore pays one object construction per
+    decision, never a dict copy. Safe because
+    :class:`~repro.engine.metrics.TraceEvent` is frozen and the engine
+    never mutates a detail dict after emitting it.
     """
 
-    kind: DecisionKind
-    chosen: str
-    alternatives: tuple[str, ...] = ()
-    inputs: dict[str, Any] = field(default_factory=dict)
-    #: which retrieval of the statement made this decision (-1 = the
-    #: statement level, e.g. goal inference before the retrieval starts)
-    retrieval_index: int = -1
-    #: realized regret in cost units, set by counterfactual replay
-    regret: float | None = None
-    #: replayed strategy -> realized cost, set by counterfactual replay
-    counterfactuals: dict[str, float] | None = None
+    __slots__ = (
+        "kind",
+        "chosen",
+        "alternatives",
+        "retrieval_index",
+        "regret",
+        "counterfactuals",
+        "_inputs",
+        "_raw",
+        "_drop",
+    )
+
+    def __init__(
+        self,
+        kind: DecisionKind,
+        chosen: str,
+        alternatives: tuple[str, ...] = (),
+        inputs: dict[str, Any] | None = None,
+        retrieval_index: int = -1,
+        regret: float | None = None,
+        counterfactuals: dict[str, float] | None = None,
+        raw_inputs: Any = None,
+        drop_keys: tuple[str, ...] = (),
+    ) -> None:
+        self.kind = kind
+        self.chosen = chosen
+        self.alternatives = alternatives
+        #: which retrieval of the statement made this decision (-1 = the
+        #: statement level, e.g. goal inference before the retrieval
+        #: starts)
+        self.retrieval_index = retrieval_index
+        #: realized regret in cost units, set by counterfactual replay
+        self.regret = regret
+        #: replayed strategy -> realized cost, set by counterfactual replay
+        self.counterfactuals = counterfactuals
+        self._inputs = inputs
+        self._raw = raw_inputs
+        self._drop = drop_keys
+
+    @property
+    def inputs(self) -> dict[str, Any]:
+        """The decision's input numbers, materialized on first read."""
+        inputs = self._inputs
+        if inputs is None:
+            raw = self._raw
+            if raw is None:
+                inputs = {}
+            elif self._drop:
+                inputs = {
+                    key: value
+                    for key, value in raw.items()
+                    if key not in self._drop
+                }
+            else:
+                inputs = dict(raw)
+            self._inputs = inputs
+        return inputs
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready rendering (flight recorder, EXPLAIN COMPETE)."""
@@ -243,6 +300,31 @@ class AuditLog:
             self.query_decisions.append(record)
         return record
 
+    def decision_raw(
+        self,
+        kind: DecisionKind,
+        chosen: str,
+        raw_inputs: Any = None,
+        drop_keys: tuple[str, ...] = (),
+    ) -> DecisionRecord:
+        """Record a decision whose inputs are *borrowed* from an engine
+        detail mapping — the zero-copy hot path used by
+        :meth:`observe_event`. ``drop_keys`` are filtered out when (if)
+        the inputs are materialized at export time."""
+        current = self._current
+        record = DecisionRecord(
+            kind=kind,
+            chosen=chosen,
+            raw_inputs=raw_inputs,
+            drop_keys=drop_keys,
+            retrieval_index=current.index if current is not None else -1,
+        )
+        if current is not None:
+            current.decisions.append(record)
+        else:
+            self.query_decisions.append(record)
+        return record
+
     def observe_event(self, event: Any) -> None:
         """Derive decisions from the engine's trace-event stream.
 
@@ -256,23 +338,27 @@ class AuditLog:
             return
         detail = event.detail
         if kind == "shortcut-empty":
-            self.decision(DecisionKind.SHORTCUT, "empty", **detail)
+            self.decision_raw(DecisionKind.SHORTCUT, "empty", detail)
         elif kind == "shortcut-small-range":
-            self.decision(DecisionKind.SHORTCUT, "small-range", **detail)
+            self.decision_raw(DecisionKind.SHORTCUT, "small-range", detail)
         elif kind == "strategy-switch":
-            inputs = {key: value for key, value in detail.items() if key != "to"}
-            self.decision(
-                DecisionKind.STRATEGY_SWITCH, str(detail.get("to", "?")), **inputs
+            self.decision_raw(
+                DecisionKind.STRATEGY_SWITCH,
+                str(detail.get("to", "?")),
+                detail,
+                drop_keys=("to",),
             )
         elif kind == "foreground-terminated":
-            self.decision(
-                DecisionKind.STRATEGY_SWITCH, "terminate-foreground", **detail
+            self.decision_raw(
+                DecisionKind.STRATEGY_SWITCH, "terminate-foreground", detail
             )
         elif kind == "tscan-recommended":
-            self.decision(DecisionKind.STAGE_TRANSITION, "tscan-recommended", **detail)
+            self.decision_raw(
+                DecisionKind.STAGE_TRANSITION, "tscan-recommended", detail
+            )
         elif kind == "initial-estimate" and "feedback_rids" in detail:
-            self.decision(
-                DecisionKind.FEEDBACK_APPLICATION, "adjusted-estimate", **detail
+            self.decision_raw(
+                DecisionKind.FEEDBACK_APPLICATION, "adjusted-estimate", detail
             )
 
     def observe_estimate(self, index: str, estimated: float, actual: int) -> None:
@@ -351,6 +437,15 @@ class NullAudit(AuditLog):
         chosen: str,
         alternatives: tuple[str, ...] = (),
         **inputs: Any,
+    ) -> DecisionRecord:
+        return DecisionRecord(kind=kind, chosen=chosen)
+
+    def decision_raw(
+        self,
+        kind: DecisionKind,
+        chosen: str,
+        raw_inputs: Any = None,
+        drop_keys: tuple[str, ...] = (),
     ) -> DecisionRecord:
         return DecisionRecord(kind=kind, chosen=chosen)
 

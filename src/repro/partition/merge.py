@@ -1,0 +1,56 @@
+"""Gather-side merge operators.
+
+Each partition fetch delivers an independent ``(rows, rids)`` run. Sscan
+goals (the request carries ``order_by``) merge the runs with an ordered
+k-way merge — every partition already delivered in order, so the merge is
+a single :func:`heapq.merge` pass. Tscan goals take the bag union in
+partition order, which keeps the output deterministic at every worker
+count (workers change *when* runs arrive, never the gather order).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from repro.storage.rid import RID
+
+#: one partition's delivered output
+Run = tuple[list[tuple], list[RID]]
+
+
+def bag_union(runs: Sequence[Run]) -> Run:
+    """Concatenate runs in partition order (unordered goals)."""
+    rows: list[tuple] = []
+    rids: list[RID] = []
+    for part_rows, part_rids in runs:
+        rows.extend(part_rows)
+        rids.extend(part_rids)
+    return rows, rids
+
+
+def merge_sorted_runs(runs: Sequence[Run], key_positions: Sequence[int]) -> Run:
+    """Ordered k-way merge of per-partition sorted runs.
+
+    ``key_positions`` are the ``order_by`` columns' positions in the
+    delivered row tuples. Ties across partitions break by partition
+    index, so the merged order is total and deterministic.
+    """
+    positions = tuple(key_positions)
+
+    def annotate(part_index: int, run: Run):
+        part_rows, part_rids = run
+        for row, rid in zip(part_rows, part_rids):
+            yield (tuple(row[p] for p in positions), part_index, row, rid)
+
+    rows: list[tuple] = []
+    rids: list[RID] = []
+    # the (key, partition) prefix is totally ordered, so heapq never
+    # compares the trailing row/rid payloads
+    for _, _, row, rid in heapq.merge(
+        *(annotate(i, run) for i, run in enumerate(runs)),
+        key=lambda item: (item[0], item[1]),
+    ):
+        rows.append(row)
+        rids.append(rid)
+    return rows, rids

@@ -1,0 +1,227 @@
+"""Row-to-partition placement and partition pruning.
+
+A :class:`PartitionSpec` is the catalog's description of how a table is
+split (``PARTITION BY HASH(col) PARTITIONS k`` or ``PARTITION BY
+RANGE(col) VALUES (b1, b2, ...)``); a :class:`Partitioner` turns it into
+two operations:
+
+* :meth:`Partitioner.partition_of` — which partition stores a row, and
+* :meth:`Partitioner.candidate_partitions` — which partitions a
+  restriction can possibly touch, using the same sargable-range
+  extraction (:mod:`repro.expr.ranges`) the initial stage uses for index
+  selection, so pruning sees exactly the bound-host-variable ranges the
+  dynamic optimizer sees.
+
+Hashing must be stable across processes (Python's ``str`` hash is
+per-process randomized), so :func:`stable_hash` is CRC-32 based.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.errors import CatalogError
+from repro.expr.ast import ColumnRef, Expr, InList
+from repro.expr.normalize import conjunction_terms, normalize
+from repro.expr.ranges import _constant_of, extract_index_restriction
+
+
+def partition_name(table: str, index: int) -> str:
+    """The reserved child-table name of one partition (``T#p3``)."""
+    return f"{table}#p{index}"
+
+
+def stable_hash(value: Any) -> int:
+    """A process-stable hash for partition placement.
+
+    Integers map to themselves (so ``HASH(ID) PARTITIONS k`` over a dense
+    key space is perfectly balanced and human-predictable: ``ID % k``);
+    strings and floats go through CRC-32; ``None`` pins to 0.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        return zlib.crc32(repr(value).encode("utf-8"))
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Catalog description of a table's partitioning.
+
+    ``method`` is ``"hash"`` or ``"range"``. For range partitioning,
+    ``bounds`` holds the ascending upper split points: partition ``i``
+    stores ``bounds[i-1] <= value < bounds[i]`` with open ends below the
+    first and at/above the last bound (``len(bounds) + 1`` partitions).
+    """
+
+    column: str
+    method: str = "hash"
+    partitions: int = 2
+    bounds: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.method not in ("hash", "range"):
+            raise CatalogError(f"unknown partition method {self.method!r}")
+        if self.method == "range":
+            bounds = tuple(self.bounds)
+            if not bounds:
+                raise CatalogError("range partitioning needs at least one bound")
+            if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+                raise CatalogError(f"range bounds must strictly ascend: {bounds!r}")
+            object.__setattr__(self, "bounds", bounds)
+            object.__setattr__(self, "partitions", len(bounds) + 1)
+        elif self.partitions < 2:
+            raise CatalogError("hash partitioning needs at least 2 partitions")
+
+    def describe(self) -> str:
+        if self.method == "hash":
+            return f"hash({self.column}) x{self.partitions}"
+        return f"range({self.column}) x{self.partitions}"
+
+
+class Partitioner:
+    """Maps rows and restrictions to partitions for one spec."""
+
+    def __init__(self, spec: PartitionSpec, column_position: int) -> None:
+        self.spec = spec
+        self.position = column_position
+
+    @property
+    def partitions(self) -> int:
+        return self.spec.partitions
+
+    def partition_of(self, value: Any) -> int:
+        raise NotImplementedError
+
+    def partition_of_row(self, row: Sequence[Any]) -> int:
+        """Which partition stores a (schema-validated) row."""
+        return self.partition_of(row[self.position])
+
+    # -- pruning -------------------------------------------------------------
+
+    def candidate_partitions(
+        self, restriction: Expr, host_vars: Mapping[str, Any]
+    ) -> tuple[int, ...]:
+        """The partitions the restriction can possibly touch, in order.
+
+        Pruning is best-effort and conservative: anything not provably
+        confined to a subset returns every partition. Runs at start-
+        retrieval time, after host variables are bound, exactly like the
+        engine's own range extraction.
+        """
+        every = tuple(range(self.partitions))
+        try:
+            terms = conjunction_terms(normalize(restriction))
+        except Exception:
+            return every
+        in_list = self._in_list_candidates(terms, host_vars)
+        if in_list is not None:
+            return in_list
+        restriction_on_column = extract_index_restriction(
+            terms, (self.spec.column,), host_vars
+        )
+        key_range = restriction_on_column.key_range
+        if key_range.is_empty_syntactically:
+            return ()
+        lo = key_range.lo[0] if key_range.lo else None
+        hi = key_range.hi[0] if key_range.hi else None
+        try:
+            return self._range_candidates(
+                lo, hi, key_range.lo_inclusive, key_range.hi_inclusive
+            )
+        except TypeError:
+            # bound/value type mismatch (e.g. str probe against int
+            # bounds) — cannot prove confinement, scan everything
+            return every
+
+    def _in_list_candidates(
+        self, terms: Sequence[Expr], host_vars: Mapping[str, Any]
+    ) -> tuple[int, ...] | None:
+        """Pruning for ``col IN (...)`` with all-constant values."""
+        for term in terms:
+            if not isinstance(term, InList):
+                continue
+            if not isinstance(term.column, ColumnRef):
+                continue
+            if term.column.name != self.spec.column:
+                continue
+            targets: set[int] = set()
+            for value_term in term.values:
+                known, value = _constant_of(value_term, host_vars)
+                if not known:
+                    return None
+                try:
+                    targets.add(self.partition_of(value))
+                except TypeError:
+                    return None
+            return tuple(sorted(targets))
+        return None
+
+    def _range_candidates(
+        self, lo: Any, hi: Any, lo_inclusive: bool, hi_inclusive: bool
+    ) -> tuple[int, ...]:
+        raise NotImplementedError
+
+
+class HashPartitioner(Partitioner):
+    """``partition = stable_hash(value) % k``; prunes equality points only."""
+
+    def partition_of(self, value: Any) -> int:
+        return stable_hash(value) % self.partitions
+
+    def _range_candidates(
+        self, lo: Any, hi: Any, lo_inclusive: bool, hi_inclusive: bool
+    ) -> tuple[int, ...]:
+        if lo is not None and lo == hi and lo_inclusive and hi_inclusive:
+            return (self.partition_of(lo),)
+        # a hash scatters ranges across every partition
+        return tuple(range(self.partitions))
+
+
+class RangePartitioner(Partitioner):
+    """Split-point placement; prunes any sargable range to a bound span."""
+
+    def partition_of(self, value: Any) -> int:
+        if value is None:
+            return 0
+        try:
+            return bisect.bisect_right(self.spec.bounds, value)
+        except TypeError:
+            # un-comparable value (mixed types) — park it in the last
+            # partition so candidate_partitions' conservative fallback
+            # (scan everything) still covers it
+            return self.partitions - 1
+
+    def _range_candidates(
+        self, lo: Any, hi: Any, lo_inclusive: bool, hi_inclusive: bool
+    ) -> tuple[int, ...]:
+        first = 0 if lo is None else bisect.bisect_right(self.spec.bounds, lo)
+        if hi is None:
+            last = self.partitions - 1
+        elif hi_inclusive:
+            last = bisect.bisect_right(self.spec.bounds, hi)
+        else:
+            last = bisect.bisect_left(self.spec.bounds, hi)
+        last = min(last, self.partitions - 1)
+        if last < first:
+            return ()
+        return tuple(range(first, last + 1))
+
+
+def make_partitioner(spec: PartitionSpec, column_position: int) -> Partitioner:
+    """Build the right :class:`Partitioner` for a spec."""
+    if spec.method == "hash":
+        return HashPartitioner(spec, column_position)
+    return RangePartitioner(spec, column_position)

@@ -108,6 +108,10 @@ class MetricsRegistry:
         self.decisions = DecisionMetrics()
         #: queries captured by the slow-query flight recorder
         self.flight_records = 0
+        #: the database's scatter-gather aggregates
+        #: (:class:`repro.partition.stats.PartitionStats`), wired in by
+        #: the owning QueryServer
+        self.partitions = None
 
     def session(self, session_id: str) -> SessionMetrics:
         """The metrics of one session (created on demand)."""
@@ -224,6 +228,8 @@ class MetricsRegistry:
                 f"{feedback.records} recorded, "
                 f"{feedback.adjustments} adjustments applied"
             )
+        if self.partitions is not None and self.partitions.scatters:
+            lines.append(self.partitions.format())
         return "\n".join(lines)
 
     def expose_text(self) -> str:
@@ -339,6 +345,50 @@ class MetricsRegistry:
             out.gauge(
                 "feedback_entries", feedback.size,
                 "Live (table, index, predicate-signature) feedback entries.",
+            )
+        if self.partitions is not None:
+            partitions = self.partitions
+            out.counter(
+                "partition_scatters_total", partitions.scatters,
+                "Scatter-gather retrievals executed over partitioned tables.",
+            )
+            out.counter(
+                "partition_merge_rows_total", partitions.merge_rows,
+                "Rows delivered by gather merges (reconciles exactly with "
+                "partitioned retrievals' row counts).",
+            )
+            out.counter(
+                "partition_fetches_total", partitions.partitions_fetched,
+                "Per-partition fetches executed by scatters.",
+            )
+            out.counter(
+                "partition_pruned_total", partitions.partitions_pruned,
+                "Partitions pruned before fetching (restriction analysis).",
+            )
+            out.counter(
+                "partition_ordered_merges_total", partitions.ordered_merges,
+                "Scatters gathered with an ordered k-way merge.",
+            )
+            out.gauge(
+                "partition_worker_utilization", partitions.worker_utilization,
+                "Busy fraction of the partition worker pool "
+                "(fetch cost over workers x critical-path cost).",
+            )
+            out.histogram(
+                "partition_fetch_rows", partitions.fetch_rows_hist,
+                "Rows delivered per partition fetch.",
+            )
+            out.quantiles(
+                "partition_fetch_rows_quantile", partitions.fetch_rows_hist,
+                "Partition-fetch row-count percentile (bucket upper bound).",
+            )
+            out.histogram(
+                "partition_fetch_cost", partitions.fetch_cost_hist,
+                "Cost (page-I/O units) per partition fetch.",
+            )
+            out.quantiles(
+                "partition_fetch_cost_quantile", partitions.fetch_cost_hist,
+                "Partition-fetch cost percentile (bucket upper bound).",
             )
         decisions = self.decisions
         for kind, count in sorted(decisions.decisions.items()):

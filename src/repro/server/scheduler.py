@@ -248,6 +248,12 @@ class QueryServer:
         # ... and the shared plan cache / feedback store, for \metrics + prom
         self.metrics.plan_cache = db.plan_cache
         self.metrics.feedback = db.feedback
+        # ... and the scatter-gather aggregates of partitioned tables
+        self.metrics.partitions = getattr(db, "partition_stats", None)
+        #: set once by the first shutdown(); later calls are no-ops, so a
+        #: Connection.close() racing an explicit server shutdown (or an
+        #: atexit hook) never re-closes the sinks
+        self._shutdown = False
         #: total scheduling quanta the server has executed (its logical clock)
         self.total_steps = 0
         self._running: list[QueryHandle] = []
@@ -512,12 +518,23 @@ class QueryServer:
         """Cancel everything in flight and flush/close the sinks.
 
         In-flight queries unwind through ``GeneratorExit`` (scans
-        abandoned, temp pages released) and their partial traces are
-        retired — then the sinks close, so no record is lost to an
-        unflushed buffer. Idempotent.
+        abandoned, temp pages released; a scatter's in-flight partition
+        workers see the abort event and release their pins) and their
+        partial traces are retired — then the database's partition
+        worker pool drains and the sinks close, so no record is lost to
+        an unflushed buffer. Idempotent: only the first call does any of
+        this; later calls (a ``Connection.close()`` after an explicit
+        shutdown, an atexit hook) return immediately rather than
+        re-closing the sinks.
         """
+        if self._shutdown:
+            return
+        self._shutdown = True
         for handle in list(self._queue) + list(self._running):
             self._cancel(handle, reason="server-shutdown")
+        close_pool = getattr(self.db, "close_worker_pool", None)
+        if close_pool is not None:
+            close_pool()
         for sink in (self.trace_sink, self.flight_sink):
             close = getattr(sink, "close", None)
             if close is not None:

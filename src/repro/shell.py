@@ -162,9 +162,15 @@ class Shell:
             self._print("(no tables)")
             return
         for name, table in sorted(self.db.tables.items()):
+            partitioned = (
+                f", partitioned {table.spec.describe()}"
+                if getattr(table, "is_partitioned", False)
+                else ""
+            )
             self._print(
-                f"{name}: {table.row_count} rows, {table.heap.page_count} pages, "
+                f"{name}: {table.row_count} rows, {table.page_count} pages, "
                 f"indexes: {', '.join(table.indexes) or '(none)'}"
+                + partitioned
             )
 
     def _describe(self, name: str) -> None:

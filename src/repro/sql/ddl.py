@@ -12,14 +12,20 @@ from typing import Any
 
 from repro.db.session import Database
 from repro.errors import SqlSyntaxError
+from repro.partition.partitioner import PartitionSpec
 
 
 @dataclass
 class CreateTable:
-    """``create table T (col type, ...)``."""
+    """``create table T (col type, ...) [partition by ...]``.
+
+    The optional partition clause is ``PARTITION BY HASH(col) PARTITIONS
+    k`` or ``PARTITION BY RANGE(col) VALUES (b1, b2, ...)``.
+    """
 
     table: str
     columns: tuple[tuple[str, str], ...]
+    partition: PartitionSpec | None = None
 
 
 @dataclass
@@ -122,7 +128,58 @@ def _create_table(parser) -> CreateTable:
         if not parser.accept_op(","):
             break
     parser.expect_op(")")
-    return CreateTable(table=table, columns=tuple(columns))
+    partition = _partition_clause(parser)
+    return CreateTable(table=table, columns=tuple(columns), partition=partition)
+
+
+def _accept_word(parser, word: str) -> bool:
+    """Accept a contextual keyword that tokenizes as a plain name
+    (``partition``, ``hash``, ... are not reserved words)."""
+    token = parser.current
+    if token.kind == "name" and token.value.lower() == word:
+        parser.advance()
+        return True
+    return False
+
+
+def _expect_word(parser, word: str) -> None:
+    if not _accept_word(parser, word):
+        raise SqlSyntaxError(
+            f"expected {word.upper()}, found {parser.current.value!r}",
+            parser.current.position,
+        )
+
+
+def _partition_clause(parser) -> PartitionSpec | None:
+    if not _accept_word(parser, "partition"):
+        return None
+    parser.expect_keyword("by")
+    if _accept_word(parser, "hash"):
+        parser.expect_op("(")
+        column = parser.expect_name()
+        parser.expect_op(")")
+        _expect_word(parser, "partitions")
+        token = parser.current
+        if token.kind != "number" or "." in token.value:
+            raise SqlSyntaxError(
+                f"expected a partition count, found {token.value!r}",
+                token.position,
+            )
+        parser.advance()
+        return PartitionSpec(column=column, method="hash",
+                             partitions=int(token.value))
+    if _accept_word(parser, "range"):
+        parser.expect_op("(")
+        column = parser.expect_name()
+        parser.expect_op(")")
+        parser.expect_keyword("values")
+        bounds = _value_row(parser)
+        return PartitionSpec(column=column, method="range", bounds=bounds)
+    raise SqlSyntaxError(
+        f"expected HASH or RANGE after PARTITION BY, "
+        f"found {parser.current.value!r}",
+        parser.current.position,
+    )
 
 
 def _create_index(parser, unique: bool) -> CreateIndex:
@@ -172,7 +229,13 @@ class DdlResult:
 def execute_ddl(db: Database, statement: Statement) -> DdlResult:
     """Apply a parsed DDL/DML statement to the database."""
     if isinstance(statement, CreateTable):
-        db.create_table(statement.table, list(statement.columns))
+        db.create_table(statement.table, list(statement.columns),
+                        partition_by=statement.partition)
+        if statement.partition is not None:
+            return DdlResult(
+                f"table {statement.table} created, "
+                f"partitioned {statement.partition.describe()}"
+            )
         return DdlResult(f"table {statement.table} created")
     if isinstance(statement, CreateIndex):
         table = db.table(statement.table)

@@ -17,7 +17,7 @@ from repro.competition.process import drain
 from repro.db.session import Database
 from repro.engine.goals import OptimizationGoal, infer_goals
 from repro.engine.retrieval import RetrievalResult
-from repro.errors import BindingError, SqlSyntaxError
+from repro.errors import BindingError, RetrievalError, SqlSyntaxError
 from repro.expr.ast import (
     ALWAYS_FALSE,
     ALWAYS_TRUE,
@@ -557,6 +557,13 @@ def _execute_join_retrieve(
     handles = {}
     for source in node.sources:
         table = db.table(source.table)
+        if not hasattr(table, "heap"):
+            # partitioned tables have no single heap/pool to race join
+            # orders over; scatter-aware joins are a follow-on
+            raise RetrievalError(
+                f"table {table.name!r} is partitioned; joins over "
+                f"partitioned tables are not supported yet"
+            )
         handles[source.alias] = JoinTableHandle(
             name=table.name,
             heap=table.heap,

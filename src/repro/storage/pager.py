@@ -10,6 +10,7 @@ the reading process's cost meter. This reproduces the paper's cost metric
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -73,6 +74,11 @@ class Pager:
         self._pages: dict[int, Page] = {}
         self._next_page_id = 0
         self.stats = DiskStats()
+        # one simulated disk may be shared by several partition worker
+        # threads (each behind its own buffer pool); page allocation and
+        # the physical I/O counters are the only cross-partition state, so
+        # they are the only operations that take the lock
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -82,11 +88,14 @@ class Pager:
 
         Allocation counts as one physical write (the page must reach disk).
         """
-        page = Page(page_id=self._next_page_id, kind=kind, payload=payload, owner=owner)
-        self._next_page_id += 1
-        self._pages[page.page_id] = page
-        self.stats.writes += 1
-        self.stats.writes_by_kind[kind] += 1
+        with self._lock:
+            page = Page(
+                page_id=self._next_page_id, kind=kind, payload=payload, owner=owner
+            )
+            self._next_page_id += 1
+            self._pages[page.page_id] = page
+            self.stats.writes += 1
+            self.stats.writes_by_kind[kind] += 1
         return page
 
     def read(self, page_id: int) -> Page:
@@ -95,21 +104,24 @@ class Pager:
             page = self._pages[page_id]
         except KeyError:
             raise PageNotFoundError(page_id) from None
-        self.stats.reads += 1
-        self.stats.reads_by_kind[page.kind] += 1
+        with self._lock:
+            self.stats.reads += 1
+            self.stats.reads_by_kind[page.kind] += 1
         return page
 
     def write(self, page: Page) -> None:
         """Physically write a page back to disk."""
         if page.page_id not in self._pages:
             raise PageNotFoundError(page.page_id)
-        self._pages[page.page_id] = page
-        self.stats.writes += 1
-        self.stats.writes_by_kind[page.kind] += 1
+        with self._lock:
+            self._pages[page.page_id] = page
+            self.stats.writes += 1
+            self.stats.writes_by_kind[page.kind] += 1
 
     def free(self, page_id: int) -> None:
         """Drop a page (used when temporary tables are released)."""
-        self._pages.pop(page_id, None)
+        with self._lock:
+            self._pages.pop(page_id, None)
 
     def exists(self, page_id: int) -> bool:
         """True if the page is currently allocated."""

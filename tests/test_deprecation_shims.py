@@ -1,0 +1,86 @@
+"""The 1.2 deprecation shims: ``Database.execute`` / ``Database.explain``.
+
+Both are thin wrappers over the default connection (the multi-query
+scheduler) that return the *legacy* result objects — ``QueryResult`` /
+``DdlResult`` for ``execute``, the rendered plan text for ``explain`` —
+so pre-connection code keeps working unchanged. The tests pin three
+things: the :class:`DeprecationWarning` fires, the legacy shapes come
+back intact, and those shapes still round-trip through the shell's
+renderer (the oldest downstream consumer of the legacy surface).
+"""
+
+import io
+
+import pytest
+
+from repro.db.session import Database
+from repro.shell import Shell
+from repro.sql.ddl import DdlResult
+from repro.sql.executor import QueryResult
+
+
+def build_db() -> Database:
+    db = Database()
+    with pytest.deprecated_call():
+        db.execute("create table T (ID int, V int)")
+    for i in range(20):
+        with pytest.deprecated_call():
+            db.execute(f"insert into T values ({i}, {i * 3})")
+    return db
+
+
+class TestDatabaseExecuteShim:
+    def test_select_warns_and_returns_legacy_query_result(self):
+        db = build_db()
+        with pytest.deprecated_call():
+            result = db.execute("select V from T where ID between 3 and 5")
+        assert isinstance(result, QueryResult)
+        assert result.columns == ("V",)
+        assert result.rows == [(9,), (12,), (15,)]
+        assert result.retrievals and result.total_io >= 0
+
+    def test_ddl_warns_and_returns_legacy_ddl_result(self):
+        db = Database()
+        with pytest.deprecated_call():
+            result = db.execute("create table U (ID int)")
+        assert isinstance(result, DdlResult)
+        assert "U" in result.message
+
+    def test_host_vars_still_bind(self):
+        db = build_db()
+        with pytest.deprecated_call():
+            result = db.execute("select * from T where ID = :K", {"K": 7})
+        assert result.rows == [(7, 21)]
+
+
+class TestDatabaseExplainShim:
+    def test_explain_warns_and_returns_text(self):
+        db = build_db()
+        with pytest.deprecated_call():
+            text = db.explain("select * from T where ID >= 5")
+        assert isinstance(text, str)
+        assert "T" in text
+
+
+class TestShellRoundTrip:
+    def test_legacy_rows_render_through_the_shell(self):
+        db = build_db()
+        with pytest.deprecated_call():
+            legacy = db.execute("select ID, V from T where ID < 3")
+        out = io.StringIO()
+        shell = Shell(db, out=out)
+        shell._print_rows(legacy.columns, legacy.rows)
+        text = out.getvalue()
+        assert "ID" in text and "V" in text
+        assert " 2" in text and " 6" in text
+
+    def test_shell_statement_matches_legacy_rows(self):
+        db = build_db()
+        with pytest.deprecated_call():
+            legacy = db.execute("select * from T where ID between 0 and 4")
+        out = io.StringIO()
+        shell = Shell(db, out=out)
+        shell.feed("select * from T where ID between 0 and 4;")
+        rendered = out.getvalue()
+        for row in legacy.rows:
+            assert str(row[-1]) in rendered

@@ -22,6 +22,7 @@ from repro.obs.audit import (
     AuditLog,
     DecisionKind,
     DecisionMetrics,
+    DecisionRecord,
 )
 from repro.obs.regret import replay_strategy, run_compete
 from repro.obs.trace import Tracer
@@ -458,3 +459,70 @@ class TestFlightRecorder:
         conn.close()  # in-flight query cancelled, sinks closed
         assert handle.done
         assert trace_sink.closed and flight_sink.closed
+
+
+# -- lazy input capture ------------------------------------------------------
+
+
+class TestLazyDecisionRecord:
+    """The audit-on hot path borrows the engine's detail mapping by
+    reference and only materializes (and filters) it on first read."""
+
+    def test_raw_inputs_materialize_on_first_read(self):
+        raw = {"est": 12, "cost": 3.5, "to": "tscan"}
+        record = DecisionRecord(
+            DecisionKind.STRATEGY_SWITCH, "tscan",
+            raw_inputs=raw, drop_keys=("to",),
+        )
+        assert record._inputs is None  # nothing copied yet
+        inputs = record.inputs
+        assert inputs == {"est": 12, "cost": 3.5}
+        assert record.inputs is inputs  # materialized exactly once
+
+    def test_owned_inputs_pass_through(self):
+        record = DecisionRecord(
+            DecisionKind.TACTIC_SELECTION, "jscan", inputs={"a": 1}
+        )
+        assert record.inputs == {"a": 1}
+
+    def test_no_inputs_is_empty_dict(self):
+        record = DecisionRecord(DecisionKind.GOAL_INFERENCE, "total-time")
+        assert record.inputs == {}
+
+    def test_to_dict_includes_lazy_inputs(self):
+        record = DecisionRecord(
+            DecisionKind.SHORTCUT, "empty", raw_inputs={"reason": "contradiction"}
+        )
+        payload = record.to_dict()
+        assert payload["inputs"] == {"reason": "contradiction"}
+
+    def test_decision_raw_borrows_without_copying(self):
+        audit = AuditLog()
+        audit.begin_retrieval("T")
+        detail = {"from": "jscan", "to": "tscan", "crossover": 41.5}
+        audit.decision_raw(
+            DecisionKind.STRATEGY_SWITCH, "tscan",
+            raw_inputs=detail, drop_keys=("to",),
+        )
+        record = audit.retrievals[-1].decisions[-1]
+        assert record._raw is detail  # borrowed by reference, no copy
+        assert record.inputs == {"from": "jscan", "crossover": 41.5}
+
+    def test_observe_event_records_stay_equivalent(self):
+        """The event-derived records carry the same payloads as before
+        the lazy refactor (detail minus the chosen-value key)."""
+        trace = RetrievalTrace(Tracer(audit=AuditLog()))
+        trace.audit.begin_retrieval("T")
+        trace.emit(
+            EventKind.STRATEGY_SWITCH, to="tscan", sunk_cost=2.0, reason="crossover"
+        )
+        audit = trace.audit
+        switches = [
+            record
+            for retrieval in audit.retrievals
+            for record in retrieval.decisions
+            if record.kind is DecisionKind.STRATEGY_SWITCH
+        ]
+        assert switches and switches[-1].chosen == "tscan"
+        assert "to" not in switches[-1].inputs
+        assert switches[-1].inputs["sunk_cost"] == 2.0

@@ -1,0 +1,441 @@
+"""Partitioned storage and scatter-gather retrieval.
+
+Covers the partition subsystem end to end: the stable hash / range
+partitioners and their candidate pruning, the merge helpers, the
+:class:`~repro.db.partitioned.PartitionedTable` surface (routing, DDL
+fan-out, statistics), the scatter coordinator's accounting identity
+between serial and parallel runs, cancellation (pins released on
+abandon), the SQL ``PARTITION BY`` clause, and the scatter-gather
+metrics wired through the server registry.
+"""
+
+import zlib
+
+import pytest
+
+import repro
+from repro.config import DEFAULT_CONFIG
+from repro.db.session import Database
+from repro.errors import CatalogError, ReproError, RetrievalError
+from repro.expr.ast import col, var
+from repro.obs.audit import AuditLog, DecisionKind
+from repro.obs.trace import Tracer
+from repro.partition import (
+    HashPartitioner,
+    PartitionSpec,
+    RangePartitioner,
+    bag_union,
+    merge_sorted_runs,
+    partition_name,
+    stable_hash,
+)
+from repro.partition.partitioner import make_partitioner
+from repro.partition.scatter import critical_path
+from repro.server import QueryServer
+from repro.storage.rid import RID
+
+
+def make_db(workers=1, partitions=4, rows=400, buffer_capacity=64, **overrides):
+    config = DEFAULT_CONFIG.with_(partition_workers=workers, **overrides)
+    db = Database(buffer_capacity=buffer_capacity, config=config)
+    table = db.create_table(
+        "T",
+        [("ID", "int"), ("V", "int")],
+        rows_per_page=8,
+        partition_by=PartitionSpec(column="ID", method="hash", partitions=partitions),
+    )
+    for i in range(rows):
+        table.insert((i, i % 7))
+    table.create_index("IX_ID", ["ID"])
+    table.analyze()
+    return db, table
+
+
+# -- partitioners ------------------------------------------------------------
+
+
+class TestStableHash:
+    def test_ints_map_to_themselves(self):
+        assert stable_hash(17) == 17
+        assert stable_hash(0) == 0
+
+    def test_strings_use_crc32(self):
+        assert stable_hash("abc") == zlib.crc32(b"abc")
+
+    def test_none_is_zero(self):
+        assert stable_hash(None) == 0
+
+    def test_deterministic(self):
+        for value in (3, "x", 2.5, None, True):
+            assert stable_hash(value) == stable_hash(value)
+
+
+class TestPartitionSpec:
+    def test_hash_needs_two_partitions(self):
+        with pytest.raises(CatalogError):
+            PartitionSpec(column="ID", method="hash", partitions=1)
+
+    def test_range_needs_bounds(self):
+        with pytest.raises(CatalogError):
+            PartitionSpec(column="ID", method="range")
+
+    def test_range_bounds_must_ascend(self):
+        with pytest.raises(CatalogError):
+            PartitionSpec(column="ID", method="range", bounds=(10, 10))
+
+    def test_range_partition_count_from_bounds(self):
+        spec = PartitionSpec(column="ID", method="range", bounds=(100, 200))
+        assert spec.partitions == 3
+
+    def test_unknown_method(self):
+        with pytest.raises(CatalogError):
+            PartitionSpec(column="ID", method="round-robin")
+
+    def test_describe(self):
+        spec = PartitionSpec(column="ID", method="hash", partitions=4)
+        text = spec.describe()
+        assert "hash" in text and "ID" in text and "4" in text
+
+
+class TestHashPruning:
+    def setup_method(self):
+        spec = PartitionSpec(column="ID", method="hash", partitions=4)
+        self.part = make_partitioner(spec, 0)
+
+    def test_routes_rows(self):
+        assert isinstance(self.part, HashPartitioner)
+        for i in range(20):
+            assert self.part.partition_of_row((i, 0)) == i % 4
+
+    def test_equality_prunes_to_one(self):
+        assert self.part.candidate_partitions(col("ID").eq(6), {}) == (2,)
+
+    def test_host_var_equality_prunes(self):
+        restriction = col("ID").eq(var("K"))
+        assert self.part.candidate_partitions(restriction, {"K": 7}) == (3,)
+
+    def test_in_list_prunes_to_subset(self):
+        restriction = col("ID").in_([1, 5, 9])  # all hash to partition 1
+        assert self.part.candidate_partitions(restriction, {}) == (1,)
+
+    def test_range_predicate_cannot_prune(self):
+        restriction = col("ID").between(0, 10)
+        assert self.part.candidate_partitions(restriction, {}) == (0, 1, 2, 3)
+
+    def test_other_column_cannot_prune(self):
+        restriction = col("V").eq(3)
+        assert (
+            HashPartitioner(
+                PartitionSpec(column="ID", partitions=4), 0
+            ).candidate_partitions(restriction, {})
+            == (0, 1, 2, 3)
+        )
+
+    def test_contradiction_prunes_everything(self):
+        restriction = col("ID").eq(1) & col("ID").eq(2)
+        assert self.part.candidate_partitions(restriction, {}) == ()
+
+
+class TestRangePruning:
+    def setup_method(self):
+        spec = PartitionSpec(column="ID", method="range", bounds=(100, 200))
+        self.part = make_partitioner(spec, 0)
+
+    def test_routes_rows(self):
+        assert isinstance(self.part, RangePartitioner)
+        assert self.part.partition_of_row((50, 0)) == 0
+        assert self.part.partition_of_row((100, 0)) == 1
+        assert self.part.partition_of_row((250, 0)) == 2
+        assert self.part.partition_of_row((None, 0)) == 0
+
+    def test_band_prunes_to_touching_partitions(self):
+        assert self.part.candidate_partitions(col("ID").between(50, 150), {}) == (0, 1)
+        assert self.part.candidate_partitions(col("ID").between(210, 500), {}) == (2,)
+
+    def test_open_ranges(self):
+        assert self.part.candidate_partitions(col("ID") < 100, {}) == (0,)
+        assert self.part.candidate_partitions(col("ID") >= 200, {}) == (2,)
+
+
+# -- merge helpers -----------------------------------------------------------
+
+
+class TestMerge:
+    def test_bag_union_keeps_partition_order(self):
+        runs = [
+            ([(3,), (1,)], [RID(0, 0), RID(0, 1)]),
+            ([(2,)], [RID(1, 0)]),
+        ]
+        rows, rids = bag_union(runs)
+        assert rows == [(3,), (1,), (2,)]
+        assert rids == [RID(0, 0), RID(0, 1), RID(1, 0)]
+
+    def test_merge_sorted_runs_globally_ordered(self):
+        runs = [
+            ([(1, "a"), (4, "a")], [RID(0, 0), RID(0, 1)]),
+            ([(2, "b"), (3, "b"), (9, "b")], [RID(1, 0), RID(1, 1), RID(1, 2)]),
+        ]
+        rows, rids = merge_sorted_runs(runs, [0])
+        assert [row[0] for row in rows] == [1, 2, 3, 4, 9]
+        assert len(rids) == 5
+
+    def test_merge_ties_break_by_partition(self):
+        runs = [
+            ([(5, "p1")], [RID(1, 0)]),
+            ([(5, "p0")], [RID(0, 0)]),
+        ]
+        rows, _ = merge_sorted_runs(runs, [0])
+        # equal keys deliver in partition order, never comparing payloads
+        assert rows == [(5, "p1"), (5, "p0")]
+
+
+class TestCriticalPath:
+    def test_serial_is_sum(self):
+        assert critical_path([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_balanced_split(self):
+        assert critical_path([1.0] * 8, 4) == 2.0
+        assert critical_path([1.0] * 8, 8) == 1.0
+
+    def test_skewed_load_is_bounded_by_heaviest(self):
+        assert critical_path([10.0, 1.0, 1.0], 3) == 10.0
+
+    def test_empty(self):
+        assert critical_path([], 4) == 0.0
+
+
+# -- the PartitionedTable surface --------------------------------------------
+
+
+class TestPartitionedTable:
+    def test_rows_route_by_hash(self):
+        _, table = make_db(rows=40)
+        for index, child in enumerate(table.partitions):
+            assert child.name == partition_name("T", index)
+            for _, row in child.heap.scan():
+                assert stable_hash(row[0]) % 4 == index
+        assert table.row_count == 40
+
+    def test_partition_column_must_exist(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.create_table(
+                "BAD", [("ID", "int")],
+                partition_by=PartitionSpec(column="NOPE", partitions=2),
+            )
+
+    def test_index_fanout(self):
+        _, table = make_db(rows=20)
+        assert all("IX_ID" in child.indexes for child in table.partitions)
+        with pytest.raises(CatalogError):
+            table.create_index("IX_ID", ["ID"])
+        table.drop_index("IX_ID")
+        assert all("IX_ID" not in child.indexes for child in table.partitions)
+
+    def test_analyze_builds_table_level_stats(self):
+        _, table = make_db(rows=100)
+        assert table.stats is not None
+        assert table.stats.row_count == 100
+        assert table.stats.columns["ID"].distinct == 100
+
+    def test_drop_table_releases_and_allows_recreate(self):
+        db, _ = make_db(rows=50)
+        db.drop_table("T")
+        assert "T" not in db.tables
+        table = db.create_table(
+            "T", [("ID", "int")],
+            partition_by=PartitionSpec(column="ID", partitions=2),
+        )
+        table.insert((1,))
+        assert table.row_count == 1
+
+    def test_cold_cache_clears_partition_pools(self):
+        db, table = make_db(rows=100)
+        table.select(where=col("ID").between(0, 99))
+        assert any(len(child.buffer_pool) for child in table.partitions)
+        db.cold_cache()
+        assert all(len(child.buffer_pool) == 0 for child in table.partitions)
+
+    def test_joins_degrade_with_a_clear_error(self):
+        db, _ = make_db(rows=10)
+        other = db.create_table("U", [("ID", "int")])
+        other.insert((1,))
+        conn = db.default_connection()
+        with pytest.raises(RetrievalError, match="partitioned"):
+            conn.execute("select a.V from T a join U b on a.ID = b.ID")
+
+
+# -- scatter-gather ----------------------------------------------------------
+
+
+class TestScatter:
+    def test_equality_scatter_prunes(self):
+        _, table = make_db(rows=80)
+        result = table.select(where=col("ID").eq(13))
+        assert result.rows == [(13, 13 % 7)]
+        assert result.scatter is not None
+        assert result.scatter.candidates == (stable_hash(13) % 4,)
+        assert result.scatter.pruned == 3
+
+    def test_bag_matches_unpartitioned_plan(self):
+        db = Database(buffer_capacity=64)
+        flat = db.create_table("F", [("ID", "int"), ("V", "int")], rows_per_page=8)
+        for i in range(400):
+            flat.insert((i, i % 7))
+        flat.create_index("IX_ID", ["ID"])
+        flat.analyze()
+        _, table = make_db(rows=400)
+        for where in (col("ID").between(37, 210), col("V").eq(3)):
+            expect = flat.select(where=where)
+            got = table.select(where=where)
+            assert sorted(got.rows) == sorted(expect.rows)
+
+    def test_ordered_merge_is_globally_sorted(self):
+        _, table = make_db(rows=200)
+        result = table.select(where=col("ID").between(10, 150), order_by=("ID",))
+        ids = [row[0] for row in result.rows]
+        assert ids == list(range(10, 151))
+        assert result.scatter.ordered_merge is True
+
+    def test_limit_truncates_after_merge(self):
+        _, table = make_db(rows=200)
+        result = table.select(
+            where=col("ID").between(0, 150), order_by=("ID",), limit=5
+        )
+        assert [row[0] for row in result.rows] == [0, 1, 2, 3, 4]
+
+    def test_accounting_identical_serial_vs_parallel(self):
+        """The tentpole invariant: worker count changes when pages are
+        read, never how many — costs are the exact per-partition sums."""
+        outcomes = {}
+        for workers in (1, 4):
+            db, table = make_db(workers=workers, rows=400)
+            db.cold_cache()
+            result = table.select(where=col("ID").between(20, 300))
+            info = result.scatter
+            assert result.total_cost == pytest.approx(
+                sum(f.cost for f in info.fetches)
+            )
+            assert result.execution_io == sum(f.io for f in info.fetches)
+            outcomes[workers] = (
+                sorted(result.rows),
+                round(result.total_cost, 9),
+                result.execution_io,
+                [f.description for f in info.fetches],
+            )
+            db.close_worker_pool()
+        assert outcomes[1] == outcomes[4]
+
+    def test_effective_workers_capped_by_candidates(self):
+        db, table = make_db(workers=8, rows=80)
+        spread = table.select(where=col("ID").between(0, 79))
+        assert spread.scatter.workers == 4
+        pruned = table.select(where=col("ID").eq(3))
+        # one candidate -> serial path, no pool involvement
+        assert pruned.scatter.workers == 1
+        db.close_worker_pool()
+
+    def test_modeled_critical_path_speedup(self):
+        db, table = make_db(workers=4, rows=400)
+        result = table.select(where=col("ID").between(0, 399))
+        info = result.scatter
+        assert info.serial_cost / info.critical_path_cost >= 2.5
+        db.close_worker_pool()
+
+    def test_cancellation_releases_pins(self, monkeypatch):
+        from repro.partition import scatter as scatter_mod
+
+        # zero poll: the parallel coordinator yields right after submitting,
+        # before its workers can finish; tiny quanta do the same for serial
+        monkeypatch.setattr(scatter_mod, "_POLL_SECONDS", 0.0)
+        for workers in (1, 4):
+            db, table = make_db(workers=workers, rows=2000, batch_size=4)
+            gen = table.select_steps(where=col("ID").between(0, 1999))
+            for _ in range(3):
+                next(gen)
+            gen.close()
+            for child in table.partitions:
+                assert child.buffer_pool._pinned == {}
+            db.close_worker_pool()
+
+    def test_scatter_audit_decision(self):
+        _, table = make_db(rows=80)
+        audit = AuditLog()
+        result = table.select(
+            where=col("ID").eq(5), tracer=Tracer(audit=audit)
+        )
+        assert result.rows == [(5, 5)]
+        records = [
+            record
+            for retrieval in audit.retrievals
+            for record in retrieval.decisions
+            if record.kind is DecisionKind.SCATTER
+        ]
+        assert len(records) == 1
+        assert records[0].inputs["partitions"] == 4
+        assert records[0].inputs["pruned"] == 3
+
+    def test_partition_stats_reconcile(self):
+        db, table = make_db(rows=200)
+        delivered = 0
+        for lo in (0, 50, 100):
+            delivered += len(table.select(where=col("ID").between(lo, lo + 40)).rows)
+        stats = db.partition_stats
+        assert stats.scatters == 3
+        assert stats.merge_rows == delivered
+        assert stats.partitions_fetched + stats.partitions_pruned == 12
+
+
+# -- SQL DDL + server metrics ------------------------------------------------
+
+
+class TestPartitionSql:
+    def test_hash_ddl_roundtrip(self):
+        conn = repro.connect()
+        made = conn.execute(
+            "create table M (ID int, V int) partition by hash(ID) partitions 4"
+        )
+        assert "hash" in made.text.lower()
+        for i in range(16):
+            conn.execute(f"insert into M values ({i}, {i * 2})")
+        result = conn.execute("select V from M where ID = 9")
+        assert result.rows == [(18,)]
+        table = conn.db.table("M")
+        assert table.is_partitioned and table.spec.partitions == 4
+
+    def test_range_ddl_roundtrip(self):
+        conn = repro.connect()
+        conn.execute(
+            "create table R (ID int) partition by range(ID) values (10, 20)"
+        )
+        table = conn.db.table("R")
+        assert table.spec.method == "range"
+        assert table.spec.partitions == 3
+        for i in (5, 15, 25):
+            conn.execute(f"insert into R values ({i})")
+        assert [child.row_count for child in table.partitions] == [1, 1, 1]
+
+    def test_ddl_errors(self):
+        conn = repro.connect()
+        with pytest.raises(ReproError):
+            conn.execute("create table B (ID int) partition by hash(ID) partitions 1")
+        with pytest.raises(ReproError):
+            conn.execute("create table B (ID int) partition by hash(NOPE) partitions 2")
+        with pytest.raises(ReproError):
+            conn.execute("create table B (ID int) partition by modulo(ID) partitions 2")
+
+    def test_server_metrics_expose_scatter_counters(self):
+        db, _ = make_db(rows=120)
+        server = QueryServer(db)
+        session = server.session("s0")
+        handle = session.submit("select * from T where ID between 0 and 99")
+        server.run_until_idle()
+        rows = handle.result.rows
+        text = server.metrics.expose_text()
+        assert "repro_partition_scatters_total 1" in text
+        assert f"repro_partition_merge_rows_total {len(rows)}" in text
+        assert "repro_partition_worker_utilization" in text
+        assert "repro_partition_fetch_cost" in text
+        human = server.metrics.format()
+        assert "scatter" in human
+        server.shutdown()

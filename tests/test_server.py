@@ -368,3 +368,60 @@ class TestOwnerAttribution:
             assert stats.hits == handle.cache_hits
             assert stats.misses == handle.cache_misses
             assert 0.0 <= stats.hit_ratio <= 1.0
+
+
+class _CountingSink:
+    def __init__(self):
+        self.writes = 0
+        self.closes = 0
+
+    def write(self, record):
+        self.writes += 1
+
+    def close(self):
+        self.closes += 1
+
+
+class TestShutdown:
+    def test_shutdown_cancels_and_closes_sinks_once(self):
+        db = build_db()
+        trace_sink, flight_sink = _CountingSink(), _CountingSink()
+        server = QueryServer(db, trace_sink=trace_sink, flight_sink=flight_sink)
+        handle = server.session("s0").submit(QUERIES[0])
+        server.step()
+        assert handle.state is QueryState.RUNNING
+        server.shutdown()
+        assert handle.state is QueryState.CANCELLED
+        assert (trace_sink.closes, flight_sink.closes) == (1, 1)
+        # later calls (Connection.close after an explicit shutdown, an
+        # atexit hook) are no-ops: the sinks never re-close
+        server.shutdown()
+        server.shutdown()
+        assert (trace_sink.closes, flight_sink.closes) == (1, 1)
+
+    def test_shutdown_drains_partition_worker_pool(self):
+        from repro.db.session import _LIVE_WORKER_POOLS
+
+        db = Database(config=DEFAULT_CONFIG.with_(partition_workers=4))
+        pool = db.worker_pool()
+        assert pool is not None and db.worker_pool() is pool
+        assert pool in _LIVE_WORKER_POOLS
+        QueryServer(db).shutdown()
+        assert db._worker_pool is None
+        assert pool not in _LIVE_WORKER_POOLS
+        db.close_worker_pool()  # idempotent
+
+    def test_serial_config_never_creates_a_pool(self):
+        db = build_db()
+        assert db.worker_pool() is None
+        db.close_worker_pool()  # no-op without a pool
+
+    def test_connection_close_is_idempotent(self):
+        import repro
+
+        conn = repro.connect()
+        conn.execute("create table C (ID int)")
+        conn.close()
+        conn.close()
+        with pytest.raises(ServerError):
+            conn.execute("select * from C")
