@@ -24,9 +24,12 @@ looks breached, up to two more rounds of sweeps are folded into the
 minima before failing (noise spikes confirm away; real regressions
 don't).
 
-It also reports (without gating) the cost of auditing *everything*
-(``audit_enabled=True``), which pays for record construction per decision
-and per-retrieval absorption into the server's ``DecisionMetrics``, and it
+It also gates the cost of auditing *everything* (``audit_enabled=True``)
+to a hard ``AUDIT_ON_BUDGET_PCT`` (5%) over the audit-off run. Audit-on
+queries no longer build a full span tree: unless sampled for tracing they
+carry an ``AuditOnlyTracer`` (live audit log, no-op spans), and estimate
+observations are ring-buffered with deferred materialization, which is
+what brought the measured overhead down from ~14.5%. The benchmark still
 asserts the observer contract directly: both runs must deliver the same
 rows with byte-identical total I/O.
 
@@ -62,6 +65,12 @@ from repro.config import DEFAULT_CONFIG
 
 #: gate: the audit-off path may cost at most this fraction of throughput
 OVERHEAD_BUDGET_PCT = 2.0
+#: gate: auditing *everything* may cost at most this much vs audit-off.
+#: Affordable always-on auditing is what the estimation program rides on
+#: (q-errors are recorded at retirement through the same path), so the
+#: audit-on run pays only for decision records and ring-buffered estimate
+#: capture — not for span-tree construction (see AuditOnlyTracer).
+AUDIT_ON_BUDGET_PCT = 5.0
 
 REQUIRED_KEYS = [
     "workload",
@@ -185,10 +194,13 @@ def main(argv: list[str] | None = None) -> int:
     best = interleaved_best_of(runs, trials)
     for _ in range(2):
         ratio = best["audit_off"]["wall_sec"] / best["reference"]["wall_sec"]
+        on_ratio = best["audit_on"]["wall_sec"] / best["audit_off"]["wall_sec"]
         noise = abs(
             best["reference_b"]["wall_sec"] / best["reference"]["wall_sec"] - 1.0
         )
-        if (ratio - 1.0) * 100 <= OVERHEAD_BUDGET_PCT + noise * 100:
+        if (ratio - 1.0) * 100 <= OVERHEAD_BUDGET_PCT + noise * 100 and (
+            on_ratio - 1.0
+        ) * 100 <= AUDIT_ON_BUDGET_PCT + noise * 100:
             break
         best = interleaved_best_of(runs, trials, best)
     reference, off, on = best["reference"], best["audit_off"], best["audit_on"]
@@ -222,6 +234,7 @@ def main(argv: list[str] | None = None) -> int:
         "overhead_on_vs_off_pct": overhead_on,
         "measured_noise_pct": noise_pct,
         "budget_pct": OVERHEAD_BUDGET_PCT,
+        "audit_on_budget_pct": AUDIT_ON_BUDGET_PCT,
         "smoke": args.smoke,
     }
 
@@ -257,6 +270,11 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"audit-off path costs {overhead_off}% "
             f"(> {OVERHEAD_BUDGET_PCT}% budget + {noise_pct}% measured noise)"
+        )
+    if overhead_on > AUDIT_ON_BUDGET_PCT + noise_pct:
+        failures.append(
+            f"audit-on path costs {overhead_on}% vs off "
+            f"(> {AUDIT_ON_BUDGET_PCT}% budget + {noise_pct}% measured noise)"
         )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

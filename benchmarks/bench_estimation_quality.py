@@ -1,0 +1,239 @@
+"""Estimation quality: q-error refinement and the variance-gated race.
+
+Two claims, both gated:
+
+1. **Learning**: on a warm repeated workload the estimator's recorded
+   median q-error falls monotonically across refinement rounds — the
+   self-tuning histograms and signature statistics converge corrected
+   estimates onto observed truth instead of oscillating.
+2. **Payoff**: once signatures are trusted, variance-gated mode (skip the
+   index-only pilot race, run the statically-decided winner) sustains at
+   least ``SPEEDUP_GATE``x the queries/sec of always-compete mode on the
+   same workload, while delivering byte-identical rows — the gate trades
+   none of the competition model's safety for the saved race.
+
+The workload is engine-level (no SQL/scheduler noise): a table whose
+restriction arms are deliberately lopsided — a covering index resolves
+the query in a few dozen entries while the second Jscan arm spans the
+whole table — so every competed retrieval pays for background work the
+gated retrieval provably avoids.
+
+Results land in ``BENCH_estimation_quality.json`` at the repository root.
+
+Usage::
+
+    python benchmarks/bench_estimation_quality.py          # full workload
+    python benchmarks/bench_estimation_quality.py --smoke  # tiny, CI gate
+
+Exit status is non-zero when rows differ, the speedup gate fails, or the
+median q-error fails to fall monotonically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.competition.process import drain
+from repro.db.session import Database
+from repro.engine.metrics import EventKind
+from repro.estimate import Estimator
+from repro.expr.ast import col
+
+#: gated mode must clear this many times always-compete's queries/sec
+SPEEDUP_GATE = 1.3
+#: rounding slack for the monotone-median check (floating EWMA noise)
+MEDIAN_SLACK = 1e-9
+
+REQUIRED_KEYS = [
+    "workload",
+    "round_median_qerror",
+    "qerror_monotone",
+    "gated",
+    "compete",
+    "speedup",
+    "rows_identical",
+    "speedup_gate",
+    "smoke",
+]
+
+
+def build_database(rows: int) -> tuple[Database, object]:
+    db = Database(buffer_capacity=256)
+    table = db.create_table(
+        "EVENTS",
+        [("A", "int"), ("B", "int"), ("C", "int")],
+        rows_per_page=16,
+        index_order=16,
+    )
+    table.insert_many((i, i % 89, (i * 7) % 1000) for i in range(rows))
+    table.create_index("IX_AB", ["A", "B"])  # covering: the cheap Sscan arm
+    table.create_index("IX_A", ["A"])  # fetch-needed, wide: the race's waste
+    table.create_index("IX_B", ["B"])  # fetch-needed, small lead: warms the gate
+    # the small-range shortcut leaves arms unestimated (an unestimated arm
+    # always competes); the workload is about estimated ranges
+    table.config = table.config.with_(shortcut_rid_count=0)
+    return db, table
+
+
+def workload(rows: int, span: int, windows: int):
+    """Disjoint (lo, hi) windows over A, each with an equality probe on B.
+
+    The B probe makes ``IX_B`` the *small* Jscan lead arm (it completes
+    mid-race, so its signature warms and the gate can learn to trust it)
+    while ``IX_A`` spans the full window — the background work a trusted
+    gate saves.
+    """
+    queries = []
+    stride = max(1, rows // windows)
+    for w in range(windows):
+        lo = w * stride
+        queries.append(
+            (col("A") >= lo) & (col("A") < lo + span) & (col("B").eq(w * 37 % 89))
+        )
+    return queries
+
+
+def run_round(table, queries, estimator) -> tuple[int, list[list[tuple]]]:
+    """One pass over the workload; returns (skips, per-query rows)."""
+    skips = 0
+    all_rows = []
+    for where in queries:
+        result = drain(
+            table.select_steps(
+                where=where, columns=("A", "B"), estimator=estimator
+            )
+        )
+        if result.trace.has(EventKind.COMPETITION_SKIPPED):
+            skips += 1
+        all_rows.append(sorted(result.rows))
+    return skips, all_rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny tables, for CI")
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default: BENCH_estimation_quality.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        rows, span, windows, refine_rounds, timed_rounds = 1500, 200, 4, 6, 6
+    else:
+        rows, span, windows, refine_rounds, timed_rounds = 8000, 400, 8, 6, 10
+
+    # -- claim 1: refinement drives the median q-error down -----------------
+    db, table = build_database(rows)
+    queries = workload(rows, span, windows)
+    estimator = db.estimator
+    medians: list[float] = []
+    for _ in range(refine_rounds):
+        run_round(table, queries, estimator)
+        recent = estimator.take_recent()
+        if recent:
+            medians.append(round(statistics.median(recent), 4))
+    monotone = all(
+        later <= earlier + MEDIAN_SLACK
+        for earlier, later in zip(medians, medians[1:])
+    ) and (len(medians) < 2 or medians[-1] < medians[0])
+
+    # -- claim 2: the trusted gate beats always-compete ----------------------
+    # two fresh, identical databases so neither mode inherits the other's
+    # buffer cache; both get the same warm-up passes
+    gated_db, gated_table = build_database(rows)
+    compete_db, compete_table = build_database(rows)
+    compete_table.config = compete_table.config.with_(competition_gate=False)
+
+    for _ in range(6):  # warm caches, corrections, and (gated) trust
+        run_round(gated_table, queries, gated_db.estimator)
+        run_round(compete_table, queries, compete_db.estimator)
+
+    start = time.perf_counter()
+    gated_skips = 0
+    gated_rows: list[list[tuple]] = []
+    for _ in range(timed_rounds):
+        skips, gated_rows = run_round(gated_table, queries, gated_db.estimator)
+        gated_skips += skips
+    gated_sec = time.perf_counter() - start
+
+    start = time.perf_counter()
+    compete_rows: list[list[tuple]] = []
+    for _ in range(timed_rounds):
+        _, compete_rows = run_round(compete_table, queries, compete_db.estimator)
+    compete_sec = time.perf_counter() - start
+
+    total_queries = timed_rounds * len(queries)
+    gated_qps = total_queries / gated_sec
+    compete_qps = total_queries / compete_sec
+    speedup = gated_qps / compete_qps
+    rows_identical = gated_rows == compete_rows
+
+    report = {
+        "workload": {
+            "rows": rows, "span": span, "windows": windows,
+            "refine_rounds": refine_rounds, "timed_rounds": timed_rounds,
+        },
+        "round_median_qerror": medians,
+        "qerror_monotone": monotone,
+        "gated": {
+            "wall_sec": round(gated_sec, 6),
+            "queries_per_sec": round(gated_qps, 2),
+            "competitions_skipped": gated_skips,
+        },
+        "compete": {
+            "wall_sec": round(compete_sec, 6),
+            "queries_per_sec": round(compete_qps, 2),
+        },
+        "speedup": round(speedup, 3),
+        "rows_identical": rows_identical,
+        "speedup_gate": SPEEDUP_GATE,
+        "smoke": args.smoke,
+    }
+
+    root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+    out_path = args.out or os.path.join(root, "BENCH_estimation_quality.json")
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"median q-error by round: {medians} "
+          f"({'monotone' if monotone else 'NOT monotone'})")
+    print(f"gated  : {gated_qps:>9.1f} q/s "
+          f"({gated_skips}/{total_queries} races skipped)")
+    print(f"compete: {compete_qps:>9.1f} q/s")
+    print(f"speedup: {speedup:.2f}x (gate {SPEEDUP_GATE}x), "
+          f"rows {'identical' if rows_identical else 'DIFFER'}")
+    print(f"wrote {os.path.normpath(out_path)}")
+
+    failures = []
+    written = json.load(open(out_path))
+    for key in REQUIRED_KEYS:
+        if key not in written:
+            failures.append(f"missing key in JSON: {key}")
+    if not rows_identical:
+        failures.append("gated and competed runs delivered different rows")
+    if not monotone:
+        failures.append(f"median q-error did not fall monotonically: {medians}")
+    if speedup < SPEEDUP_GATE:
+        failures.append(
+            f"gated speedup {speedup:.2f}x below the {SPEEDUP_GATE}x gate"
+        )
+    if gated_skips == 0:
+        failures.append("the gate never trusted — no competitions skipped")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,21 +28,26 @@ import json
 import os
 import sys
 
-#: per-benchmark headline extractors: name -> (json path, metric label)
+#: per-benchmark headline extractors: name -> (json path, metric label),
+#: or a list of such pairs when one report carries several plottable numbers
 HEADLINES = {
     "throughput": ("multi_session_4.64.rows_per_sec", "rows/sec @ batch 64"),
     "trace_overhead": (
         "overhead_rate0_vs_reference_pct", "disabled-path overhead %"
     ),
-    "audit_overhead": (
-        "overhead_off_vs_reference_pct", "audit-off overhead %"
-    ),
+    "audit_overhead": [
+        ("overhead_off_vs_reference_pct", "audit-off overhead %"),
+        ("overhead_on_vs_off_pct", "audit-on overhead % vs off"),
+    ],
     "prepare": ("speedup_at_repeat_16", "prepared/unprepared speedup"),
     "join_competition": (
         "competitive_ratio_vs_worst", "competition cost / worst static order"
     ),
     "partition_scaling": (
         "speedup_at_4_workers", "modeled scatter-gather speedup @ 4 workers"
+    ),
+    "estimation_quality": (
+        "speedup", "variance-gated speedup vs always-compete"
     ),
 }
 
@@ -57,13 +62,14 @@ def dig(report: dict, dotted: str):
     return node
 
 
-def headline(name: str, report: dict) -> dict | None:
+def headlines(name: str, report: dict) -> list[dict]:
     spec = HEADLINES.get(name)
     if spec is None:
-        return None
-    path, label = spec
-    value = dig(report, path)
-    return {"metric": label, "value": value}
+        return []
+    specs = spec if isinstance(spec, list) else [spec]
+    return [
+        {"metric": label, "value": dig(report, path)} for path, label in specs
+    ]
 
 
 def collect(root: str) -> dict:
@@ -80,9 +86,11 @@ def collect(root: str) -> dict:
             trend["errors"][name] = str(error)
             continue
         entry = {"file": base, "report": report}
-        head = headline(name, report)
-        if head is not None:
-            entry["headline"] = head
+        heads = headlines(name, report)
+        if heads:
+            entry["headline"] = heads[0]
+            if len(heads) > 1:
+                entry["headlines"] = heads
         if isinstance(report, dict) and "smoke" in report:
             entry["smoke"] = report["smoke"]
         trend["benchmarks"][name] = entry
@@ -115,9 +123,13 @@ def main(argv: list[str] | None = None) -> int:
         handle.write("\n")
 
     for name, entry in sorted(trend["benchmarks"].items()):
-        head = entry.get("headline")
-        if head and head["value"] is not None:
-            print(f"{name:>16}: {head['value']} ({head['metric']})")
+        heads = entry.get("headlines") or (
+            [entry["headline"]] if entry.get("headline") else []
+        )
+        shown = [h for h in heads if h["value"] is not None]
+        if shown:
+            for head in shown:
+                print(f"{name:>16}: {head['value']} ({head['metric']})")
         else:
             print(f"{name:>16}: collected ({entry['file']})")
     for name, error in sorted(trend["errors"].items()):

@@ -93,6 +93,7 @@ class FeedbackStore:
         self._entries: OrderedDict[tuple, FeedbackEntry] = OrderedDict()
         self.records = 0
         self.adjustments = 0
+        self.evictions = 0
 
     @property
     def size(self) -> int:
@@ -115,6 +116,7 @@ class FeedbackStore:
         if entry is None:
             while len(self._entries) >= self.capacity:
                 self._entries.popitem(last=False)
+                self.evictions += 1
             self._entries[key] = FeedbackEntry(ratio=ratio)
         else:
             entry.ratio += self.alpha * (ratio - entry.ratio)
@@ -128,12 +130,26 @@ class FeedbackStore:
         """The corrected RID count for ``estimated``, or None if unknown."""
         if not self.enabled:
             return None
-        entry = self._entries.get((table, index_name, predicate_signature(restriction)))
+        key = (table, index_name, predicate_signature(restriction))
+        entry = self._entries.get(key)
         if entry is None:
             return None
-        self._entries.move_to_end((table, index_name, predicate_signature(restriction)))
+        self._entries.move_to_end(key)
         self.adjustments += 1
         return max(0, round(estimated * entry.ratio))
+
+    def snapshot_for(self, table: str) -> dict[tuple[str, str], float]:
+        """Read-only {(index, signature): ratio} view of one table's entries.
+
+        Used by scatter-gather to hand each partition fetch the parent
+        table's learned corrections without sharing the mutable store
+        across worker threads. Does not touch LRU order.
+        """
+        return {
+            (key[1], key[2]): entry.ratio
+            for key, entry in self._entries.items()
+            if key[0] == table
+        }
 
     def invalidate_table(self, table: str) -> int:
         """Drop every entry learned for ``table`` (DDL invalidation)."""

@@ -56,6 +56,23 @@ class SwitchCriterion:
             return SwitchDecision.ABANDON_SCAN_COST
         return SwitchDecision.CONTINUE
 
+    def with_confidence(self, confidence: float | None) -> "SwitchCriterion":
+        """A copy whose thresholds are tightened by estimate confidence.
+
+        When the estimates behind the projections are demonstrably
+        trustworthy (confidence near 1), hesitating costs more than it
+        protects: laggards can be abandoned up to 20% earlier. ``None``
+        or non-positive confidence returns ``self`` unchanged — the gate
+        is inert wherever no estimator is attached.
+        """
+        if confidence is None or confidence <= 0.0:
+            return self
+        scale = 1.0 - 0.2 * min(1.0, confidence)
+        return SwitchCriterion(
+            threshold=self.threshold * scale,
+            scan_cost_limit_fraction=self.scan_cost_limit_fraction * scale,
+        )
+
 
 @dataclass
 class TwoStageOutcome:

@@ -164,6 +164,33 @@ class EngineConfig:
     #: of ``switch_threshold``).
     join_switch_threshold: float = 0.95
 
+    # --- estimation quality -------------------------------------------------
+    #: Track per-(table, index, predicate-signature) q-errors and refine
+    #: self-tuning histograms from observed scan feedback
+    #: (:mod:`repro.estimate`). Capture is ring-buffered and deferred, so
+    #: the hot-path cost is one tuple append per completed scan.
+    estimation_tracking: bool = True
+    #: LRU capacity of the estimator's per-signature q-error map.
+    estimator_capacity: int = 1024
+    #: Bucket budget for each per-(table, index) self-tuning histogram;
+    #: refinement splits the worst-q-error bucket and merges cold
+    #: neighbors to stay within it.
+    histogram_budget: int = 32
+    #: Skip the pilot race when the competing candidates' estimates are
+    #: demonstrably trustworthy (confidence at or above
+    #: ``competition_confidence`` with at least
+    #: ``confidence_min_observations`` observations); the skip is audited
+    #: as ``DecisionKind.COMPETITION_SKIPPED`` with its confidence inputs.
+    #: False restores always-compete.
+    competition_gate: bool = True
+    #: Confidence score in [0, 1] a signature must reach before its
+    #: estimate is trusted without a race. Derived from the EWMA mean and
+    #: variance of ln(q-error) plus the observation count.
+    competition_confidence: float = 0.75
+    #: Minimum observations of a signature before the gate may trust it —
+    #: below this, compete regardless of how accurate the estimates look.
+    confidence_min_observations: int = 4
+
     # --- cost model --------------------------------------------------------
     #: CPU cost charged per record examined, in units of one page I/O.
     cpu_cost_per_record: float = 0.001

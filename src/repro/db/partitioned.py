@@ -249,14 +249,17 @@ class PartitionedTable:
         tracer: Tracer | None = None,
         predicate_cache: Any | None = None,
         feedback: Any | None = None,
+        estimator: Any | None = None,
     ) -> Generator[RetrievalResult, None, RetrievalResult]:
         """:meth:`select` as a step generator (scheduler entry point).
 
-        ``context_key`` iteration-context reuse and the ``feedback`` /
-        ``predicate_cache`` hooks are accepted for surface compatibility
+        ``context_key`` iteration-context reuse and the
+        ``predicate_cache`` hook are accepted for surface compatibility
         but not forwarded into partition fetches: each fetch must be
-        self-contained to run on a worker thread (see
-        :mod:`repro.partition.scatter`).
+        self-contained to run on a worker thread. ``feedback`` and
+        ``estimator`` *are* forwarded — as thread-confined snapshot
+        views whose observations the coordinator replays post-gather
+        (see :mod:`repro.partition.scatter`).
         """
         request = RetrievalRequest(
             restriction=where,
@@ -266,4 +269,6 @@ class PartitionedTable:
             limit=limit,
             goal=optimize_for,
         )
-        return scatter_steps(self, request, tracer)
+        return scatter_steps(
+            self, request, tracer, feedback=feedback, estimator=estimator
+        )

@@ -21,6 +21,7 @@ from repro.db.catalog import Column
 from repro.db.partitioned import PartitionedTable
 from repro.db.table import Table
 from repro.engine.goals import OptimizationGoal
+from repro.estimate import Estimator
 from repro.errors import CatalogError
 from repro.partition.partitioner import PartitionSpec
 from repro.partition.stats import PartitionStats
@@ -66,6 +67,17 @@ class Database:
             alpha=config.feedback_alpha,
             enabled=config.plan_cache_size > 0 and config.selectivity_feedback,
         )
+        #: estimation-quality subsystem: per-signature q-error tracking,
+        #: self-tuning histograms, and the variance-gated competition
+        #: confidence score (:mod:`repro.estimate`)
+        self.estimator = Estimator(
+            capacity=config.estimator_capacity,
+            histogram_budget=config.histogram_budget,
+            alpha=config.feedback_alpha,
+            enabled=config.estimation_tracking,
+            min_observations=config.confidence_min_observations,
+            confidence_threshold=config.competition_confidence,
+        )
         #: SQL-level ``PREPARE name AS ...`` registry (name -> CachedPlan)
         self.prepared: dict[str, Any] = {}
         #: cache-interference knob: fraction of cache randomly evicted per
@@ -88,9 +100,11 @@ class Database:
         if table is None:
             self.plan_cache.clear()
             self.feedback.clear()
+            self.estimator.clear()
         else:
             self.plan_cache.invalidate_table(table)
             self.feedback.invalidate_table(table)
+            self.estimator.invalidate_table(table)
 
     # -- DDL -------------------------------------------------------------------
 

@@ -224,6 +224,7 @@ class Table:
         tracer: Tracer | None = None,
         predicate_cache: Any | None = None,
         feedback: Any | None = None,
+        estimator: Any | None = None,
     ) -> Generator[RetrievalResult, None, RetrievalResult]:
         """:meth:`select` as a step generator.
 
@@ -237,6 +238,9 @@ class Table:
         ``feedback`` (a :class:`repro.cache.FeedbackStore`) sharpens
         initial estimates from previously observed cardinalities and
         records this retrieval's observations back.
+        ``estimator`` (a :class:`repro.estimate.Estimator`) records
+        q-errors at retirement and gates competition on estimate
+        confidence.
         """
         request = RetrievalRequest(
             restriction=where,
@@ -247,6 +251,7 @@ class Table:
             goal=optimize_for,
             predicate_cache=predicate_cache,
             feedback=feedback,
+            estimator=estimator,
         )
         context = self.context_for(context_key) if context_key is not None else None
         return self.retrieval_engine().run_steps(request, context, tracer)

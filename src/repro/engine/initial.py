@@ -63,6 +63,9 @@ class JscanCandidate:
     #: it overrides the raw estimate everywhere a tactic or Jscan projection
     #: reads :attr:`estimated_rids`
     adjusted_rids: float | None = None
+    #: where the correction came from: "feedback" (signature-keyed store)
+    #: or "histogram" (the estimator's self-tuning histogram)
+    correction_source: str | None = None
     #: entries the executed scan actually found in this range (recorded
     #: back into the feedback store after the retrieval)
     observed: int | None = None
@@ -85,6 +88,8 @@ class SscanCandidate:
     estimate: RangeEstimate | None = None
     #: feedback-corrected RID count (see :class:`JscanCandidate`)
     adjusted_rids: float | None = None
+    #: correction provenance (see :class:`JscanCandidate`)
+    correction_source: str | None = None
     #: entries the executed scan actually consumed (completed scans only)
     observed: int | None = None
 
@@ -161,22 +166,40 @@ def _apply_feedback(
     feedback: Any,
     table_name: str,
     restriction: Expr,
+    estimator: Any = None,
 ) -> None:
     """Sharpen one inexact estimate from previously observed cardinality.
 
     Exact estimates (descent reached the range on one split level) are
     already the truth and are never second-guessed; the raw estimate stays
     in ``candidate.estimate`` so the correction never compounds across
-    executions.
+    executions. Signature-keyed feedback wins when present; otherwise the
+    estimator's self-tuning histogram — refined from *every* observed scan
+    of this index, not just this predicate shape — backs up cold
+    signatures.
     """
     estimate = candidate.estimate
-    if feedback is None or estimate is None or estimate.exact:
+    if estimate is None or estimate.exact:
         return
-    adjusted = feedback.adjust(
-        table_name, candidate.index.name, restriction, estimate.rids
-    )
-    if adjusted is not None:
-        candidate.adjusted_rids = float(adjusted)
+    if feedback is not None:
+        adjusted = feedback.adjust(
+            table_name, candidate.index.name, restriction, estimate.rids
+        )
+        if adjusted is not None:
+            candidate.adjusted_rids = float(adjusted)
+            candidate.correction_source = "feedback"
+            return
+    if estimator is not None and estimator.enabled:
+        key_range = candidate.key_range
+        learned = estimator.estimate_range(
+            table_name,
+            candidate.index.name,
+            key_range.lo[0] if key_range.lo else None,
+            key_range.hi[0] if key_range.hi else None,
+        )
+        if learned is not None:
+            candidate.adjusted_rids = float(learned)
+            candidate.correction_source = "histogram"
 
 
 def run_initial_stage(
@@ -191,6 +214,7 @@ def run_initial_stage(
     context: IterationContext | None = None,
     feedback: Any = None,
     table_name: str = "",
+    estimator: Any = None,
 ) -> InitialArrangement:
     """Classify, estimate, and arrange the available indexes."""
     terms = conjunction_terms(restriction)
@@ -222,7 +246,7 @@ def run_initial_stage(
             candidate.estimate = estimate_range(
                 candidate.index.btree, candidate.key_range, meter
             )
-            _apply_feedback(candidate, feedback, table_name, restriction)
+            _apply_feedback(candidate, feedback, table_name, restriction, estimator)
             detail: dict[str, Any] = dict(
                 index=candidate.index.name,
                 range=candidate.key_range.describe(),
@@ -230,7 +254,12 @@ def run_initial_stage(
                 exact=candidate.estimate.exact,
             )
             if candidate.adjusted_rids is not None:
-                detail["feedback_rids"] = round(candidate.adjusted_rids, 1)
+                label = (
+                    "learned_rids"
+                    if candidate.correction_source == "histogram"
+                    else "feedback_rids"
+                )
+                detail[label] = round(candidate.adjusted_rids, 1)
             trace.emit(EventKind.INITIAL_ESTIMATE, **detail)
             if candidate.estimate.is_empty:
                 trace.emit(EventKind.SHORTCUT_EMPTY, index=candidate.index.name)
@@ -283,7 +312,7 @@ def run_initial_stage(
             candidate.estimate = estimate_range(
                 candidate.index.btree, candidate.key_range, meter
             )
-            _apply_feedback(candidate, feedback, table_name, restriction)
+            _apply_feedback(candidate, feedback, table_name, restriction, estimator)
     arrangement.sscan_candidates.sort(
         key=lambda candidate: (
             candidate.estimated_rids

@@ -73,6 +73,7 @@ def run_join_steps(
     config: EngineConfig,
     tracer: "Tracer | None" = None,
     feedback: Any | None = None,
+    estimator: Any | None = None,
     force_order: str | None = None,
 ) -> Generator[RetrievalResult, None, RetrievalResult]:
     """Execute a 2–4 table join as a step generator.
@@ -103,12 +104,38 @@ def run_join_steps(
         raise RetrievalError("no connected left-deep join order exists")
     request.candidate_orders = tuple(order.key for order in orders)
 
+    verdict = None
     if force_order is not None:
         candidates = [order for order in orders if order.key == force_order]
         if not candidates:
             raise RetrievalError(f"unknown join order {force_order!r}")
     elif config.join_competition:
-        candidates = orders[: max(1, config.join_pilot_candidates)]
+        pilot = max(1, config.join_pilot_candidates)
+        if estimator is not None and estimator.enabled and config.competition_gate:
+            # the variance gate, join-order edition: the race shrinks as
+            # edge-signature confidence rises — full trust runs only the
+            # estimated-best order, partial confidence drops the tail
+            pairs = _edge_pairs(orders[0], plan, handles)
+            if pairs:
+                verdict = estimator.combined_verdict(pairs)
+                if verdict.trust:
+                    pilot = 1
+                elif verdict.score > 0.0:
+                    pilot = max(1, round(pilot * (1.0 - verdict.score)))
+        candidates = orders[:pilot]
+        if verdict is not None:
+            if verdict.trust and len(orders) > 1:
+                estimator.trusted += 1
+                if audit.enabled:
+                    audit.decision(
+                        DecisionKind.COMPETITION_SKIPPED,
+                        candidates[0].key,
+                        tuple(o.key for o in orders[1:]),
+                        scope="join-order",
+                        **verdict.inputs(),
+                    )
+            else:
+                estimator.competed += 1
     else:
         candidates = orders[:1]
 
@@ -142,7 +169,7 @@ def run_join_steps(
     criterion = SwitchCriterion(
         threshold=config.join_switch_threshold,
         scan_cost_limit_fraction=config.scan_cost_limit_fraction,
-    )
+    ).with_confidence(verdict.score if verdict is not None else None)
     quantum = max(1, min(config.batch_size, config.join_pilot_steps))
     current_choice = candidates[0].key
 
@@ -202,7 +229,7 @@ def run_join_steps(
     result.execution_cost, result.execution_io = sunk_totals()
     request.chosen_order = winner.order.key
 
-    _record_feedback(winner, plan, handles, feedback, audit)
+    _record_feedback(winner, plan, handles, feedback, audit, estimator)
 
     trace.emit(EventKind.RETRIEVAL_COMPLETE, rows=len(result.rows))
     if audit.enabled:
@@ -318,16 +345,42 @@ def _abandon(process: JoinOrderProcess, trace: RetrievalTrace, **detail: Any) ->
     trace.counters.scans_abandoned += 1
 
 
+def _edge_pairs(
+    order: JoinOrder,
+    plan: JoinPlan,
+    handles: Mapping[str, JoinTableHandle],
+) -> list[tuple[str, str, Any]]:
+    """The estimator keys of one order's edges — the same
+    (table, edge-signature, restriction) triples ``_record_feedback``
+    records under, so gate consultations hit the learned entries."""
+    pairs: list[tuple[str, str, Any]] = []
+    for step in order.steps:
+        if not step.conditions:
+            continue
+        condition = step.conditions[0]
+        handle = handles[step.alias]
+        prefix_handle = handles[condition.prefix_alias]
+        signature = edge_signature(
+            prefix_handle.name, condition.prefix_column,
+            handle.name, condition.probe_column,
+        )
+        pairs.append(
+            (handle.name, signature, plan.restriction_for(step.alias) or ALWAYS_TRUE)
+        )
+    return pairs
+
+
 def _record_feedback(
     winner: JoinOrderProcess,
     plan: JoinPlan,
     handles: Mapping[str, JoinTableHandle],
     feedback: Any | None,
     audit: Any,
+    estimator: Any | None = None,
 ) -> None:
     """Record realized per-edge fanouts so the next execution's estimates
     (and PREPARE/EXECUTE re-runs) start from observed cardinalities."""
-    if feedback is None:
+    if feedback is None and estimator is None:
         return
     for position, step in enumerate(winner.order.steps):
         probes = winner.edge_probes[position]
@@ -346,7 +399,17 @@ def _record_feedback(
         )
         restriction = plan.restriction_for(step.alias) or ALWAYS_TRUE
         estimated = max(1, round(estimated_fanout * probes))
-        feedback.record(handle.name, signature, restriction, estimated, matches)
+        if feedback is not None:
+            feedback.record(handle.name, signature, restriction, estimated, matches)
+        if estimator is not None and estimator.enabled:
+            # the estimator scores the *effective* per-edge projection the
+            # order was ranked on (feedback-corrected step output), since
+            # that is the number the shrink gate trusts
+            outputs = winner.order.step_outputs
+            effective = (
+                outputs[position] if position < len(outputs) else float(estimated)
+            )
+            estimator.record(handle.name, signature, restriction, effective, matches)
         if audit.enabled:
             audit.observe_estimate(signature, estimated, matches)
 

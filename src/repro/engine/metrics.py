@@ -25,6 +25,7 @@ class EventKind(enum.Enum):
     SHORTCUT_SMALL_RANGE = "shortcut-small-range"
     INDEXES_ORDERED = "indexes-ordered"
     TACTIC_SELECTED = "tactic-selected"
+    COMPETITION_SKIPPED = "competition-skipped"
     SCAN_START = "scan-start"
     SCAN_COMPLETE = "scan-complete"
     SCAN_ABANDONED = "scan-abandoned"

@@ -64,6 +64,12 @@ class RetrievalRequest:
     #: adaptive selectivity feedback store (``repro.cache.FeedbackStore``);
     #: None leaves raw descent estimates untouched
     feedback: Any | None = None
+    #: estimation-quality subsystem (``repro.estimate.Estimator``); when
+    #: attached, every completed scan's effective estimated-vs-actual pair
+    #: is ring-buffered at retirement, its per-index histogram backs up
+    #: cold feedback signatures, and its confidence verdicts gate whether
+    #: a competition is staged at all
+    estimator: Any | None = None
     #: bypass the dispatcher and run one named strategy — used by
     #: counterfactual replay (:mod:`repro.obs.regret`) to execute a
     #: rejected alternative. Vocabulary: ``tscan``, ``sscan``,
@@ -205,6 +211,7 @@ class SingleTableRetrieval:
             context,
             feedback=request.feedback,
             table_name=self.heap.name,
+            estimator=request.estimator,
         )
         if arrangement.order_index is not None and request.order_by:
             needs_post_sort = False
@@ -261,7 +268,10 @@ class SingleTableRetrieval:
         if request.force_strategy is not None:
             inner = self._dispatch_forced(ctx, arrangement, request.force_strategy)
         else:
-            inner = self._dispatch_steps(ctx, arrangement, goal, bool(request.order_by))
+            inner = self._dispatch_steps(
+                ctx, arrangement, goal, bool(request.order_by),
+                estimator=request.estimator,
+            )
         try:
             while True:
                 try:
@@ -297,6 +307,7 @@ class SingleTableRetrieval:
         trace.emit(EventKind.RETRIEVAL_COMPLETE, rows=len(rows))
         self._record_context(context, arrangement)
         self._record_feedback(request, arrangement)
+        self._record_estimator(request, arrangement)
         if audit.enabled:
             self._record_audit_estimates(audit, arrangement)
             audit.end_retrieval(result)
@@ -317,6 +328,7 @@ class SingleTableRetrieval:
         arrangement: InitialArrangement,
         goal: OptimizationGoal,
         order_requested: bool,
+        estimator: Any | None = None,
     ) -> StepOutcome:
         audit = ctx.trace.audit
 
@@ -365,6 +377,13 @@ class SingleTableRetrieval:
         has_jscan = bool(arrangement.jscan_candidates)
         has_sscan = arrangement.best_sscan is not None
         if has_sscan and has_jscan:
+            winner = self._gate_competition(ctx, arrangement, estimator, audit)
+            if winner == "sscan":
+                best = arrangement.best_sscan
+                assert best is not None
+                return (yield from self._run_sscan_steps(ctx, best))
+            if winner == "background-only":
+                return (yield from background_only_steps(ctx))
             record("index-only", ("sscan", "background-only"))
             return (yield from index_only_steps(ctx))
         if has_sscan:
@@ -450,6 +469,79 @@ class SingleTableRetrieval:
                 )
             return (yield from union_or_steps(ctx, covered))
         raise RetrievalError(f"unknown forced strategy {strategy!r}")
+
+    def _gate_competition(
+        self,
+        ctx: TacticContext,
+        arrangement: InitialArrangement,
+        estimator: Any | None,
+        audit: AuditLog,
+    ) -> str | None:
+        """The variance gate: skip the index-only race when estimates are
+        demonstrably trustworthy.
+
+        Competition exists because initial estimates are untrusted. Once
+        the estimator has seen this (table, index, signature) enough times
+        with stable, near-1 q-errors on *both* competing candidates, the
+        corrected estimates decide the race's outcome just as reliably as
+        running it — so pick the winner statically, audit the skip with
+        its confidence inputs, and save the loser's wasted steps. Returns
+        the strategy to run directly (``"sscan"`` / ``"background-only"``)
+        or None to compete as usual.
+        """
+        if estimator is None or not self.config.competition_gate:
+            return None
+        best = arrangement.best_sscan
+        lead = arrangement.jscan_candidates[0]
+        assert best is not None
+        if best.estimated_rids is None or any(
+            candidate.estimated_rids is None
+            for candidate in arrangement.jscan_candidates
+        ):
+            # an unestimated candidate (estimation shortcut or disabled
+            # dynamic estimation) has no projection to trust — compete
+            estimator.competed += 1
+            return None
+        verdict = estimator.combined_verdict(
+            [
+                (self.heap.name, best.index.name, ctx.restriction),
+                (self.heap.name, lead.index.name, ctx.restriction),
+            ]
+        )
+        # even a non-trusting score informs the switch criteria downstream
+        ctx.confidence = verdict.score
+        if not verdict.trust:
+            estimator.competed += 1
+            return None
+        config = self.config
+        # trusted corrected projections of both arms: the sscan walks its
+        # whole range entry by entry; the jscan walks every candidate's
+        # range and then random-fetches the (at most) shortest RID list
+        sscan_cost = best.estimated_rids * config.cpu_cost_per_entry
+        jscan_entries = sum(
+            candidate.estimated_rids for candidate in arrangement.jscan_candidates
+        )
+        fetch_rids = min(
+            candidate.estimated_rids for candidate in arrangement.jscan_candidates
+        )
+        jscan_cost = jscan_entries * config.cpu_cost_per_entry + fetch_rids * 1.0
+        winner = "sscan" if sscan_cost <= jscan_cost else "background-only"
+        estimator.trusted += 1
+        if audit.enabled:
+            audit.decision(
+                DecisionKind.COMPETITION_SKIPPED,
+                winner,
+                ("index-only",),
+                sscan_cost=round(sscan_cost, 3),
+                jscan_cost=round(jscan_cost, 3),
+                **verdict.inputs(),
+            )
+        ctx.trace.emit(
+            EventKind.COMPETITION_SKIPPED,
+            winner=winner,
+            confidence=round(verdict.score, 4),
+        )
+        return winner
 
     @staticmethod
     def _record_audit_estimates(
@@ -575,6 +667,38 @@ class SingleTableRetrieval:
                 request.restriction,
                 estimate.rids,
                 candidate.observed,
+            )
+
+    def _record_estimator(
+        self, request: RetrievalRequest, arrangement: InitialArrangement
+    ) -> None:
+        """Ring-buffer every completed scan's *effective* estimate q-error.
+
+        Unlike :meth:`_record_feedback` (which must record raw estimates
+        so corrections converge), the estimator scores the estimate the
+        engine actually *acted on* — ``estimated_rids`` with feedback
+        applied — because that is the number whose trustworthiness the
+        competition gate rides on. The scanned key range tags along so the
+        per-(table, index) self-tuning histogram can refine itself.
+        """
+        estimator = request.estimator
+        if estimator is None or not estimator.enabled:
+            return
+        candidates = list(arrangement.jscan_candidates) + list(
+            arrangement.sscan_candidates
+        )
+        for candidate in candidates:
+            if candidate.estimate is None or candidate.observed is None:
+                continue
+            key_range = candidate.key_range
+            estimator.record(
+                self.heap.name,
+                candidate.index.name,
+                request.restriction,
+                candidate.estimated_rids,
+                candidate.observed,
+                lo=key_range.lo[0] if key_range.lo else None,
+                hi=key_range.hi[0] if key_range.hi else None,
             )
 
     def _record_context(

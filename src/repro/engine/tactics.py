@@ -77,11 +77,24 @@ class TacticContext:
     #: abandons whatever is still running so scans release their buffers and
     #: temp structures mid-flight
     spawned: list[Process] = field(default_factory=list)
+    #: estimate-confidence score for this retrieval's candidates, set by
+    #: the dispatcher's variance gate (None = no estimator attached).
+    #: Tactics that apply switch criteria scale their thresholds with it:
+    #: trustworthy projections justify abandoning laggards earlier.
+    confidence: float | None = None
 
     def spawn(self, process: Process) -> Process:
         """Register a process for cancellation tracking and return it."""
         self.spawned.append(process)
         return process
+
+    def switch_fraction(self) -> float:
+        """``scan_cost_limit_fraction`` tightened by estimate confidence
+        (up to 20% at full confidence; unchanged with no estimator)."""
+        fraction = self.config.scan_cost_limit_fraction
+        if self.confidence is not None and self.confidence > 0.0:
+            fraction *= 1.0 - 0.2 * min(1.0, self.confidence)
+        return fraction
 
 
 @dataclass
@@ -402,7 +415,7 @@ def fast_first_steps(ctx: TacticContext) -> StepOutcome:
         if (
             fgr.active
             and fgr.meter.total
-            >= ctx.config.scan_cost_limit_fraction * jscan.guaranteed_best_cost()
+            >= ctx.switch_fraction() * jscan.guaranteed_best_cost()
         ):
             fgr.abandon()
             ctx.trace.emit(EventKind.FOREGROUND_TERMINATED, reason="competition")

@@ -1,0 +1,19 @@
+"""Estimation quality: q-error tracking, self-tuning histograms, and the
+variance-gated competition confidence score."""
+
+from repro.estimate.histogram import Bucket, SelfTuningHistogram
+from repro.estimate.qerror import (
+    ConfidenceVerdict,
+    Estimator,
+    SignatureStats,
+    q_error,
+)
+
+__all__ = [
+    "Bucket",
+    "SelfTuningHistogram",
+    "ConfidenceVerdict",
+    "Estimator",
+    "SignatureStats",
+    "q_error",
+]

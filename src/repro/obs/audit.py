@@ -65,6 +65,10 @@ class DecisionKind(enum.Enum):
     #: how a partitioned retrieval was fanned out: candidate partitions
     #: after pruning, worker count, partitioning method
     SCATTER = "scatter"
+    #: the variance gate trusted a demonstrably accurate estimate and ran
+    #: the winning strategy directly, skipping the pilot race; inputs
+    #: carry the confidence score, observation count, and log-q moments
+    COMPETITION_SKIPPED = "competition-skipped"
 
 
 class DecisionRecord:
@@ -491,6 +495,9 @@ class DecisionMetrics:
         self.regret_hist = LogHistogram("decision_regret_cost")
         #: observed/estimated cardinality ratio per completed scan
         self.estimate_error_hist = LogHistogram("estimate_error_ratio")
+        #: symmetric q-error (max(est/actual, actual/est)) per completed
+        #: scan — the estimation-quality program's headline metric
+        self.qerror_hist = LogHistogram("estimate_qerror")
         #: execution cost per retired retrieval (the live L-shape)
         self.retrieval_cost_hist = LogHistogram("retrieval_cost")
         #: tables per join-order decision (2–4 with the current planner)
@@ -526,6 +533,12 @@ class DecisionMetrics:
             for _, estimated, actual in retrieval.estimates:
                 if estimated > 0:
                     self.estimate_error_hist.record(actual / estimated)
+                    # the same pairs feed the q-error histogram, so its
+                    # count reconciles exactly with the audit log's
+                    # estimate observations (tested identity)
+                    est = max(float(estimated), 1.0)
+                    act = max(float(actual), 1.0)
+                    self.qerror_hist.record(est / act if est >= act else act / est)
 
     def absorb_compete(self, report: Any) -> None:
         """Fold one :class:`~repro.obs.regret.CompeteReport` in: win/loss
@@ -585,6 +598,7 @@ class DecisionMetrics:
         self.rejected_cost += other.rejected_cost
         self.regret_hist.merge(other.regret_hist)
         self.estimate_error_hist.merge(other.estimate_error_hist)
+        self.qerror_hist.merge(other.qerror_hist)
         self.retrieval_cost_hist.merge(other.retrieval_cost_hist)
         self.join_depth_hist.merge(other.join_depth_hist)
         self.join_order_switches += other.join_order_switches
@@ -630,6 +644,13 @@ class DecisionMetrics:
                 f"n={self.estimate_error_hist.count} "
                 f"p50={self.estimate_error_hist.p50:.2f} "
                 f"p95={self.estimate_error_hist.p95:.2f}"
+            )
+        if self.qerror_hist.count:
+            lines.append(
+                f"  q-error: n={self.qerror_hist.count} "
+                f"p50={self.qerror_hist.p50:.2f} "
+                f"p95={self.qerror_hist.p95:.2f} "
+                f"max={self.qerror_hist.max:.2f}"
             )
         if self.retrieval_cost_hist.count:
             lines.append(

@@ -36,7 +36,7 @@ import json
 import time
 from typing import Any, Callable, Iterator, TextIO
 
-from repro.obs.audit import NULL_AUDIT
+from repro.obs.audit import AuditLog, NULL_AUDIT
 
 
 class Span:
@@ -274,6 +274,24 @@ class NullTracer(Tracer):
 #: Tracer used when tracing is off. All methods are no-ops; sharing one
 #: instance (and one null span) is safe.
 NULL_TRACER = NullTracer()
+
+
+class AuditOnlyTracer(NullTracer):
+    """Carries a live :class:`~repro.obs.audit.AuditLog` with no span tree.
+
+    With ``audit_enabled`` on but the query neither sampled for tracing
+    nor an EXPLAIN, the scheduler previously paid for a full span
+    timeline (perf_counter clocks, one Span per quantum) just to ferry
+    the audit log to retirement. This tracer keeps every span operation a
+    no-op while ``tracer.audit`` records decisions normally — the bulk of
+    the measured audit-on overhead came from the spans, not the audit.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.audit = AuditLog()
 
 
 def should_sample(sequence: int, rate: float) -> bool:

@@ -17,10 +17,14 @@ cooperative scheduler exactly like a single-table retrieval:
 * ``partition_workers > 1`` submits each fetch to the database's shared
   :class:`~concurrent.futures.ThreadPoolExecutor` and polls, yielding to
   the scheduler between polls. Workers serialize per partition (one
-  lock per partition), and every fetch runs untraced with feedback and
-  predicate caching disabled, so shared mutable state never crosses
-  threads; the coordinator applies traces, audit records, and metrics in
-  partition order after the gather.
+  lock per partition), and every fetch runs untraced with predicate
+  caching disabled, so shared mutable state never crosses threads; the
+  coordinator applies traces, audit records, and metrics in partition
+  order after the gather. Selectivity feedback and the estimator cross
+  the thread boundary as :class:`PartitionFeedbackView` /
+  :class:`PartitionEstimatorView`: frozen snapshots of the parent
+  table's learned corrections in, buffered observations out, replayed
+  into the parent stores post-gather.
 
 Cancellation (the scheduler closing this generator → ``GeneratorExit``)
 propagates to in-flight workers via an abort event checked once per
@@ -43,9 +47,11 @@ from concurrent import futures as _futures
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Generator
 
+from repro.cache.feedback import predicate_signature
 from repro.engine.goals import OptimizationGoal
 from repro.engine.metrics import EventKind, RetrievalTrace
 from repro.engine.retrieval import RetrievalRequest, RetrievalResult
+from repro.estimate import ConfidenceVerdict
 from repro.obs.audit import DecisionKind
 from repro.obs.trace import Tracer
 from repro.partition.merge import bag_union, merge_sorted_runs
@@ -101,6 +107,88 @@ class ScatterInfo:
         return critical_path([fetch.cost for fetch in self.fetches], self.workers)
 
 
+#: the gate verdict partition fetches always get: partition-level races
+#: stay races (gating happens once, at the coordinator's level of the
+#: learned state), and worker threads never read mutable parent stats
+_NEVER_TRUST = ConfidenceVerdict(
+    trust=False, score=0.0, count=0, mean_log_q=0.0, var_log_q=0.0, threshold=1.0
+)
+
+
+class PartitionFeedbackView:
+    """Thread-confined selectivity feedback for one partition fetch.
+
+    Carries a read-only snapshot of the *parent* table's learned
+    correction ratios into the fetch — so a partition's initial estimates
+    start from the parent signature's observed selectivity even on worker
+    threads — and buffers the fetch's own observations. The coordinator
+    replays every buffer into the parent store in partition order after
+    the gather, keeping learned state byte-identical at every worker
+    count.
+    """
+
+    enabled = True
+
+    def __init__(self, ratios: dict[tuple[str, str], float]) -> None:
+        self._ratios = ratios
+        self.adjustments = 0
+        #: (index_name, restriction, estimated, actual) in observation order
+        self.buffered: list[tuple] = []
+
+    def adjust(
+        self, table: str, index_name: str, restriction: Any, estimated: float
+    ) -> int | None:
+        ratio = self._ratios.get((index_name, predicate_signature(restriction)))
+        if ratio is None:
+            return None
+        self.adjustments += 1
+        return max(0, round(estimated * ratio))
+
+    def record(
+        self, table: str, index_name: str, restriction: Any,
+        estimated: float, actual: int,
+    ) -> None:
+        self.buffered.append((index_name, restriction, estimated, actual))
+
+
+class PartitionEstimatorView:
+    """Thread-confined estimator stand-in for one partition fetch.
+
+    ``estimate_range`` consults frozen copies of the parent table's
+    self-tuning histograms; ``record`` buffers observations the
+    coordinator replays into the parent estimator (under the parent table
+    name) after the gather. The confidence gate never fires inside a
+    partition fetch: ``combined_verdict`` is always cold, so
+    partition-level competitions remain races while the parent-level
+    signature statistics still learn from every fetch.
+    """
+
+    enabled = True
+
+    def __init__(self, histograms: dict[str, Any]) -> None:
+        self._histograms = histograms
+        self.buffered: list[tuple] = []
+        self.trusted = 0
+        self.competed = 0
+
+    def estimate_range(
+        self, table: str, index: str, lo: Any, hi: Any
+    ) -> float | None:
+        hist = self._histograms.get(index)
+        if hist is None:
+            return None
+        return hist.estimate(lo, hi)
+
+    def combined_verdict(self, pairs: list) -> ConfidenceVerdict:
+        return _NEVER_TRUST
+
+    def record(
+        self, table: str, index: str, restriction: Any,
+        estimated: float, actual: int, lo: Any = None, hi: Any = None,
+    ) -> None:
+        self.buffered.append((index, restriction, estimated, actual, lo, hi))
+
+
 def critical_path(costs: list[float], workers: int) -> float:
     """LPT makespan of ``costs`` over ``workers`` identical workers."""
     if not costs:
@@ -142,6 +230,8 @@ def scatter_steps(
     table: Any,
     request: RetrievalRequest,
     tracer: "Tracer | None" = None,
+    feedback: Any = None,
+    estimator: Any = None,
 ) -> Generator[RetrievalResult, None, RetrievalResult]:
     """Execute one retrieval against a partitioned table.
 
@@ -197,13 +287,32 @@ def scatter_steps(
     )
     result.scatter = info
 
-    # every partition fetch is self-contained: untraced, uncached, and
-    # feedback-free, so nothing mutable is shared across worker threads;
-    # the coordinator owns all observability
-    child_request = replace(
-        request, host_vars=dict(request.host_vars),
-        predicate_cache=None, feedback=None,
-    )
+    # every partition fetch is self-contained: untraced and uncached, so
+    # nothing mutable is shared across worker threads; the coordinator
+    # owns all observability. Selectivity feedback and the estimator are
+    # forwarded as thread-confined *views*: read-only snapshots of the
+    # parent table's learned state in, buffered observations out, replayed
+    # into the parent stores in partition order after the gather.
+    feedback_views: dict[int, PartitionFeedbackView] = {}
+    estimator_views: dict[int, PartitionEstimatorView] = {}
+    if feedback is not None:
+        ratios = feedback.snapshot_for(table.name)
+        feedback_views = {
+            index: PartitionFeedbackView(ratios) for index in candidates
+        }
+    if estimator is not None and estimator.enabled:
+        frozen = estimator.histogram_snapshot(table.name)
+        estimator_views = {
+            index: PartitionEstimatorView(frozen) for index in candidates
+        }
+
+    def request_for(index: int) -> RetrievalRequest:
+        return replace(
+            request, host_vars=dict(request.host_vars),
+            predicate_cache=None,
+            feedback=feedback_views.get(index),
+            estimator=estimator_views.get(index),
+        )
 
     def fold_costs(outcome: RetrievalResult) -> None:
         result.estimation_cost += outcome.estimation_cost
@@ -251,7 +360,7 @@ def scatter_steps(
             # interleaved sessions on the one scheduler thread)
             for index in candidates:
                 child = table.partitions[index]
-                gen = child.retrieval_engine().run_steps(child_request, None, None)
+                gen = child.retrieval_engine().run_steps(request_for(index), None, None)
                 last: RetrievalResult | None = None
                 try:
                     while True:
@@ -273,7 +382,7 @@ def scatter_steps(
                 pool.submit(
                     _fetch_partition_job,
                     table.partitions[index],
-                    child_request,
+                    request_for(index),
                     table.partition_locks[index],
                     abort,
                 ): index
@@ -315,6 +424,22 @@ def scatter_steps(
     except GeneratorExit:
         trace.tracer.end(span, cancelled=True)
         raise
+
+    # replay buffered observations into the parent stores, in partition
+    # order, under the parent table's name: learned state ends up
+    # byte-identical regardless of worker count or completion order
+    for index in candidates:
+        view = feedback_views.get(index)
+        if view is not None:
+            for index_name, restriction, estimated, actual in view.buffered:
+                feedback.record(table.name, index_name, restriction, estimated, actual)
+        est_view = estimator_views.get(index)
+        if est_view is not None:
+            for index_name, restriction, estimated, actual, lo, hi in est_view.buffered:
+                estimator.record(
+                    table.name, index_name, restriction, estimated, actual,
+                    lo=lo, hi=hi,
+                )
 
     if request.order_by:
         positions = [table.schema.index_of(name) for name in request.order_by]

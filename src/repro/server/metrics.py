@@ -112,6 +112,10 @@ class MetricsRegistry:
         #: (:class:`repro.partition.stats.PartitionStats`), wired in by
         #: the owning QueryServer
         self.partitions = None
+        #: the database's estimation-quality subsystem
+        #: (:class:`repro.estimate.Estimator`), wired in by the owning
+        #: QueryServer so scrapes expose q-error/confidence counters
+        self.estimator = None
 
     def session(self, session_id: str) -> SessionMetrics:
         """The metrics of one session (created on demand)."""
@@ -226,7 +230,17 @@ class MetricsRegistry:
             lines.append(
                 f"feedback: {feedback.size} entries, "
                 f"{feedback.records} recorded, "
-                f"{feedback.adjustments} adjustments applied"
+                f"{feedback.adjustments} adjustments applied, "
+                f"{feedback.evictions} evictions"
+            )
+        if self.estimator is not None and self.estimator.enabled:
+            estimator = self.estimator
+            lines.append(
+                f"estimator: {len(estimator)} signatures, "
+                f"{estimator.observations} observations, "
+                f"{estimator.evictions} evictions, "
+                f"gate: {estimator.trusted} trusted / "
+                f"{estimator.competed} competed"
             )
         if self.partitions is not None and self.partitions.scatters:
             lines.append(self.partitions.format())
@@ -346,6 +360,33 @@ class MetricsRegistry:
                 "feedback_entries", feedback.size,
                 "Live (table, index, predicate-signature) feedback entries.",
             )
+            out.counter(
+                "feedback_evictions_total", feedback.evictions,
+                "Feedback entries dropped by LRU capacity pressure.",
+            )
+        if self.estimator is not None and self.estimator.enabled:
+            estimator = self.estimator
+            out.counter(
+                "estimator_observations_total", estimator.observations,
+                "Q-error observations folded into signature statistics.",
+            )
+            out.counter(
+                "estimator_evictions_total", estimator.evictions,
+                "Signature statistics dropped by LRU capacity pressure.",
+            )
+            out.counter(
+                "competitions_skipped_total", estimator.trusted,
+                "Competitions skipped because estimate confidence cleared "
+                "the variance gate.",
+            )
+            out.counter(
+                "competitions_run_total", estimator.competed,
+                "Gate consultations that fell back to running the race.",
+            )
+            out.gauge(
+                "estimator_signatures", len(estimator),
+                "Live (table, index, predicate-signature) q-error entries.",
+            )
         if self.partitions is not None:
             partitions = self.partitions
             out.counter(
@@ -450,6 +491,15 @@ class MetricsRegistry:
         out.quantiles(
             "estimate_error_ratio_quantile", decisions.estimate_error_hist,
             "Estimate-error percentile (bucket upper bound).",
+        )
+        out.histogram(
+            "estimate_qerror", decisions.qerror_hist,
+            "Symmetric relative estimation error max(est/act, act/est) "
+            "per completed scan.",
+        )
+        out.quantiles(
+            "estimate_qerror_quantile", decisions.qerror_hist,
+            "Q-error percentile (bucket upper bound).",
         )
         out.histogram(
             "retrieval_cost", decisions.retrieval_cost_hist,

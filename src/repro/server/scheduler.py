@@ -46,7 +46,7 @@ from repro.db.session import Database
 from repro.engine.goals import OptimizationGoal
 from repro.errors import QueryCancelledError, ServerError
 from repro.obs.audit import AuditLog
-from repro.obs.trace import Span, Tracer, should_sample
+from repro.obs.trace import AuditOnlyTracer, Span, Tracer, should_sample
 from repro.server.metrics import MetricsRegistry
 from repro.sql.executor import (
     RetrievalInfo,
@@ -245,9 +245,11 @@ class QueryServer:
         self.flight_sink = flight_sink
         # the registry observes every read-ahead run the shared pool issues
         db.buffer_pool.run_hist = self.metrics.fetch_runs
-        # ... and the shared plan cache / feedback store, for \metrics + prom
+        # ... and the shared plan cache / feedback store / estimator, for
+        # \metrics + prom
         self.metrics.plan_cache = db.plan_cache
         self.metrics.feedback = db.feedback
+        self.metrics.estimator = getattr(db, "estimator", None)
         # ... and the scatter-gather aggregates of partitioned tables
         self.metrics.partitions = getattr(db, "partition_stats", None)
         #: set once by the first shutdown(); later calls are no-ops, so a
@@ -290,17 +292,21 @@ class QueryServer:
         )
         # deterministic sampling by submission ticket; EXPLAIN ANALYZE /
         # COMPETE are always traced (the rendered report *is* the span
-        # timeline) and an enabled audit forces a tracer to ride on
+        # timeline). An enabled audit alone rides on an AuditOnlyTracer:
+        # the decision log records normally but no span tree is built —
+        # spans, not the audit, were the bulk of the audit-on overhead
         rate = self.db.config.trace_sample_rate
         kind = explain_kind(sql)
         audit_on = self.db.config.audit_enabled
-        if should_sample(handle.ticket, rate) or kind is not None or audit_on:
+        if should_sample(handle.ticket, rate) or kind is not None:
             handle.tracer = Tracer(
                 "query", session=session_id, ticket=handle.ticket, sql=sql
             )
             if audit_on or kind == "compete":
                 handle.tracer.audit = AuditLog()
             handle._wait_span = handle.tracer.open("admission-wait")
+        elif audit_on:
+            handle.tracer = AuditOnlyTracer()
         self._queue.append(handle)
         self._admit()
         return handle
@@ -391,7 +397,7 @@ class QueryServer:
         hits_before, misses_before = stats.hits, stats.misses
         pool.current_owner = handle.session_id
         quantum_span = None
-        if handle.tracer is not None:
+        if handle.tracer is not None and handle.tracer.enabled:
             # scheduler quanta overlap the engine's own span stack, so they
             # attach directly under the root, not under the current span
             quantum_span = handle.tracer.open(
@@ -456,7 +462,7 @@ class QueryServer:
         compete = getattr(handle._result, "compete", None)
         if compete is not None:
             self.metrics.decisions.absorb_compete(compete)
-        if handle.tracer is not None:
+        if handle.tracer is not None and handle.tracer.enabled:
             handle.tracer.finish(outcome=outcome, quanta=handle.steps)
             if self.trace_sink is not None:
                 self.trace_sink.write(handle.tracer.to_dict())

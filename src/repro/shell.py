@@ -12,6 +12,8 @@ benchmark scenarios). Statements end with ``;``. Meta commands:
   ``\\metrics prom`` — the same registry in Prometheus text format
 * ``\\decisions`` — server-wide decision audit metrics (per-tactic win
   rates, regret, estimate error, the live retrieval-cost L-shape)
+* ``\\estimates`` — per-signature estimation quality (q-error p95/max,
+  observation counts, confidence verdicts: trust vs compete)
 * ``\\q`` — quit
 
 ``EXPLAIN <select ...>``, ``EXPLAIN ANALYZE <select ...>``, and
@@ -147,6 +149,8 @@ class Shell:
                 self._print(self.conn.metrics.format())
         elif head == "\\decisions":
             self._print(self.conn.metrics.decisions.format())
+        elif head == "\\estimates":
+            self._print(self.db.estimator.format())
         elif head == "\\explain":
             sql = command[len("\\explain"):].strip().rstrip(";")
             try:
@@ -155,7 +159,7 @@ class Shell:
                 self._print(f"error: {error}")
         else:
             self._print(f"unknown meta command {head!r} (try \\d, \\trace, \\cold, "
-                        "\\set, \\metrics, \\decisions, \\explain, \\q)")
+                        "\\set, \\metrics, \\decisions, \\estimates, \\explain, \\q)")
 
     def _list_tables(self) -> None:
         if not self.db.tables:

@@ -503,6 +503,7 @@ def _execute_block(
                 tracer=tracer,
                 predicate_cache=prepared.predicates if prepared is not None else None,
                 feedback=db.feedback if db.feedback.enabled else None,
+                estimator=db.estimator if db.estimator.enabled else None,
             ),
             retrievals,
             chain.retrieve.table,
@@ -596,6 +597,7 @@ def _execute_join_retrieve(
             db.config,
             tracer=tracer,
             feedback=db.feedback if db.feedback.enabled else None,
+            estimator=db.estimator if db.estimator.enabled else None,
         ),
         retrievals,
         display,

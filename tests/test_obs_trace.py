@@ -414,6 +414,36 @@ def _spill_scenario():
     return table.select(where=col("A").eq(0)).trace.events
 
 
+def _gate_scenario():
+    """COMPETITION_SKIPPED needs a warm, trusted estimator on both arms
+    of an index-only race."""
+    from repro.competition.process import drain
+    from repro.estimate import Estimator
+
+    gate_db = Database(buffer_capacity=64)
+    table = gate_db.create_table(
+        "G", [("A", "int"), ("B", "int"), ("C", "int")], rows_per_page=8
+    )
+    for i in range(200):
+        table.insert((i, i % 10, (i * 3) % 50))
+    table.create_index("IX_AB", ["A", "B"])  # covers {A, B}: the Sscan arm
+    table.create_index("IX_A", ["A"])  # fetch-needed: the Jscan arms
+    table.create_index("IX_B", ["B"])
+    # the small-range shortcut would leave a candidate unestimated, and an
+    # unestimated arm always competes — turn it off to reach the gate
+    table.config = table.config.with_(shortcut_rid_count=0)
+    where = (col("A") < 50) & (col("B").eq(3))
+    estimator = Estimator()
+    for index_name in ("IX_AB", "IX_A", "IX_B"):
+        for _ in range(5):
+            estimator.record("G", index_name, where, 100, 100)
+    result = drain(
+        table.select_steps(where=where, columns=("A", "B"), estimator=estimator)
+    )
+    assert estimator.trusted == 1
+    return result.trace.events
+
+
 def _with_config(table, config, **select_kwargs):
     """Run one select under a temporary engine config."""
     saved = table.config
@@ -469,6 +499,8 @@ def test_every_event_kind_is_emitted_and_exports(db):
         ),
         lambda: _reorder_scenario(),
         lambda: _spill_scenario(),
+        # trusted estimates skip the index-only race entirely
+        lambda: _gate_scenario(),
     ]
     seen: set[EventKind] = set()
     for scenario in scenarios:
