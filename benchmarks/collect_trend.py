@@ -49,6 +49,11 @@ HEADLINES = {
     "estimation_quality": (
         "speedup", "variance-gated speedup vs always-compete"
     ),
+    "monitor_overhead": [
+        ("overhead_pct", "monitoring-on overhead %"),
+        ("drift_detector.fired_on_shift", "drift detector fired on shift"),
+        ("drift_detector.quiet_on_steady", "drift detector quiet on steady"),
+    ],
 }
 
 

@@ -46,14 +46,19 @@ class Connection:
         scheduling: str = "round-robin",
         trace_sink: Any | None = None,
         flight_sink: Any | None = None,
+        clock: Any | None = None,
     ) -> None:
         self.db = db
+        server_kwargs: dict[str, Any] = {}
+        if clock is not None:
+            server_kwargs["clock"] = clock
         self.server = QueryServer(
             db,
             max_concurrency=max_concurrency,
             scheduling=scheduling,
             trace_sink=trace_sink,
             flight_sink=flight_sink,
+            **server_kwargs,
         )
         self._main = self.server.session("main")
         self._closed = False
@@ -169,6 +174,14 @@ class Connection:
         """The server-wide :class:`~repro.server.MetricsRegistry`."""
         return self.server.metrics
 
+    def health(self):
+        """Sample the continuous monitor now and return the current
+        :class:`~repro.obs.health.HealthReport` (status, findings, latest
+        window). Returns a ``disabled``-status report when monitoring is
+        off (``config.monitor_enabled=False`` or ``monitor_interval=0``)."""
+        self._check_open()
+        return self.server.health()
+
     # -- catalog passthroughs ----------------------------------------------
 
     def table(self, name: str):
@@ -214,6 +227,7 @@ def connect(
     db: Database | None = None,
     trace_sink: Any | None = None,
     flight_sink: Any | None = None,
+    clock: Any | None = None,
 ) -> Connection:
     """Open a :class:`Connection` — the package's front door.
 
@@ -225,7 +239,11 @@ def connect(
     traced when sampled by ``config.trace_sample_rate`` or run via
     EXPLAIN ANALYZE. ``flight_sink`` receives the flight recorder's
     captures — one record (span tree + decision log) per query exceeding
-    ``config.slow_query_ms`` or ``config.regret_threshold``.
+    ``config.slow_query_ms`` or ``config.regret_threshold``, plus incident
+    bundles from the health monitor. ``clock`` injects a monotonic clock
+    (default ``time.perf_counter``) for latency measurement and monitor
+    intervals — tests pass a :class:`repro.obs.SteppingClock` to make
+    time-dependent behaviour deterministic.
     """
     if db is None:
         db = Database(buffer_capacity=buffer_capacity, config=config)
@@ -235,4 +253,5 @@ def connect(
         scheduling=scheduling,
         trace_sink=trace_sink,
         flight_sink=flight_sink,
+        clock=clock,
     )

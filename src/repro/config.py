@@ -191,6 +191,45 @@ class EngineConfig:
     #: below this, compete regardless of how accurate the estimates look.
     confidence_min_observations: int = 4
 
+    # --- continuous monitoring ---------------------------------------------
+    #: Master kill-switch for the continuous-monitoring subsystem
+    #: (:mod:`repro.obs.timeseries` / :mod:`repro.obs.health`). Off, the
+    #: scheduler creates no time-series registry and pays nothing per
+    #: quantum; ``benchmarks/bench_monitor_overhead.py`` gates the *on*
+    #: path at <=2% vs off.
+    monitor_enabled: bool = True
+    #: Seconds between time-series samples (the registry snapshots the
+    #: server's cumulative counters and derives per-interval rates:
+    #: queries/sec, p50/p95 latency, hit rates, q-error, regret mass).
+    #: 0 disables monitoring like the kill-switch.
+    monitor_interval: float = 0.25
+    #: Ring capacity of retained interval windows (240 x 0.25s = one
+    #: minute of history for ``\top`` sparklines and incident bundles).
+    monitor_window: int = 240
+    #: EWMA weight of the newest window when updating a drift detector's
+    #: baseline (small = long memory, slow to forgive a regime change).
+    drift_baseline_alpha: float = 0.2
+    #: A drift detector fires when its series moves this factor away from
+    #: the EWMA baseline (q-error/regret/queue-wait grow above
+    #: ``baseline * factor``; hit rates collapse below
+    #: ``baseline / factor``).
+    drift_factor: float = 2.0
+    #: Windows a drift detector observes before it may fire (baseline
+    #: warm-up; transient start-of-run noise never pages anyone).
+    drift_min_intervals: int = 3
+    #: SLO: window p95 latency at or above this many wall milliseconds is
+    #: a critical health finding. 0 disables the rule.
+    slo_p95_latency_ms: float = 0.0
+    #: SLO: window buffer-pool hit rate below this fraction is a critical
+    #: health finding. 0 disables the rule.
+    slo_min_hit_rate: float = 0.0
+    #: SLO: window p95 admission queue wait (scheduling quanta) at or
+    #: above this is a critical health finding. 0 disables the rule.
+    slo_max_queue_wait_p95: float = 0.0
+    #: SLO: realized regret mass (cost units) accumulated within one
+    #: window at or above this is a critical health finding. 0 disables.
+    slo_regret_mass: float = 0.0
+
     # --- cost model --------------------------------------------------------
     #: CPU cost charged per record examined, in units of one page I/O.
     cpu_cost_per_record: float = 0.001

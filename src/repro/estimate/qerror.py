@@ -164,6 +164,11 @@ class Estimator:
         self.confidence_threshold = confidence_threshold
         self._stats: OrderedDict[tuple[str, str, str], SignatureStats] = OrderedDict()
         self._histograms: dict[tuple[str, str], SelfTuningHistogram] = {}
+        #: cumulative q-error distribution across every signature — the
+        #: continuous monitor diffs its buckets between samples to get
+        #: per-interval median/p95 q-error without draining ``_recent``
+        #: (which benchmarks own) and regardless of ``audit_enabled``
+        self.qerror_hist = LogHistogram("estimate_qerror")
         # preallocated ring: record() writes tuples, _drain() materializes
         self._ring: list[tuple | None] = [None] * max(1, ring_size)
         self._ring_len = 0
@@ -238,6 +243,7 @@ class Estimator:
             self._stats.move_to_end(key)
         q = q_error(estimated, actual)
         stats.observe(q, self.alpha)
+        self.qerror_hist.record(q)
         if len(self._recent) < 4096:
             self._recent.append(q)
         self.observations += 1
@@ -343,6 +349,15 @@ class Estimator:
             for (owner, index), hist in self._histograms.items()
             if owner == table
         }
+
+    def flush(self) -> None:
+        """Materialize any ring-buffered records now.
+
+        The continuous monitor calls this before reading
+        :attr:`qerror_hist` so a sample reflects every retrieval retired
+        before it, not just those some other consumer happened to drain."""
+        if self._ring_len:
+            self._drain()
 
     def take_recent(self) -> list[float]:
         """Return-and-clear the q-errors observed since the last call.

@@ -19,7 +19,13 @@ surfaces layered on top of the flat per-retrieval counters:
   (:class:`DecisionMetrics`);
 * :mod:`repro.obs.regret` — counterfactual replay of rejected strategies
   on shadow buffer pools, turning decisions into realized regret
-  (``EXPLAIN COMPETE`` / ``Connection.audit()``).
+  (``EXPLAIN COMPETE`` / ``Connection.audit()``);
+* :mod:`repro.obs.timeseries` — continuous interval sampling of the
+  server's metrics into ring-buffered :class:`WindowStats` (the ``\\top``
+  dashboard's data);
+* :mod:`repro.obs.health` — SLO and EWMA-drift rules over those windows,
+  producing :class:`HealthReport` verdicts and flight-recorder incident
+  bundles.
 """
 
 from repro.obs.audit import (
@@ -31,7 +37,22 @@ from repro.obs.audit import (
     NullAudit,
     RetrievalAudit,
 )
+from repro.obs.health import (
+    DriftRule,
+    HealthFinding,
+    HealthMonitor,
+    HealthReport,
+    ThresholdRule,
+)
 from repro.obs.hist import LogHistogram
+from repro.obs.timeseries import (
+    MetricSample,
+    SteppingClock,
+    TimeSeriesRegistry,
+    WindowStats,
+    delta_percentile,
+    sparkline,
+)
 from repro.obs.regret import (
     CompeteReport,
     ReplayOutcome,
@@ -54,8 +75,13 @@ __all__ = [
     "DecisionKind",
     "DecisionMetrics",
     "DecisionRecord",
+    "DriftRule",
+    "HealthFinding",
+    "HealthMonitor",
+    "HealthReport",
     "JsonlSink",
     "LogHistogram",
+    "MetricSample",
     "NULL_AUDIT",
     "NULL_TRACER",
     "NullAudit",
@@ -64,8 +90,14 @@ __all__ = [
     "RetrievalAudit",
     "RetrievalCompete",
     "Span",
+    "SteppingClock",
+    "ThresholdRule",
+    "TimeSeriesRegistry",
     "Tracer",
+    "WindowStats",
+    "delta_percentile",
+    "should_sample",
+    "sparkline",
     "replay_strategy",
     "run_compete",
-    "should_sample",
 ]

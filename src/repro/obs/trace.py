@@ -33,6 +33,7 @@ throughput budget.
 from __future__ import annotations
 
 import json
+import os
 import time
 from typing import Any, Callable, Iterator, TextIO
 
@@ -42,7 +43,15 @@ from repro.obs.audit import AuditLog, NULL_AUDIT
 class Span:
     """One timed node of the execution timeline tree."""
 
-    __slots__ = ("name", "attrs", "children", "events", "start_time", "end_time")
+    __slots__ = (
+        "name",
+        "attrs",
+        "children",
+        "events",
+        "start_time",
+        "end_time",
+        "_clock",
+    )
 
     def __init__(
         self, name: str, attrs: dict[str, Any], clock: Callable[[], float]
@@ -51,6 +60,7 @@ class Span:
         self.attrs = attrs
         self.children: list["Span"] = []
         self.events: list[Any] = []
+        self._clock = clock
         self.start_time = clock()
         self.end_time: float | None = None
 
@@ -61,11 +71,12 @@ class Span:
         """True once :meth:`finish` ran."""
         return self.end_time is not None
 
-    def finish(self, clock: Callable[[], float] = time.perf_counter, **attrs: Any) -> "Span":
+    def finish(self, clock: Callable[[], float] | None = None, **attrs: Any) -> "Span":
         """Close the span, folding ``attrs`` (steps, cost, …) in. Idempotent:
-        a second finish keeps the first end time but still merges attrs."""
+        a second finish keeps the first end time but still merges attrs.
+        Ends on the clock the span started on unless one is passed."""
         if self.end_time is None:
-            self.end_time = clock()
+            self.end_time = (clock or self._clock)()
         if attrs:
             self.attrs.update(attrs)
         return self
@@ -229,7 +240,7 @@ class _NullSpan(Span):
     def __init__(self) -> None:
         super().__init__("<null>", {}, lambda: 0.0)
 
-    def finish(self, clock=time.perf_counter, **attrs: Any) -> "Span":
+    def finish(self, clock=None, **attrs: Any) -> "Span":
         return self
 
     def to_dict(self) -> dict[str, Any]:
@@ -322,13 +333,45 @@ class JsonlSink:
     as soon as it is written, and the sink is a context manager whose
     ``__exit__``/:meth:`close` flushes on the way out — including when the
     owner unwinds through an in-flight exception or scheduler shutdown.
+
+    Path-backed sinks support size-capped rotation so always-on flight /
+    trace / incident sinks can't grow unbounded: when ``max_bytes > 0``
+    and a written line pushes the file past the cap, the file is renamed
+    to ``<path>.1`` (existing ``.1`` → ``.2``, …, dropping ``.<keep>``)
+    and a fresh file is started. Rotation happens on line boundaries only
+    — a record is never split across files. Stream-backed sinks ignore
+    the cap (the caller owns the stream).
     """
 
-    def __init__(self, target: str | TextIO) -> None:
+    def __init__(self, target: str | TextIO, max_bytes: int = 0, keep: int = 3) -> None:
         self._path = target if isinstance(target, str) else None
         self._stream: TextIO | None = None if isinstance(target, str) else target
+        self.max_bytes = max_bytes if self._path is not None else 0
+        self.keep = max(1, keep)
         self.written = 0
+        self.rotations = 0
         self.closed = False
+        self._bytes = 0
+
+    def _open(self) -> TextIO:
+        assert self._path is not None
+        stream = open(self._path, "a")
+        # append mode: pick up the existing file's size so a reopened
+        # sink keeps honouring the cap
+        self._bytes = stream.tell()
+        return stream
+
+    def _rotate(self) -> None:
+        """Shift ``path.{n}`` → ``path.{n+1}`` (dropping the oldest) and
+        restart the live file. Called with the live stream closed."""
+        assert self._path is not None
+        for index in range(self.keep - 1, 0, -1):
+            older = f"{self._path}.{index}"
+            if os.path.exists(older):
+                os.replace(older, f"{self._path}.{index + 1}")
+        os.replace(self._path, f"{self._path}.1")
+        self.rotations += 1
+        self._bytes = 0
 
     def write(self, tree: dict[str, Any]) -> None:
         """Append one record as a JSON line (serialize-then-write: a
@@ -338,9 +381,18 @@ class JsonlSink:
         line = json.dumps(tree, default=str)
         if self._stream is None:
             assert self._path is not None
-            self._stream = open(self._path, "a")
+            self._stream = self._open()
+        if (
+            self.max_bytes > 0
+            and self._bytes > 0
+            and self._bytes + len(line) + 1 > self.max_bytes
+        ):
+            self._stream.close()
+            self._rotate()
+            self._stream = self._open()
         self._stream.write(line + "\n")
         self._stream.flush()
+        self._bytes += len(line) + 1
         self.written += 1
 
     def flush(self) -> None:

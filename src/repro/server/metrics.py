@@ -16,10 +16,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
 
+from typing import Any, Iterator
+
 from repro.engine.metrics import RetrievalCounters, RetrievalTrace
 from repro.obs.audit import DecisionMetrics
-from repro.obs.export import PrometheusText
+from repro.obs.export import PrometheusText, _format_labels, _format_value
 from repro.obs.hist import LogHistogram
+
+#: numeric rendering of a health report's status for the gauge surface
+_HEALTH_STATUS_VALUE = {"ok": 0, "disabled": 0, "warn": 1, "critical": 2}
 
 
 def add_counters(into: RetrievalCounters, other: RetrievalCounters) -> None:
@@ -116,6 +121,17 @@ class MetricsRegistry:
         #: (:class:`repro.estimate.Estimator`), wired in by the owning
         #: QueryServer so scrapes expose q-error/confidence counters
         self.estimator = None
+        #: the server's continuous time-series registry
+        #: (:class:`repro.obs.timeseries.TimeSeriesRegistry`), wired in by
+        #: the owning QueryServer when monitoring is enabled
+        self.monitor = None
+        #: the server's health monitor (:class:`repro.obs.health.HealthMonitor`)
+        self.health = None
+        #: the server's JSONL sinks by role (``trace`` / ``flight``), wired
+        #: in so scrapes expose record and rotation counters per sink
+        self.sinks: dict[str, Any] = {}
+        #: incident bundles written through the flight-recorder path
+        self.incidents = 0
 
     def session(self, session_id: str) -> SessionMetrics:
         """The metrics of one session (created on demand)."""
@@ -199,6 +215,291 @@ class MetricsRegistry:
             total.merge(metrics)
         return total
 
+    def scalar_samples(self) -> Iterator[tuple[str, str, str, dict | None, float]]:
+        """Every scalar (non-histogram) sample as
+        ``(name, kind, help, labels, value)``, in exposition order.
+
+        The single source of truth shared by :meth:`format` (the shell's
+        ``counters:`` block) and :meth:`expose_text` (Prometheus), so the
+        two surfaces cannot drift — the parity test diffs them.
+        """
+        everyone = [self.totals()] + sorted(
+            self._sessions.values(), key=lambda m: m.session_id
+        )
+        for metrics in everyone:
+            base = {"session": metrics.session_id}
+            for outcome, value in (
+                ("done", metrics.queries_completed),
+                ("cancelled", metrics.queries_cancelled),
+                ("failed", metrics.queries_failed),
+            ):
+                yield (
+                    "queries_total", "counter",
+                    "Queries retired, by terminal state.",
+                    dict(base, outcome=outcome), value,
+                )
+            yield (
+                "retrievals_total", "counter",
+                "Engine retrievals whose traces were recorded.",
+                base, metrics.retrievals,
+            )
+            yield (
+                "query_quanta_total", "counter",
+                "Scheduling quanta consumed by retired queries.",
+                base, metrics.quanta,
+            )
+            yield (
+                "cache_hits_total", "counter",
+                "Buffer-pool hits attributed to the session.",
+                base, metrics.cache_hits,
+            )
+            yield (
+                "cache_misses_total", "counter",
+                "Buffer-pool misses attributed to the session.",
+                base, metrics.cache_misses,
+            )
+            for spec in fields(RetrievalCounters):
+                yield (
+                    f"engine_{spec.name}_total", "counter",
+                    f"Engine counter: {spec.name.replace('_', ' ')}.",
+                    base, getattr(metrics.counters, spec.name),
+                )
+        if self.plan_cache is not None:
+            cache = self.plan_cache
+            yield (
+                "plan_cache_hits_total", "counter",
+                "Plan-cache lookups served without parsing.", None, cache.hits,
+            )
+            yield (
+                "plan_cache_misses_total", "counter",
+                "Plan-cache lookups that parsed and bound the statement.",
+                None, cache.misses,
+            )
+            yield (
+                "plan_cache_evictions_total", "counter",
+                "Cached plans dropped by LRU capacity pressure.",
+                None, cache.evictions,
+            )
+            yield (
+                "plan_cache_invalidations_total", "counter",
+                "Cached plans dropped by DDL schema changes.",
+                None, cache.invalidations,
+            )
+            yield (
+                "plan_cache_size", "gauge",
+                "Cached plans currently held.", None, cache.size,
+            )
+            yield (
+                "plan_cache_capacity", "gauge",
+                "Plan-cache capacity (0 = caching disabled).",
+                None, cache.capacity,
+            )
+        if self.feedback is not None:
+            feedback = self.feedback
+            yield (
+                "feedback_records_total", "counter",
+                "Estimated-vs-actual cardinality observations recorded.",
+                None, feedback.records,
+            )
+            yield (
+                "feedback_adjustments_total", "counter",
+                "Initial estimates sharpened from recorded feedback.",
+                None, feedback.adjustments,
+            )
+            yield (
+                "feedback_entries", "gauge",
+                "Live (table, index, predicate-signature) feedback entries.",
+                None, feedback.size,
+            )
+            yield (
+                "feedback_evictions_total", "counter",
+                "Feedback entries dropped by LRU capacity pressure.",
+                None, feedback.evictions,
+            )
+        if self.estimator is not None and self.estimator.enabled:
+            estimator = self.estimator
+            yield (
+                "estimator_observations_total", "counter",
+                "Q-error observations folded into signature statistics.",
+                None, estimator.observations,
+            )
+            yield (
+                "estimator_evictions_total", "counter",
+                "Signature statistics dropped by LRU capacity pressure.",
+                None, estimator.evictions,
+            )
+            yield (
+                "competitions_skipped_total", "counter",
+                "Competitions skipped because estimate confidence cleared "
+                "the variance gate.",
+                None, estimator.trusted,
+            )
+            yield (
+                "competitions_run_total", "counter",
+                "Gate consultations that fell back to running the race.",
+                None, estimator.competed,
+            )
+            yield (
+                "estimator_signatures", "gauge",
+                "Live (table, index, predicate-signature) q-error entries.",
+                None, len(estimator),
+            )
+        if self.partitions is not None:
+            partitions = self.partitions
+            yield (
+                "partition_scatters_total", "counter",
+                "Scatter-gather retrievals executed over partitioned tables.",
+                None, partitions.scatters,
+            )
+            yield (
+                "partition_merge_rows_total", "counter",
+                "Rows delivered by gather merges (reconciles exactly with "
+                "partitioned retrievals' row counts).",
+                None, partitions.merge_rows,
+            )
+            yield (
+                "partition_fetches_total", "counter",
+                "Per-partition fetches executed by scatters.",
+                None, partitions.partitions_fetched,
+            )
+            yield (
+                "partition_pruned_total", "counter",
+                "Partitions pruned before fetching (restriction analysis).",
+                None, partitions.partitions_pruned,
+            )
+            yield (
+                "partition_ordered_merges_total", "counter",
+                "Scatters gathered with an ordered k-way merge.",
+                None, partitions.ordered_merges,
+            )
+            yield (
+                "partition_worker_utilization", "gauge",
+                "Busy fraction of the partition worker pool "
+                "(fetch cost over workers x critical-path cost).",
+                None, partitions.worker_utilization,
+            )
+        decisions = self.decisions
+        for kind, count in sorted(decisions.decisions.items()):
+            yield (
+                "audit_decisions_total", "counter",
+                "Optimizer decisions recorded, by decision kind.",
+                {"kind": kind}, count,
+            )
+        for tactic, count in sorted(decisions.tactic_selected.items()):
+            yield (
+                "tactic_selected_total", "counter",
+                "Tactic-selection decisions, by chosen strategy.",
+                {"tactic": tactic}, count,
+            )
+        for tactic, count in sorted(decisions.tactic_wins.items()):
+            yield (
+                "tactic_wins_total", "counter",
+                "Counterfactual replays the chosen tactic won (or tied).",
+                {"tactic": tactic}, count,
+            )
+        for tactic, count in sorted(decisions.tactic_losses.items()):
+            yield (
+                "tactic_losses_total", "counter",
+                "Counterfactual replays a rejected alternative won.",
+                {"tactic": tactic}, count,
+            )
+        yield (
+            "replays_total", "counter",
+            "Counterfactual strategy replays executed.", None, decisions.replays,
+        )
+        yield (
+            "replay_truncated_total", "counter",
+            "Counterfactual replays truncated by the step budget.",
+            None, decisions.replay_truncated,
+        )
+        yield (
+            "competition_cost_total", "counter",
+            "Summed replayed cost of the chosen strategies.",
+            None, decisions.competition_cost,
+        )
+        yield (
+            "rejected_cost_total", "counter",
+            "Summed replayed cost of the best rejected alternatives.",
+            None, decisions.rejected_cost,
+        )
+        yield (
+            "flight_records_total", "counter",
+            "Queries captured by the slow-query flight recorder.",
+            None, self.flight_records,
+        )
+        for role in sorted(self.sinks):
+            sink = self.sinks[role]
+            if sink is None:
+                continue
+            yield (
+                "sink_records_total", "counter",
+                "JSONL records written, by sink role.",
+                {"sink": role}, sink.written,
+            )
+            yield (
+                "sink_rotations_total", "counter",
+                "Size-capped JSONL sink rotations, by sink role.",
+                {"sink": role}, sink.rotations,
+            )
+        yield (
+            "incidents_total", "counter",
+            "Incident bundles written through the flight-recorder path.",
+            None, self.incidents,
+        )
+        if self.monitor is not None:
+            yield (
+                "monitor_samples_total", "counter",
+                "Time-series interval samples taken.",
+                None, self.monitor.samples_taken,
+            )
+            latest = self.monitor.latest()
+            if latest is not None:
+                window_gauges = (
+                    ("window_queries", latest.queries,
+                     "Queries retired in the latest monitor window."),
+                    ("window_queries_per_sec", latest.queries_per_sec,
+                     "Throughput over the latest monitor window."),
+                    ("window_p50_latency_seconds", latest.p50_latency,
+                     "Median query latency over the latest monitor window."),
+                    ("window_p95_latency_seconds", latest.p95_latency,
+                     "P95 query latency over the latest monitor window."),
+                    ("window_cache_hit_rate", latest.cache_hit_rate,
+                     "Buffer-pool hit rate over the latest monitor window."),
+                    ("window_plan_cache_hit_rate", latest.plan_cache_hit_rate,
+                     "Plan-cache hit rate over the latest monitor window."),
+                    ("window_competition_skip_ratio",
+                     latest.competition_skip_ratio,
+                     "Variance-gate skip ratio over the latest monitor window."),
+                    ("window_qerror_p50", latest.qerror_p50,
+                     "Median estimation q-error over the latest monitor window."),
+                    ("window_qerror_p95", latest.qerror_p95,
+                     "P95 estimation q-error over the latest monitor window."),
+                    ("window_regret_mass", latest.regret_mass,
+                     "Realized regret accumulated in the latest monitor window."),
+                    ("window_worker_utilization", latest.worker_utilization,
+                     "Partition-worker utilization over the latest monitor "
+                     "window."),
+                    ("window_queue_wait_p95_quanta", latest.queue_wait_p95,
+                     "P95 admission queue wait over the latest monitor window."),
+                )
+                for name, value, help_text in window_gauges:
+                    if value is None:
+                        continue
+                    yield (name, "gauge", help_text, None, value)
+        if self.health is not None:
+            report = self.health.report()
+            yield (
+                "health_status", "gauge",
+                "Current health verdict (0 ok, 1 warn, 2 critical).",
+                None, _HEALTH_STATUS_VALUE[report.status],
+            )
+            for rule in sorted(self.health.breaches):
+                yield (
+                    "health_rule_breaches_total", "counter",
+                    "Health-rule breaches observed, by rule.",
+                    {"rule": rule}, self.health.breaches[rule],
+                )
+
     def format(self) -> str:
         """Multi-line human-readable rendering (shell ``\\metrics``)."""
         lines = []
@@ -244,6 +545,31 @@ class MetricsRegistry:
             )
         if self.partitions is not None and self.partitions.scatters:
             lines.append(self.partitions.format())
+        for role in sorted(self.sinks):
+            sink = self.sinks[role]
+            if sink is None:
+                continue
+            lines.append(
+                f"{role} sink: {sink.written} records, "
+                f"{sink.rotations} rotations"
+            )
+        if self.monitor is not None:
+            lines.append(
+                f"monitor: {self.monitor.samples_taken} samples, "
+                f"{self.incidents} incidents"
+            )
+        if self.health is not None:
+            lines.append(f"health: {self.health.report().status}")
+        # every server-wide scalar, rendered with the exact strings the
+        # Prometheus exposition uses (per-session duplicates elided) — the
+        # parity test diffs this block against expose_text()
+        lines.append("counters:")
+        for name, _kind, _help, labels, value in self.scalar_samples():
+            if labels and labels.get("session") not in (None, "<all>"):
+                continue
+            lines.append(
+                f"  repro_{name}{_format_labels(labels)} {_format_value(value)}"
+            )
         return "\n".join(lines)
 
     def expose_text(self) -> str:
@@ -255,43 +581,14 @@ class MetricsRegistry:
         and the buffer-pool fetch-run-length histogram is server-wide.
         """
         out = PrometheusText()
+        for name, kind, help_text, labels, value in self.scalar_samples():
+            emit = out.counter if kind == "counter" else out.gauge
+            emit(name, value, help_text, labels)
         everyone = [self.totals()] + sorted(
             self._sessions.values(), key=lambda m: m.session_id
         )
         for metrics in everyone:
             base = {"session": metrics.session_id}
-            for outcome, value in (
-                ("done", metrics.queries_completed),
-                ("cancelled", metrics.queries_cancelled),
-                ("failed", metrics.queries_failed),
-            ):
-                out.counter(
-                    "queries_total", value,
-                    "Queries retired, by terminal state.",
-                    dict(base, outcome=outcome),
-                )
-            out.counter(
-                "retrievals_total", metrics.retrievals,
-                "Engine retrievals whose traces were recorded.", base,
-            )
-            out.counter(
-                "query_quanta_total", metrics.quanta,
-                "Scheduling quanta consumed by retired queries.", base,
-            )
-            out.counter(
-                "cache_hits_total", metrics.cache_hits,
-                "Buffer-pool hits attributed to the session.", base,
-            )
-            out.counter(
-                "cache_misses_total", metrics.cache_misses,
-                "Buffer-pool misses attributed to the session.", base,
-            )
-            for spec in fields(RetrievalCounters):
-                out.counter(
-                    f"engine_{spec.name}_total",
-                    getattr(metrics.counters, spec.name),
-                    f"Engine counter: {spec.name.replace('_', ' ')}.", base,
-                )
             out.histogram(
                 "query_latency_seconds", metrics.latency,
                 "Wall-clock latency from admission to retirement.", base,
@@ -320,101 +617,8 @@ class MetricsRegistry:
             "fetch_run_length", self.fetch_runs,
             "Pages loaded per buffer-pool read-ahead run.",
         )
-        if self.plan_cache is not None:
-            cache = self.plan_cache
-            out.counter(
-                "plan_cache_hits_total", cache.hits,
-                "Plan-cache lookups served without parsing.",
-            )
-            out.counter(
-                "plan_cache_misses_total", cache.misses,
-                "Plan-cache lookups that parsed and bound the statement.",
-            )
-            out.counter(
-                "plan_cache_evictions_total", cache.evictions,
-                "Cached plans dropped by LRU capacity pressure.",
-            )
-            out.counter(
-                "plan_cache_invalidations_total", cache.invalidations,
-                "Cached plans dropped by DDL schema changes.",
-            )
-            out.gauge(
-                "plan_cache_size", cache.size,
-                "Cached plans currently held.",
-            )
-            out.gauge(
-                "plan_cache_capacity", cache.capacity,
-                "Plan-cache capacity (0 = caching disabled).",
-            )
-        if self.feedback is not None:
-            feedback = self.feedback
-            out.counter(
-                "feedback_records_total", feedback.records,
-                "Estimated-vs-actual cardinality observations recorded.",
-            )
-            out.counter(
-                "feedback_adjustments_total", feedback.adjustments,
-                "Initial estimates sharpened from recorded feedback.",
-            )
-            out.gauge(
-                "feedback_entries", feedback.size,
-                "Live (table, index, predicate-signature) feedback entries.",
-            )
-            out.counter(
-                "feedback_evictions_total", feedback.evictions,
-                "Feedback entries dropped by LRU capacity pressure.",
-            )
-        if self.estimator is not None and self.estimator.enabled:
-            estimator = self.estimator
-            out.counter(
-                "estimator_observations_total", estimator.observations,
-                "Q-error observations folded into signature statistics.",
-            )
-            out.counter(
-                "estimator_evictions_total", estimator.evictions,
-                "Signature statistics dropped by LRU capacity pressure.",
-            )
-            out.counter(
-                "competitions_skipped_total", estimator.trusted,
-                "Competitions skipped because estimate confidence cleared "
-                "the variance gate.",
-            )
-            out.counter(
-                "competitions_run_total", estimator.competed,
-                "Gate consultations that fell back to running the race.",
-            )
-            out.gauge(
-                "estimator_signatures", len(estimator),
-                "Live (table, index, predicate-signature) q-error entries.",
-            )
         if self.partitions is not None:
             partitions = self.partitions
-            out.counter(
-                "partition_scatters_total", partitions.scatters,
-                "Scatter-gather retrievals executed over partitioned tables.",
-            )
-            out.counter(
-                "partition_merge_rows_total", partitions.merge_rows,
-                "Rows delivered by gather merges (reconciles exactly with "
-                "partitioned retrievals' row counts).",
-            )
-            out.counter(
-                "partition_fetches_total", partitions.partitions_fetched,
-                "Per-partition fetches executed by scatters.",
-            )
-            out.counter(
-                "partition_pruned_total", partitions.partitions_pruned,
-                "Partitions pruned before fetching (restriction analysis).",
-            )
-            out.counter(
-                "partition_ordered_merges_total", partitions.ordered_merges,
-                "Scatters gathered with an ordered k-way merge.",
-            )
-            out.gauge(
-                "partition_worker_utilization", partitions.worker_utilization,
-                "Busy fraction of the partition worker pool "
-                "(fetch cost over workers x critical-path cost).",
-            )
             out.histogram(
                 "partition_fetch_rows", partitions.fetch_rows_hist,
                 "Rows delivered per partition fetch.",
@@ -432,50 +636,6 @@ class MetricsRegistry:
                 "Partition-fetch cost percentile (bucket upper bound).",
             )
         decisions = self.decisions
-        for kind, count in sorted(decisions.decisions.items()):
-            out.counter(
-                "audit_decisions_total", count,
-                "Optimizer decisions recorded, by decision kind.",
-                {"kind": kind},
-            )
-        for tactic, count in sorted(decisions.tactic_selected.items()):
-            out.counter(
-                "tactic_selected_total", count,
-                "Tactic-selection decisions, by chosen strategy.",
-                {"tactic": tactic},
-            )
-        for tactic, count in sorted(decisions.tactic_wins.items()):
-            out.counter(
-                "tactic_wins_total", count,
-                "Counterfactual replays the chosen tactic won (or tied).",
-                {"tactic": tactic},
-            )
-        for tactic, count in sorted(decisions.tactic_losses.items()):
-            out.counter(
-                "tactic_losses_total", count,
-                "Counterfactual replays a rejected alternative won.",
-                {"tactic": tactic},
-            )
-        out.counter(
-            "replays_total", decisions.replays,
-            "Counterfactual strategy replays executed.",
-        )
-        out.counter(
-            "replay_truncated_total", decisions.replay_truncated,
-            "Counterfactual replays truncated by the step budget.",
-        )
-        out.counter(
-            "competition_cost_total", decisions.competition_cost,
-            "Summed replayed cost of the chosen strategies.",
-        )
-        out.counter(
-            "rejected_cost_total", decisions.rejected_cost,
-            "Summed replayed cost of the best rejected alternatives.",
-        )
-        out.counter(
-            "flight_records_total", self.flight_records,
-            "Queries captured by the slow-query flight recorder.",
-        )
         out.histogram(
             "decision_regret_cost", decisions.regret_hist,
             "Realized regret per replayed decision (cost units).",

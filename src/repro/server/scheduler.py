@@ -40,12 +40,14 @@ import enum
 import itertools
 import time
 from collections import deque
-from typing import Any, Generator, Mapping
+from typing import Any, Callable, Generator, Mapping
 
 from repro.db.session import Database
 from repro.engine.goals import OptimizationGoal
 from repro.errors import QueryCancelledError, ServerError
 from repro.obs.audit import AuditLog
+from repro.obs.health import HealthMonitor, HealthReport
+from repro.obs.timeseries import TimeSeriesRegistry
 from repro.obs.trace import AuditOnlyTracer, Span, Tracer, should_sample
 from repro.server.metrics import MetricsRegistry
 from repro.sql.executor import (
@@ -224,6 +226,7 @@ class QueryServer:
         goal_weights: Mapping[OptimizationGoal, float] | None = None,
         trace_sink: Any | None = None,
         flight_sink: Any | None = None,
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         if max_concurrency < 1:
             raise ServerError("max_concurrency must be >= 1")
@@ -236,6 +239,10 @@ class QueryServer:
         self.max_concurrency = max_concurrency
         self.scheduling = scheduling
         self.goal_weights = dict(goal_weights or DEFAULT_GOAL_WEIGHTS)
+        #: monotonic clock for latency / monitoring intervals (injectable —
+        #: tests drive a :class:`repro.obs.SteppingClock` instead of
+        #: sleeping; scheduling decisions still never consult it)
+        self.clock = clock
         self.metrics = MetricsRegistry()
         #: finished span trees of traced queries go here — anything with
         #: ``write(tree_dict)``, e.g. :class:`repro.obs.JsonlSink`
@@ -252,6 +259,24 @@ class QueryServer:
         self.metrics.estimator = getattr(db, "estimator", None)
         # ... and the scatter-gather aggregates of partitioned tables
         self.metrics.partitions = getattr(db, "partition_stats", None)
+        # ... and the sinks themselves, for record/rotation counters
+        self.metrics.sinks = {"trace": trace_sink, "flight": flight_sink}
+        #: continuous monitoring: the time-series registry + health monitor
+        #: (None when ``monitor_enabled`` is off or the interval is 0 — the
+        #: kill-switch path pays nothing per quantum)
+        self.monitor: TimeSeriesRegistry | None = None
+        self.health_monitor: HealthMonitor | None = None
+        config = db.config
+        if config.monitor_enabled and config.monitor_interval > 0:
+            self.monitor = TimeSeriesRegistry(
+                self.metrics,
+                interval=config.monitor_interval,
+                window=config.monitor_window,
+                clock=clock,
+            )
+            self.health_monitor = HealthMonitor(self.monitor, config)
+            self.metrics.monitor = self.monitor
+            self.metrics.health = self.health_monitor
         #: set once by the first shutdown(); later calls are no-ops, so a
         #: Connection.close() racing an explicit server shutdown (or an
         #: atexit hook) never re-closes the sinks
@@ -300,7 +325,11 @@ class QueryServer:
         audit_on = self.db.config.audit_enabled
         if should_sample(handle.ticket, rate) or kind is not None:
             handle.tracer = Tracer(
-                "query", session=session_id, ticket=handle.ticket, sql=sql
+                "query",
+                clock=self.clock,
+                session=session_id,
+                ticket=handle.ticket,
+                sql=sql,
             )
             if audit_on or kind == "compete":
                 handle.tracer.audit = AuditLog()
@@ -334,7 +363,7 @@ class QueryServer:
                 )
             handle.state = QueryState.RUNNING
             handle.admitted_at = self.total_steps
-            handle.admitted_wall = time.perf_counter()
+            handle.admitted_wall = self.clock()
             if handle._wait_span is not None:
                 handle._wait_span.finish(
                     quanta=self.total_steps - handle.submitted_at_steps
@@ -389,6 +418,8 @@ class QueryServer:
         elif handle in self._running:
             # deadline cancellation retires inside _step_handle already
             self._retire(handle)
+        if self.monitor is not None:
+            self._monitor_tick()
         return True
 
     def _step_handle(self, handle: QueryHandle) -> None:
@@ -444,18 +475,24 @@ class QueryServer:
             handle.session_id, handle.cache_hits, handle.cache_misses
         )
         assert handle.admitted_at is not None and handle.admitted_wall is not None
-        latency = time.perf_counter() - handle.admitted_wall
+        latency = self.clock() - handle.admitted_wall
         self.metrics.record_completion(
             handle.session_id,
             latency_seconds=latency,
             queue_wait_quanta=handle.admitted_at - handle.submitted_at_steps,
             quanta=handle.steps,
         )
+        total_cost = 0.0
         for info in handle.retrievals:
             self.metrics.record_trace(handle.session_id, info.result.trace)
             # the live L-shape: every retrieval's realized cost lands in
             # the server-wide distribution, audited or not
             self.metrics.decisions.observe_cost(info.result.total_cost)
+            total_cost += info.result.total_cost
+        if self.monitor is not None:
+            self.monitor.note_query(
+                handle.sql, handle.session_id, latency, total_cost
+            )
         audit = handle.tracer.audit if handle.tracer is not None else None
         if audit is not None and audit.enabled:
             self.metrics.decisions.absorb(audit)
@@ -520,6 +557,32 @@ class QueryServer:
             }
         )
 
+    # -- continuous monitoring ---------------------------------------------
+
+    def _monitor_tick(self, force: bool = False) -> HealthReport | None:
+        """Advance the monitor: sample if due (or forced), run the health
+        rules on the new window, and write any incident bundle through the
+        flight-recorder sink. The single path shared by the per-quantum
+        hook, ``health()``, and shutdown's final flush."""
+        assert self.monitor is not None and self.health_monitor is not None
+        window = self.monitor.tick(force=force)
+        if window is None:
+            return None
+        report = self.health_monitor.observe(window)
+        if report.incident is not None and self.flight_sink is not None:
+            self.metrics.incidents += 1
+            self.flight_sink.write(report.incident)
+        return report
+
+    def health(self) -> HealthReport:
+        """Sample the monitor now and return the current health verdict
+        (a disabled-state report when monitoring is off)."""
+        if self.monitor is None:
+            return HealthReport([], None, enabled=False)
+        report = self._monitor_tick(force=True)
+        assert report is not None
+        return report
+
     def shutdown(self) -> None:
         """Cancel everything in flight and flush/close the sinks.
 
@@ -538,6 +601,11 @@ class QueryServer:
         self._shutdown = True
         for handle in list(self._queue) + list(self._running):
             self._cancel(handle, reason="server-shutdown")
+        # final monitor flush while the flight sink is still open: the
+        # last partial window is sampled and any incident it raises lands
+        # in the sink before it closes
+        if self.monitor is not None:
+            self._monitor_tick(force=True)
         close_pool = getattr(self.db, "close_worker_pool", None)
         if close_pool is not None:
             close_pool()

@@ -14,6 +14,10 @@ benchmark scenarios). Statements end with ``;``. Meta commands:
   rates, regret, estimate error, the live retrieval-cost L-shape)
 * ``\\estimates`` — per-signature estimation quality (q-error p95/max,
   observation counts, confidence verdicts: trust vs compete)
+* ``\\top`` — the live operator dashboard (per-interval throughput,
+  latency, hit rates, q-error, regret sparklines + health verdict)
+* ``\\health`` — the health monitor's current findings (SLO breaches,
+  drift detections)
 * ``\\q`` — quit
 
 ``EXPLAIN <select ...>``, ``EXPLAIN ANALYZE <select ...>``, and
@@ -151,6 +155,16 @@ class Shell:
             self._print(self.conn.metrics.decisions.format())
         elif head == "\\estimates":
             self._print(self.db.estimator.format())
+        elif head == "\\top":
+            monitor = self.conn.server.monitor
+            if monitor is None:
+                self._print("monitoring disabled (monitor_enabled=False "
+                            "or monitor_interval=0)")
+            else:
+                # force a sample so the dashboard reflects right now
+                self._print(monitor.format_top(self.conn.health()))
+        elif head == "\\health":
+            self._print(self.conn.health().format())
         elif head == "\\explain":
             sql = command[len("\\explain"):].strip().rstrip(";")
             try:
@@ -159,7 +173,8 @@ class Shell:
                 self._print(f"error: {error}")
         else:
             self._print(f"unknown meta command {head!r} (try \\d, \\trace, \\cold, "
-                        "\\set, \\metrics, \\decisions, \\estimates, \\explain, \\q)")
+                        "\\set, \\metrics, \\decisions, \\estimates, \\top, "
+                        "\\health, \\explain, \\q)")
 
     def _list_tables(self) -> None:
         if not self.db.tables:
